@@ -1,0 +1,303 @@
+(* jsonlogic — command-line front end to the library.
+
+   Subcommands:
+     parse      parse and pretty-print a JSON document
+     eval       evaluate a JNL formula at the root of a document
+     select     select subdocuments with a JSONPath expression
+     find       filter a collection with a MongoDB-style filter
+     validate   validate documents against a JSON Schema
+     sat        decide satisfiability of a JNL formula (with witness)
+     compat     detect breaking changes between two schemas *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_bin path In_channel.input_all
+
+let parse_doc_exn text =
+  match Jsont.Parser.parse text with
+  | Ok v -> v
+  | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+
+(* documents: a single JSON value, or a stream of them (JSON lines) *)
+let parse_docs_exn text =
+  match Jsont.Parser.parse_many text with
+  | Ok vs -> vs
+  | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+
+let input_arg =
+  let doc = "Input file ('-' for stdin)." in
+  Arg.(value & pos_right (-1) string [] & info [] ~docv:"FILE" ~doc)
+
+let last_input args = match List.rev args with [] -> "-" | x :: _ -> x
+
+let wrap f = try f () with Failure m | Invalid_argument m ->
+  prerr_endline ("error: " ^ m);
+  exit 1
+
+(* ---- parse ----------------------------------------------------------------- *)
+
+let parse_cmd =
+  let compact =
+    Arg.(value & flag & info [ "c"; "compact" ] ~doc:"Compact output.")
+  in
+  let run compact files =
+    wrap (fun () ->
+        let text = read_input (last_input files) in
+        let v = parse_doc_exn text in
+        print_endline
+          (if compact then Jsont.Printer.compact v else Jsont.Printer.pretty v))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and pretty-print a JSON document")
+    Term.(const run $ compact $ input_arg)
+
+(* ---- eval ------------------------------------------------------------------ *)
+
+let formula_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA"
+         ~doc:"A JNL formula, e.g. 'eq(.name.first, \"John\")'.")
+
+let eval_cmd =
+  let run formula files =
+    wrap (fun () ->
+        let phi =
+          match Jlogic.Jnl.parse formula with
+          | Ok f -> f
+          | Error m -> failwith ("bad formula: " ^ m)
+        in
+        let docs = parse_docs_exn (read_input (last_input files)) in
+        List.iter
+          (fun doc ->
+            Printf.printf "%b\t%s\n"
+              (Jlogic.Jnl_eval.satisfies doc phi)
+              (Jsont.Printer.compact doc))
+          docs)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a JNL formula at the root of each document")
+    Term.(const run $ formula_pos $ input_arg)
+
+(* ---- select ----------------------------------------------------------------- *)
+
+let select_cmd =
+  let path_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSONPATH"
+           ~doc:"A JSONPath expression, e.g. '\\$.store.book[*].author'.")
+  in
+  let run path files =
+    wrap (fun () ->
+        let doc = parse_doc_exn (read_input (last_input files)) in
+        match Jquery.Jsonpath.select doc path with
+        | Ok hits -> List.iter (fun v -> print_endline (Jsont.Printer.compact v)) hits
+        | Error m -> failwith ("bad path: " ^ m))
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Select subdocuments with a JSONPath expression")
+    Term.(const run $ path_pos $ input_arg)
+
+(* ---- find ------------------------------------------------------------------- *)
+
+let find_cmd =
+  let filter_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILTER"
+           ~doc:"A MongoDB-style filter document, e.g. '{\"age\": {\"\\$gte\": 18}}'.")
+  in
+  let project =
+    Arg.(value & opt (some string) None & info [ "p"; "project" ] ~docv:"PROJ"
+           ~doc:"Projection document, e.g. '{\"name\": 1}'.")
+  in
+  let run filter project files =
+    wrap (fun () ->
+        let f =
+          match Jquery.Mongo.parse_string filter with
+          | Ok f -> f
+          | Error m -> failwith ("bad filter: " ^ m)
+        in
+        let docs = parse_docs_exn (read_input (last_input files)) in
+        (* accept either a top-level array or a stream of documents *)
+        let docs =
+          match docs with [ Jsont.Value.Arr vs ] -> vs | other -> other
+        in
+        let hits = Jquery.Mongo.find f docs in
+        let hits =
+          match project with
+          | None -> hits
+          | Some p -> (
+            match Jquery.Mongo.parse_projection (parse_doc_exn p) with
+            | Ok p -> List.map (Jquery.Mongo.project p) hits
+            | Error m -> failwith ("bad projection: " ^ m))
+        in
+        List.iter (fun v -> print_endline (Jsont.Printer.compact v)) hits)
+  in
+  Cmd.v
+    (Cmd.info "find" ~doc:"Filter a collection with a MongoDB-style filter")
+    Term.(const run $ filter_pos $ project $ input_arg)
+
+(* ---- validate ----------------------------------------------------------------- *)
+
+let validate_cmd =
+  let schema_arg =
+    Arg.(required & opt (some string) None & info [ "s"; "schema" ] ~docv:"FILE"
+           ~doc:"JSON Schema file.")
+  in
+  let via_jsl =
+    Arg.(value & flag & info [ "via-jsl" ]
+           ~doc:"Validate through the Theorem 1 JSL translation instead of the \
+                 direct validator.")
+  in
+  let run schema_file via_jsl files =
+    wrap (fun () ->
+        let schema =
+          match Jschema.Parse.of_string (read_input schema_file) with
+          | Ok s -> s
+          | Error m -> failwith ("bad schema: " ^ m)
+        in
+        let docs = parse_docs_exn (read_input (last_input files)) in
+        let jsl = lazy (Jschema.To_jsl.document schema) in
+        let failures = ref 0 in
+        List.iter
+          (fun doc ->
+            let ok =
+              if via_jsl then Jlogic.Jsl_rec.validates doc (Lazy.force jsl)
+              else Jschema.Validate.validates schema doc
+            in
+            if not ok then incr failures;
+            Printf.printf "%s\t%s\n"
+              (if ok then "valid" else "INVALID")
+              (Jsont.Printer.compact doc))
+          docs;
+        if !failures > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
+    Term.(const run $ schema_arg $ via_jsl $ input_arg)
+
+(* ---- sat --------------------------------------------------------------------- *)
+
+let sat_cmd =
+  let run formula =
+    wrap (fun () ->
+        let phi =
+          match Jlogic.Jnl.parse formula with
+          | Ok f -> f
+          | Error m -> failwith ("bad formula: " ^ m)
+        in
+        match Jlogic.Jnl_sat.satisfiable phi with
+        | Error m -> failwith ("undecidable fragment: " ^ m)
+        | Ok (Jlogic.Jautomaton.Sat witness) ->
+          Printf.printf "satisfiable\n%s\n" (Jsont.Printer.pretty witness)
+        | Ok Jlogic.Jautomaton.Unsat -> print_endline "unsatisfiable"
+        | Ok (Jlogic.Jautomaton.Unknown m) ->
+          Printf.printf "unknown (%s)\n" m;
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "sat"
+       ~doc:"Decide satisfiability of a JNL formula, printing a witness document")
+    Term.(const run $ formula_pos)
+
+(* ---- compat ------------------------------------------------------------------ *)
+
+let compat_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"Old schema file.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"New schema file.")
+  in
+  let run old_file new_file =
+    wrap (fun () ->
+        let load f =
+          match Jschema.Parse.of_string (read_input f) with
+          | Ok s -> Jschema.To_jsl.document s
+          | Error m -> failwith (f ^ ": " ^ m)
+        in
+        let v1 = load old_file and v2 = load new_file in
+        (match (v1.Jlogic.Jsl_rec.defs, v2.Jlogic.Jsl_rec.defs) with
+        | [], [] -> ()
+        | _ -> failwith "compat only supports non-recursive schemas");
+        match
+          Jlogic.Contain.schema_compatible ~old_:v1.Jlogic.Jsl_rec.base
+            ~new_:v2.Jlogic.Jsl_rec.base ()
+        with
+        | Jlogic.Contain.No w ->
+          Printf.printf "BREAKING: valid under OLD, rejected by NEW:\n%s\n"
+            (Jsont.Printer.pretty w);
+          exit 1
+        | Jlogic.Contain.Yes ->
+          print_endline "compatible: every OLD document validates under NEW"
+        | Jlogic.Contain.Inconclusive m ->
+          Printf.printf "unknown (%s)\n" m;
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "compat"
+       ~doc:"Detect breaking changes between two JSON Schemas (satisfiability of \
+             OLD ∧ ¬NEW)")
+    Term.(const run $ old_arg $ new_arg)
+
+(* ---- examples ----------------------------------------------------------------- *)
+
+let examples_cmd =
+  let schema_arg =
+    Arg.(required & opt (some string) None & info [ "s"; "schema" ] ~docv:"FILE"
+           ~doc:"JSON Schema file.")
+  in
+  let count_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N"
+           ~doc:"How many example documents to generate.")
+  in
+  let run schema_file n =
+    wrap (fun () ->
+        let schema =
+          match Jschema.Parse.of_string (read_input schema_file) with
+          | Ok s -> Jschema.To_jsl.document s
+          | Error m -> failwith ("bad schema: " ^ m)
+        in
+        if schema.Jlogic.Jsl_rec.defs <> [] then
+          failwith "examples only supports non-recursive schemas";
+        let ms = Jlogic.Jsl_sat.models ~limit:n schema.Jlogic.Jsl_rec.base in
+        if ms = [] then begin
+          print_endline "no example found (schema unsatisfiable or search exhausted)";
+          exit 1
+        end;
+        List.iter (fun v -> print_endline (Jsont.Printer.compact v)) ms)
+  in
+  Cmd.v
+    (Cmd.info "examples"
+       ~doc:"Generate distinct example documents validating against a schema")
+    Term.(const run $ schema_arg $ count_arg)
+
+(* ---- infer -------------------------------------------------------------------- *)
+
+let infer_cmd =
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Close objects and bound numbers to the observed values.")
+  in
+  let run strict files =
+    wrap (fun () ->
+        let docs = parse_docs_exn (read_input (last_input files)) in
+        let docs =
+          match docs with [ Jsont.Value.Arr vs ] -> vs | other -> other
+        in
+        if docs = [] then failwith "no example documents";
+        let mode = if strict then `Strict else `Loose in
+        let schema = Jschema.Infer.infer_document ~mode docs in
+        print_endline (Jsont.Printer.pretty (Jschema.Schema.to_value schema)))
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Infer a JSON Schema from example documents (JSON lines or an array)")
+    Term.(const run $ strict $ input_arg)
+
+let () =
+  let doc = "JSON data model, query logics and schema tools (Bourhis et al., PODS'17)" in
+  let info = Cmd.info "jsonlogic" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; eval_cmd; select_cmd; find_cmd; validate_cmd; sat_cmd;
+            compat_cmd; examples_cmd; infer_cmd ]))

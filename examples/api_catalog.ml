@@ -1,0 +1,65 @@
+(* API catalog: MongoDB-style find over a synthetic user/order
+   collection — the Web-API use case motivating §1 and Example 1 of the
+   paper, including the projection argument discussed as future work in
+   §6.
+
+   Run with: dune exec examples/api_catalog.exe *)
+
+module Value = Jsont.Value
+
+let () =
+  (* a collection of user records as an API would return them *)
+  let rng = Jworkload.Prng.create 20260704 in
+  let users = List.init 200 (fun _ -> Jworkload.Gen_json.api_record rng 4) in
+  Printf.printf "collection: %d user records, %d JSON values total\n\n"
+    (List.length users)
+    (List.fold_left (fun acc u -> acc + Value.size u) 0 users);
+
+  let find name filter_text =
+    let filter = Jquery.Mongo.parse_string_exn filter_text in
+    let hits = Jquery.Mongo.find filter users in
+    Printf.printf "%-60s %4d hits\n" name (List.length hits);
+    hits
+  in
+
+  (* Example 1 of the paper: find({name: {$eq: "Sue"}}, {}) *)
+  let sues = find {|find {name.first: "Sue"}|} {|{"name.first": "Sue"}|} in
+
+  (* more involved filters *)
+  ignore (find {|adults in yoga|}
+            {|{"age": {"$gte": 18}, "hobbies": {"$elemMatch": {"$eq": "yoga"}}}|});
+  ignore (find {|big spenders (some order > 400)|}
+            {|{"orders": {"$elemMatch": {"total": {"$gt": 400}}}}|});
+  ignore (find {|exactly 3 hobbies|} {|{"hobbies": {"$size": 3}}|});
+  ignore (find {|shipped or delivered first order|}
+            {|{"orders.0.status": {"$in": ["shipped", "delivered"]}}|});
+  ignore (find {|SKU pattern match|}
+            {|{"orders": {"$elemMatch":
+                {"lines": {"$elemMatch": {"sku": {"$regex": "SKU-0-"}}}}}}|});
+
+  (* every filter is a JSL formula — print one *)
+  let filter = Jquery.Mongo.parse_string_exn {|{"age": {"$gte": 18}}|} in
+  Printf.printf "\nthe filter {age: {$gte: 18}} as JSL:  %s\n"
+    (Jlogic.Jsl.to_string (Jquery.Mongo.to_jsl filter));
+
+  (* equality filters reach pure JNL (Theorem 2) *)
+  (match Jquery.Mongo.to_jnl (Jquery.Mongo.parse_string_exn {|{"name.first":"Sue"}|}) with
+  | Ok jnl ->
+    Printf.printf "the filter {name.first: \"Sue\"} as JNL: %s\n"
+      (Jlogic.Jnl.to_string jnl)
+  | Error m -> Printf.printf "JNL translation failed: %s\n" m);
+
+  (* projection — the §6 future-work transformation *)
+  let projection =
+    match
+      Jquery.Mongo.parse_projection
+        (Jsont.Parser.parse_exn {|{"name.first": 1, "age": 1}|})
+    with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  print_endline "\nfirst Sue, projected to {name.first, age}:";
+  match sues with
+  | sue :: _ ->
+    print_endline (Jsont.Printer.pretty (Jquery.Mongo.project projection sue))
+  | [] -> print_endline "(no Sue in this seed's collection)"

@@ -1,0 +1,63 @@
+(* Log analytics: JSONPath (the language of [15], §4.1) compiled to
+   recursive non-deterministic JNL, over a nested event log.
+
+   Run with: dune exec examples/log_analytics.exe *)
+
+module Value = Jsont.Value
+
+let log_doc =
+  Jsont.Parser.parse_exn
+    {|{
+      "service": "checkout",
+      "window": { "from": 1700000000, "to": 1700003600 },
+      "events": [
+        { "kind": "request", "status": 200, "ms": 12,
+          "ctx": { "user": "sue", "retries": 0 } },
+        { "kind": "request", "status": 500, "ms": 433,
+          "ctx": { "user": "john", "retries": 2,
+                   "cause": { "kind": "timeout", "upstream": "payments" } } },
+        { "kind": "gc", "pause_ms": 7 },
+        { "kind": "request", "status": 200, "ms": 55,
+          "ctx": { "user": "ana", "retries": 1 } },
+        { "kind": "request", "status": 503, "ms": 914,
+          "ctx": { "user": "li", "retries": 3,
+                   "cause": { "kind": "overload", "upstream": "inventory",
+                              "cause": { "kind": "timeout", "upstream": "db" } } } }
+      ]
+    }|}
+
+let show name path =
+  match Jquery.Jsonpath.select log_doc path with
+  | Error m -> Printf.printf "%-44s error: %s\n" name m
+  | Ok hits ->
+    Printf.printf "%-44s %s\n" name
+      (String.concat ", " (List.map Value.to_string hits))
+
+let () =
+  Printf.printf "JSONPath over a %d-value event log\n\n" (Value.size log_doc);
+  show "all event kinds ($.events[*].kind)" "$.events[*].kind";
+  show "first event status" "$.events[0].status";
+  show "last event's user" "$.events[-1].ctx.user";
+  show "statuses of events 1..3 (slice)" "$.events[1:4].status";
+  show "all users anywhere ($..user)" "$..user";
+  show "all upstreams, any nesting ($..upstream)" "$..upstream";
+  show "root causes ($..cause.kind)" "$..cause.kind";
+  show "events with retries>2 (filter)"
+    {|$.events[*][?(eq(.ctx.retries, 3))].ctx.user|};
+  show "window bounds ($.window.*)" "$.window.*";
+
+  (* what the compilation produces: JSONPath is literally JNL *)
+  let path = Jquery.Jsonpath.parse_exn "$..cause.kind" in
+  Printf.printf "\n$..cause.kind compiles to the JNL path:\n  %s\n"
+    (Jlogic.Jnl.path_to_string path);
+  let frag = Jlogic.Jnl.classify_path path in
+  Printf.printf "fragment: deterministic=%b recursive=%b\n"
+    frag.Jlogic.Jnl.deterministic frag.Jlogic.Jnl.recursive;
+
+  (* the same question as a pure JNL satisfaction test *)
+  let has_deep_timeout =
+    Jlogic.Jnl.parse_exn
+      {|<.events[0:*]?(eq((.ctx)(.cause)*.kind, "timeout"))>|}
+  in
+  Printf.printf "\nsome event has a (possibly nested) timeout cause: %b\n"
+    (Jlogic.Jnl_eval.satisfies log_doc has_deep_timeout)

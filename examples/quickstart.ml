@@ -1,0 +1,86 @@
+(* Quickstart: the paper's running example end to end.
+
+   Parses the Figure 1 document, shows the §3.1 tree model, runs JSON
+   navigation instructions (§2), JNL queries (§4), JSL validation (§5)
+   and JSON Schema validation through the Theorem 1 translation.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Value = Jsont.Value
+module Tree = Jsont.Tree
+open Jlogic
+
+let () =
+  (* 1. Parse the document of Figure 1. *)
+  let doc =
+    Jsont.Parser.parse_exn
+      {|{
+        "name": { "first": "John", "last": "Doe" },
+        "age": 32,
+        "hobbies": ["fishing", "yoga"]
+      }|}
+  in
+  print_endline "Figure 1 document:";
+  print_endline (Jsont.Printer.pretty doc);
+
+  (* 2. The JSON tree model: every node is itself a JSON document. *)
+  let tree = Tree.of_value doc in
+  Printf.printf "\nTree: %d nodes, height %d\n" (Tree.node_count tree)
+    (Tree.height tree);
+  Seq.iter
+    (fun n -> Format.printf "  %a@." (Tree.pp_node tree) n)
+    (Tree.nodes tree);
+
+  (* 3. Navigation instructions: J[key] and J[i]. *)
+  let get p = Option.get (Jsont.Pointer.get (Jsont.Pointer.of_string_exn p) doc) in
+  Printf.printf "\nJ[name][first] = %s\n" (Value.to_string (get "name.first"));
+  Printf.printf "J[hobbies][1]  = %s\n" (Value.to_string (get "hobbies[1]"));
+  Printf.printf "J[hobbies][-1] = %s\n" (Value.to_string (get "hobbies[-1]"));
+
+  (* 4. JNL: the navigational logic, in concrete syntax. *)
+  let queries =
+    [ "eq(.name.first, \"John\")";
+      "eq(.age, 32)";
+      "<.hobbies[0:*]?(eq(eps,\"yoga\"))>";
+      "eq(.name, {\"last\":\"Doe\",\"first\":\"John\"})";
+      "!<.email>" ]
+  in
+  print_endline "\nJNL queries at the root:";
+  List.iter
+    (fun q ->
+      Printf.printf "  %-45s %b\n" q (Jnl_eval.satisfies doc (Jnl.parse_exn q)))
+    queries;
+
+  (* 5. JSL: the schema logic. *)
+  let person_shape =
+    Jsl.conj
+      [ Jsl.Test Jsl.Is_obj;
+        Jsl.dia_key "name" (Jsl.dia_key "first" (Jsl.Test Jsl.Is_str));
+        Jsl.dia_key "age" (Jsl.And (Jsl.Test (Jsl.Min 0), Jsl.Test (Jsl.Max 150)));
+        Jsl.dia_key "hobbies" (Jsl.And (Jsl.Test Jsl.Is_arr, Jsl.Test Jsl.Unique)) ]
+  in
+  Printf.printf "\nJSL validation: %b\n" (Jsl.validates doc person_shape);
+
+  (* 6. JSON Schema: same constraint as a schema document, validated
+        both directly and through the Theorem 1 translation. *)
+  let schema =
+    Jschema.Parse.of_string_exn
+      {|{
+        "type": "object",
+        "required": ["name", "age"],
+        "properties": {
+          "name": { "type": "object", "required": ["first"] },
+          "age": { "type": "number", "minimum": 0, "maximum": 150 },
+          "hobbies": { "type": "array", "uniqueItems": true,
+                       "items": [{"type":"string"}, {"type":"string"}] }
+        }
+      }|}
+  in
+  Printf.printf "Schema validation (direct):  %b\n"
+    (Jschema.Validate.validates schema doc);
+  Printf.printf "Schema validation (via JSL): %b\n"
+    (Jsl_rec.validates doc (Jschema.To_jsl.document schema));
+
+  (* 7. And the schema is itself a JSON document. *)
+  print_endline "\nThe schema, as JSON:";
+  print_endline (Jsont.Printer.pretty (Jschema.Schema.to_value schema))

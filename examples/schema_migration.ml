@@ -1,0 +1,70 @@
+(* Schema migration: static analysis of schema evolution with the
+   satisfiability machinery (Propositions 7/10 — the paper argues
+   satisfiability matters precisely for tasks like this).
+
+   Given schema v1 and a proposed v2, we ask: is some document valid
+   under v1 but not under v2?  That is the satisfiability of
+   (v1 ∧ ¬v2) in JSL — a *breaking-change detector* with
+   counterexample documents.
+
+   Run with: dune exec examples/schema_migration.exe *)
+
+open Jlogic
+
+let v1_text =
+  {|{
+    "type": "object",
+    "required": ["id", "name"],
+    "properties": {
+      "id":   { "type": "number" },
+      "name": { "type": "string" },
+      "tags": { "type": "array", "additionalItems": { "type": "string" } }
+    }
+  }|}
+
+(* v2 tightens things: ids get an upper bound, tags must be unique, and
+   a new required field appears *)
+let v2_text =
+  {|{
+    "type": "object",
+    "required": ["id", "name", "version"],
+    "properties": {
+      "id":   { "type": "number", "maximum": 999999 },
+      "name": { "type": "string" },
+      "version": { "type": "number", "minimum": 2 },
+      "tags": { "type": "array", "uniqueItems": true,
+                "additionalItems": { "type": "string" } }
+    }
+  }|}
+
+let formula_of text =
+  (Jschema.To_jsl.document (Jschema.Parse.of_string_exn text)).Jsl_rec.base
+
+let breaking_change ~from_ ~to_ =
+  Contain.schema_compatible ~old_:(formula_of from_) ~new_:(formula_of to_) ()
+
+let () =
+  print_endline "v1 -> v2 migration analysis";
+  (match breaking_change ~from_:v1_text ~to_:v2_text with
+  | Contain.No witness ->
+    print_endline "BREAKING: a v1-valid document is rejected by v2, e.g.";
+    print_endline (Jsont.Printer.pretty witness)
+  | Contain.Yes -> print_endline "compatible: every v1 document validates under v2"
+  | Contain.Inconclusive m -> Printf.printf "inconclusive: %s\n" m);
+
+  (* the reverse direction: is v2 strictly stricter, or also looser
+     somewhere? *)
+  print_endline "\nv2 -> v1 (does v2 admit documents v1 rejected?)";
+  (match breaking_change ~from_:v2_text ~to_:v1_text with
+  | Contain.No witness ->
+    print_endline "yes — v2 admits documents outside v1, e.g.";
+    print_endline (Jsont.Printer.pretty witness)
+  | Contain.Yes -> print_endline "no — v2 ⊆ v1 (a pure tightening)"
+  | Contain.Inconclusive m -> Printf.printf "inconclusive: %s\n" m);
+
+  (* sanity: a vacuous migration is reported as compatible *)
+  print_endline "\nv1 -> v1 (sanity)";
+  match breaking_change ~from_:v1_text ~to_:v1_text with
+  | Contain.Yes -> print_endline "compatible, as expected"
+  | Contain.No w -> Printf.printf "unexpected witness: %s\n" (Jsont.Value.to_string w)
+  | Contain.Inconclusive m -> Printf.printf "inconclusive: %s\n" m

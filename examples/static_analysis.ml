@@ -1,0 +1,70 @@
+(* Static analysis: the satisfiability-powered toolbox — containment,
+   equivalence, simplification, structural diff, and a look inside the
+   Proposition 1 datalog compilation.
+
+   Run with: dune exec examples/static_analysis.exe *)
+
+open Jlogic
+module Value = Jsont.Value
+
+let () =
+  (* 1. Query containment with counterexamples. *)
+  let adults = Jsl.parse_exn "dia(/age/)(Int & Min(18))" in
+  let people = Jsl.parse_exn "dia(/age/)Int & dia(/name/)Str" in
+  print_endline "containment analysis:";
+  (match Contain.contained (Jsl.And (adults, people)) people with
+  | Contain.Yes -> print_endline "  adults∧people ⊑ people           yes"
+  | _ -> print_endline "  unexpected!");
+  (match Contain.contained people adults with
+  | Contain.No w ->
+    Printf.printf "  people ⊑ adults                  no, e.g. %s\n"
+      (Value.to_string w)
+  | _ -> print_endline "  unexpected!");
+  (match Contain.disjoint (Jsl.parse_exn "Str") (Jsl.parse_exn "MinCh(1)") with
+  | Contain.Yes -> print_endline "  Str disjoint from MinCh(1)      yes (atoms are leaves)"
+  | _ -> print_endline "  unexpected!");
+
+  (* 2. Simplification: machine-generated formulas get readable. *)
+  let noisy =
+    Jsl.parse_exn
+      "!!(dia(/k/)true & true) | (Str & Int) | box(/missing/)true | dia[5:2]Str"
+  in
+  Printf.printf "\nsimplify:\n  before: %s\n  after:  %s\n" (Jsl.to_string noisy)
+    (Jsl.to_string (Simplify.jsl noisy));
+  let noisy_jnl = Jnl.parse_exn "<eps eps .a eps> & !!true" in
+  Printf.printf "  before: %s\n  after:  %s\n"
+    (Jnl.to_string noisy_jnl)
+    (Jnl.to_string (Simplify.jnl noisy_jnl));
+
+  (* 3. Structural diff between document revisions. *)
+  let v1 =
+    Jsont.Parser.parse_exn
+      {|{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}|}
+  in
+  let v2 =
+    Jsont.Parser.parse_exn
+      {|{"name":{"first":"John","last":"Doe","title":"Dr"},"age":33,"hobbies":["fishing"]}|}
+  in
+  print_endline "\ndocument diff v1 -> v2:";
+  let script = Jsont.Diff.diff v1 v2 in
+  Format.printf "%a@." Jsont.Diff.pp script;
+  (match Jsont.Diff.apply script v1 with
+  | Ok v when Value.equal v v2 -> print_endline "patch verified: apply(diff) = v2"
+  | _ -> print_endline "patch failed!");
+
+  (* 4. The Proposition 1 machinery, visible: a deterministic JNL query
+        as a non-recursive monadic datalog program. *)
+  let phi = Jnl.parse_exn {|eq(.name.first, "John") & !<.archived>|} in
+  let tree = Jsont.Tree.of_value v1 in
+  let edb = Jdatalog.Edb.of_tree tree in
+  let program = Jdatalog.Compile.jnl edb phi in
+  Format.printf "@.the query  %s@.compiles to:@.%a@." (Jnl.to_string phi)
+    Jdatalog.Ast.pp_program program;
+  Printf.printf "monadic=%b recursive=%b\n"
+    (Jdatalog.Ast.is_monadic program)
+    (Jdatalog.Ast.is_recursive program);
+  match Jdatalog.Engine.query_nodes edb program with
+  | Ok nodes ->
+    Printf.printf "satisfied at %d node(s); at the root: %b\n" (List.length nodes)
+      (List.mem Jsont.Tree.root nodes)
+  | Error m -> print_endline m

@@ -1,0 +1,75 @@
+(* Streaming validation: the §6 conjecture in action.  A JSON-lines
+   feed is validated against a deterministic JSL schema without
+   building any tree — memory stays bounded by the formula, not the
+   documents.
+
+   Run with: dune exec examples/streaming_validation.exe *)
+
+module Value = Jsont.Value
+open Jlogic
+
+let () =
+  (* the shape every event must have *)
+  let event_schema =
+    Jsl.conj
+      [ Jsl.Test Jsl.Is_obj;
+        Jsl.dia_key "kind" (Jsl.Test Jsl.Is_str);
+        Jsl.dia_key "seq" (Jsl.Test (Jsl.Min 0));
+        Jsl.box_key "payload" (Jsl.Test (Jsl.Min_ch 0)) ]
+  in
+  (match Stream.supported event_schema with
+  | Ok () -> print_endline "schema is in the streamable deterministic fragment"
+  | Error m -> failwith ("not streamable: " ^ m));
+
+  (* build a feed: 1000 events, a few malformed *)
+  let rng = Jworkload.Prng.create 99 in
+  let event i =
+    let base =
+      [ ("kind", Value.Str (Jworkload.Prng.choose rng [ "click"; "view"; "buy" ]));
+        ("seq", Value.Num i);
+        ("payload", Jworkload.Gen_json.sized rng 40) ]
+    in
+    if i mod 97 = 0 then Value.Obj (List.remove_assoc "kind" base) (* corrupt *)
+    else Value.Obj base
+  in
+  let feed = List.init 1000 event in
+  let lines = List.map Value.to_string feed in
+  let bytes = List.fold_left (fun acc l -> acc + String.length l) 0 lines in
+  Printf.printf "feed: %d events, %d bytes\n" (List.length lines) bytes;
+
+  (* stream-validate every line *)
+  let valid = ref 0 and invalid = ref 0 and peak = ref 0 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun line ->
+      match Stream.validate_with_stats line event_schema with
+      | Ok (true, stats) ->
+        incr valid;
+        if stats.Stream.peak_obligations > !peak then
+          peak := stats.Stream.peak_obligations
+      | Ok (false, stats) ->
+        incr invalid;
+        if stats.Stream.peak_obligations > !peak then
+          peak := stats.Stream.peak_obligations
+      | Error m -> Printf.printf "lex/parse error: %s\n" m)
+    lines;
+  let dt = Sys.time () -. t0 in
+  Printf.printf "valid=%d invalid=%d  (%d corrupted on purpose)\n" !valid !invalid
+    (List.length (List.filter (fun i -> i mod 97 = 0) (List.init 1000 Fun.id)));
+  Printf.printf "throughput: %.1f MB/s, peak live obligations: %d\n"
+    (float_of_int bytes /. 1e6 /. dt)
+    !peak;
+
+  (* constants: even a single huge document needs no proportional memory *)
+  let huge =
+    Value.Obj
+      [ ("kind", Value.Str "bulk");
+        ("seq", Value.Num 1);
+        ("payload", Jworkload.Gen_json.sized (Jworkload.Prng.create 1) 200_000) ]
+  in
+  match Stream.validate_with_stats (Value.to_string huge) event_schema with
+  | Ok (ok, stats) ->
+    Printf.printf
+      "\n200k-value document: valid=%b, %d tokens, peak obligations still %d\n" ok
+      stats.Stream.tokens stats.Stream.peak_obligations
+  | Error m -> print_endline m

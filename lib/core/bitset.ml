@@ -1,0 +1,84 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n = { words = Array.make (words_for n) 0; n }
+
+let full n =
+  let t = { words = Array.make (words_for n) (-1); n } in
+  (* clear the bits beyond n in the last word *)
+  let rem = n mod bits_per_word in
+  if rem > 0 && Array.length t.words > 0 then
+    t.words.(Array.length t.words - 1) <- (1 lsl rem) - 1;
+  t
+
+let capacity t = t.n
+let mem t i = t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let copy t = { t with words = Array.copy t.words }
+
+let union_into s ~into =
+  let changed = ref false in
+  for w = 0 to Array.length s.words - 1 do
+    let v = into.words.(w) lor s.words.(w) in
+    if v <> into.words.(w) then begin
+      changed := true;
+      into.words.(w) <- v
+    end
+  done;
+  !changed
+
+let map2 f a b =
+  { a with words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement a =
+  let f = full a.n in
+  map2 (fun x y -> y land lnot x) a f
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let equal a b = a.n = b.n && a.words = b.words
+
+let cardinal t =
+  let count w =
+    let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+    go 0 w
+  in
+  Array.fold_left (fun acc w -> acc + count w) 0 t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,38 @@
+(** Dense sets of tree nodes.
+
+    Formula evaluation manipulates sets of node identifiers
+    [0 .. n-1]; this fixed-capacity bitset gives O(n/63) boolean
+    connectives and O(1) membership, which keeps the evaluation
+    algorithms of Propositions 1, 3 and 6 within their stated
+    bounds. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set of capacity [n]. *)
+
+val full : int -> t
+(** [full n] is [{0, …, n-1}]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val copy : t -> t
+
+val union_into : t -> into:t -> bool
+(** [union_into s ~into] adds [s] to [into]; returns [true] when [into]
+    changed (for fixpoint loops). *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+val pp : Format.formatter -> t -> unit

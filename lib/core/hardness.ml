@@ -1,0 +1,383 @@
+module Value = Jsont.Value
+
+(* ---- 3SAT → deterministic positive JNL (Proposition 2) ------------------- *)
+
+type lit = { var : int; positive : bool }
+type cnf = lit list list
+
+let var_key i = "p" ^ string_of_int i
+let fresh_key = "w"
+
+(* [pᵢ is an array] — it has a child at array position 1 *)
+let truthy i = Jnl.Exists (Jnl.Seq (Jnl.Key (var_key i), Jnl.Test (Jnl.Exists (Jnl.Idx 1))))
+
+(* [pᵢ is an object] — it has a child under the fresh key w *)
+let falsy i =
+  Jnl.Exists (Jnl.Seq (Jnl.Key (var_key i), Jnl.Test (Jnl.Exists (Jnl.Key fresh_key))))
+
+let cnf_to_jnl ~nvars cnf =
+  let thetas = List.init nvars (fun i -> Jnl.Or (truthy i, falsy i)) in
+  let clause c =
+    Jnl.disj (List.map (fun l -> if l.positive then truthy l.var else falsy l.var) c)
+  in
+  Jnl.conj (thetas @ List.map clause cnf)
+
+let assignment_doc a =
+  Value.Obj
+    (List.init (Array.length a) (fun i ->
+         ( var_key i,
+           if a.(i) then Value.Arr [ Value.Num 0; Value.Num 0 ]
+           else Value.Obj [ (fresh_key, Value.Num 0) ] )))
+
+(* DPLL reference oracle *)
+let dpll ~nvars cnf =
+  let assignment = Array.make nvars None in
+  let lit_value l =
+    match assignment.(l.var) with
+    | None -> None
+    | Some b -> Some (b = l.positive)
+  in
+  let rec solve cnf =
+    (* simplify: drop satisfied clauses, drop false literals *)
+    let simplified =
+      List.filter_map
+        (fun clause ->
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | l :: rest -> (
+              match lit_value l with
+              | Some true -> None (* clause satisfied *)
+              | Some false -> go acc rest
+              | None -> go (l :: acc) rest)
+          in
+          go [] clause)
+        cnf
+    in
+    if List.exists (fun c -> c = []) simplified then false
+    else
+      match simplified with
+      | [] -> true
+      | clauses -> (
+        (* unit propagation *)
+        match List.find_opt (fun c -> List.length c = 1) clauses with
+        | Some [ l ] ->
+          assignment.(l.var) <- Some l.positive;
+          let ok = solve clauses in
+          if not ok then assignment.(l.var) <- None;
+          ok
+        | _ -> (
+          (* branch on the first unassigned variable of the first clause *)
+          match clauses with
+          | (l :: _) :: _ ->
+            let v = l.var in
+            let try_value b =
+              assignment.(v) <- Some b;
+              let ok = solve clauses in
+              if not ok then assignment.(v) <- None;
+              ok
+            in
+            try_value true || try_value false
+          | _ -> assert false))
+  in
+  if solve cnf then
+    Some (Array.map (function Some b -> b | None -> false) assignment)
+  else None
+
+(* ---- QBF → JSL (Proposition 7) ------------------------------------------- *)
+
+type qbf = { prefix : [ `Forall | `Exists ] list; matrix : cnf }
+
+let key_x = Rexp.Syntax.literal "X"
+let key_t = Rexp.Syntax.literal "T"
+let key_f = Rexp.Syntax.literal "F"
+let key_tf = Rexp.Syntax.alt key_t key_f
+
+let dia e f = Jsl.Dia_keys (e, f)
+let box e f = Jsl.Box_keys (e, f)
+
+(* descend one full variable level: through the X edge, then through
+   whichever of T/F children exist *)
+let rec descend k f = if k = 0 then f else box key_x (box key_tf (descend (k - 1) f))
+
+let qbf_to_jsl q =
+  let n = List.length q.prefix in
+  let level k quantifier =
+    let choice =
+      match quantifier with
+      | `Forall -> Jsl.And (dia key_t Jsl.True, dia key_f Jsl.True)
+      | `Exists ->
+        Jsl.Or
+          ( Jsl.And (dia key_t Jsl.True, Jsl.Not (dia key_f Jsl.True)),
+            Jsl.And (Jsl.Not (dia key_t Jsl.True), dia key_f Jsl.True) )
+    in
+    descend k (Jsl.And (dia key_x Jsl.True, box key_x choice))
+  in
+  let tree_part = List.mapi level q.prefix in
+  (* the path reaching an assignment that falsifies clause [c]; a
+     clause containing complementary literals on the same variable is a
+     tautology — nothing falsifies it, so it contributes no conjunct *)
+  let falsify c =
+    let branch k =
+      let lits = List.filter (fun l -> l.var = k) c in
+      let pos = List.exists (fun l -> l.positive) lits in
+      let neg = List.exists (fun l -> not l.positive) lits in
+      match (pos, neg) with
+      | true, true -> None (* tautological clause *)
+      | true, false -> Some key_f
+      | false, true -> Some key_t
+      | false, false -> Some key_tf
+    in
+    let rec go k =
+      if k = n then Some Jsl.True
+      else
+        match (branch k, go (k + 1)) with
+        | Some b, Some rest -> Some (dia key_x (dia b rest))
+        | None, _ | _, None -> None
+    in
+    go 0
+  in
+  let clause_part =
+    List.filter_map
+      (fun c -> Option.map (fun f -> Jsl.Not f) (falsify c))
+      q.matrix
+  in
+  Jsl.conj (tree_part @ clause_part)
+
+let cnf_eval cnf a =
+  List.for_all
+    (fun clause ->
+      List.exists (fun l -> if l.positive then a.(l.var) else not a.(l.var)) clause)
+    cnf
+
+let qbf_eval q =
+  let n = List.length q.prefix in
+  let a = Array.make n false in
+  let prefix = Array.of_list q.prefix in
+  let rec go k =
+    if k = n then cnf_eval q.matrix a
+    else
+      match prefix.(k) with
+      | `Exists ->
+        a.(k) <- true;
+        go (k + 1)
+        ||
+        (a.(k) <- false;
+         go (k + 1))
+      | `Forall ->
+        a.(k) <- true;
+        go (k + 1)
+        &&
+        (a.(k) <- false;
+         go (k + 1))
+  in
+  go 0
+
+let assignment_tree q choose =
+  let n = List.length q.prefix in
+  let prefix = Array.of_list q.prefix in
+  let a = Array.make n false in
+  let rec build k =
+    if k = n then Value.Obj []
+    else
+      let branch b =
+        a.(k) <- b;
+        ((if b then "T" else "F"), build (k + 1))
+      in
+      let branches =
+        match prefix.(k) with
+        | `Forall -> [ branch true; branch false ]
+        | `Exists -> [ branch (choose k (Array.copy a)) ]
+      in
+      Value.Obj [ ("X", Value.Obj branches) ]
+  in
+  build 0
+
+(* ---- boolean circuits → recursive JSL (Proposition 9) -------------------- *)
+
+type gate =
+  | G_input of int
+  | G_and of int * int
+  | G_or of int * int
+  | G_not of int
+
+type circuit = { gates : gate array; output : int; n_inputs : int }
+
+let circuit_check c =
+  let bad = ref None in
+  Array.iteri
+    (fun j g ->
+      let check_ref i =
+        if i >= j then bad := Some (Printf.sprintf "gate %d references gate %d" j i)
+      in
+      match g with
+      | G_input i ->
+        if i < 0 || i >= c.n_inputs then
+          bad := Some (Printf.sprintf "gate %d reads invalid input %d" j i)
+      | G_and (a, b) | G_or (a, b) ->
+        check_ref a;
+        check_ref b
+      | G_not a -> check_ref a)
+    c.gates;
+  if c.output < 0 || c.output >= Array.length c.gates then
+    bad := Some "invalid output gate";
+  match !bad with None -> Ok () | Some m -> Error m
+
+let gate_sym j = "g" ^ string_of_int j
+let input_key i = "IN" ^ string_of_int i
+
+let circuit_to_jsl_rec c =
+  (match circuit_check c with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Hardness.circuit_to_jsl_rec: " ^ m));
+  let input i =
+    Jsl.Dia_keys
+      (Rexp.Syntax.literal (input_key i), Jsl.Test (Jsl.Pattern (Rexp.Syntax.literal "T")))
+  in
+  let defs =
+    Array.to_list
+      (Array.mapi
+         (fun j g ->
+           let body =
+             match g with
+             | G_input i -> input i
+             | G_and (a, b) -> Jsl.And (Jsl.Var (gate_sym a), Jsl.Var (gate_sym b))
+             | G_or (a, b) -> Jsl.Or (Jsl.Var (gate_sym a), Jsl.Var (gate_sym b))
+             | G_not a -> Jsl.Not (Jsl.Var (gate_sym a))
+           in
+           (gate_sym j, body))
+         c.gates)
+  in
+  Jsl_rec.make_exn ~defs ~base:(Jsl.Var (gate_sym c.output))
+
+let circuit_doc a =
+  Value.Obj
+    (List.init (Array.length a) (fun i ->
+         (input_key i, Value.Str (if a.(i) then "T" else "F"))))
+
+let circuit_eval c a =
+  let values = Array.make (Array.length c.gates) false in
+  Array.iteri
+    (fun j g ->
+      values.(j) <-
+        (match g with
+        | G_input i -> a.(i)
+        | G_and (x, y) -> values.(x) && values.(y)
+        | G_or (x, y) -> values.(x) || values.(y)
+        | G_not x -> not values.(x)))
+    c.gates;
+  values.(c.output)
+
+(* ---- two-counter machines → recursive JNL (Proposition 4) ---------------- *)
+
+type cm_instr =
+  | Incr of int * string
+  | Decr of int * string
+  | If_zero of int * string * string
+  | Halt
+
+type machine = {
+  states : (string * cm_instr) list;
+  start : string;
+  final : string;
+}
+
+let counter_key c = "c" ^ string_of_int c
+let zero_doc = Value.Str "0"
+
+let state_eq q = Jnl.Eq_doc (Jnl.Key "state", Value.Str q)
+let next_state_eq q = Jnl.Eq_doc (Jnl.seq [ Jnl.Key "next"; Jnl.Key "state" ], Value.Str q)
+
+let preserved c =
+  Jnl.Eq_paths
+    (Jnl.Key (counter_key c), Jnl.seq [ Jnl.Key "next"; Jnl.Key (counter_key c) ])
+
+let cm_to_jnl m =
+  let phi q instr =
+    match instr with
+    | Halt -> None
+    | Incr (c, q') ->
+      Some
+        (Jnl.conj
+           [ state_eq q;
+             next_state_eq q';
+             (* current counter = (next counter)'s a-child: next = cur+1 *)
+             Jnl.Eq_paths
+               ( Jnl.Key (counter_key c),
+                 Jnl.seq [ Jnl.Key "next"; Jnl.Key (counter_key c); Jnl.Key "a" ] );
+             preserved (1 - c) ])
+    | Decr (c, q') ->
+      Some
+        (Jnl.conj
+           [ state_eq q;
+             next_state_eq q';
+             Jnl.Eq_paths
+               ( Jnl.seq [ Jnl.Key (counter_key c); Jnl.Key "a" ],
+                 Jnl.seq [ Jnl.Key "next"; Jnl.Key (counter_key c) ] );
+             preserved (1 - c) ])
+    | If_zero (c, qz, qnz) ->
+      Some
+        (Jnl.conj
+           [ Jnl.Or
+               ( Jnl.conj
+                   [ Jnl.Eq_doc (Jnl.Key (counter_key c), zero_doc);
+                     state_eq q;
+                     next_state_eq qz ],
+                 Jnl.conj
+                   [ Jnl.Exists (Jnl.Seq (Jnl.Key (counter_key c), Jnl.Key "a"));
+                     state_eq q;
+                     next_state_eq qnz ] );
+             preserved 0;
+             preserved 1 ])
+  in
+  let trans = Jnl.disj (List.filter_map (fun (q, i) -> phi q i) m.states) in
+  let init =
+    Jnl.conj
+      [ Jnl.Eq_doc (Jnl.Key "c0", zero_doc);
+        Jnl.Eq_doc (Jnl.Key "c1", zero_doc);
+        Jnl.Eq_doc (Jnl.Key "state", Value.Str m.start) ]
+  in
+  let final = Jnl.Eq_doc (Jnl.Key "state", Value.Str m.final) in
+  Jnl.Exists
+    (Jnl.seq
+       [ Jnl.Test init;
+         Jnl.Star (Jnl.Seq (Jnl.Test trans, Jnl.Key "next"));
+         Jnl.Test final ])
+
+let cm_run m ~max_steps =
+  let rec go steps q c0 c1 acc =
+    let acc = (q, c0, c1) :: acc in
+    if q = m.final then Some (List.rev acc)
+    else if steps = 0 then None
+    else
+      match List.assoc_opt q m.states with
+      | None | Some Halt -> None
+      | Some (Incr (c, q')) ->
+        if c = 0 then go (steps - 1) q' (c0 + 1) c1 acc
+        else go (steps - 1) q' c0 (c1 + 1) acc
+      | Some (Decr (c, q')) ->
+        if c = 0 then if c0 = 0 then None else go (steps - 1) q' (c0 - 1) c1 acc
+        else if c1 = 0 then None
+        else go (steps - 1) q' c0 (c1 - 1) acc
+      | Some (If_zero (c, qz, qnz)) ->
+        let v = if c = 0 then c0 else c1 in
+        go (steps - 1) (if v = 0 then qz else qnz) c0 c1 acc
+  in
+  go max_steps m.start 0 0 []
+
+let rec counter_doc n =
+  if n = 0 then zero_doc else Value.Obj [ ("a", counter_doc (n - 1)) ]
+
+let cm_run_doc configs =
+  let rec build = function
+    | [] -> invalid_arg "Hardness.cm_run_doc: empty run"
+    | [ (q, c0, c1) ] ->
+      Value.Obj
+        [ ("state", Value.Str q); ("c0", counter_doc c0); ("c1", counter_doc c1) ]
+    | (q, c0, c1) :: rest ->
+      Value.Obj
+        [ ("state", Value.Str q);
+          ("c0", counter_doc c0);
+          ("c1", counter_doc c1);
+          ("next", build rest) ]
+  in
+  build configs

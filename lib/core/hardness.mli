@@ -1,0 +1,108 @@
+(** The constructive hardness reductions of the paper, with reference
+    oracles to cross-check them.
+
+    These are the instances the complexity lower bounds are built from;
+    the test suite and the benchmark harness verify on concrete inputs
+    that each reduction preserves (un)satisfiability / evaluation
+    results, and measure how the decision procedures scale on them.
+
+    - 3SAT → deterministic positive JNL (Proposition 2);
+    - QBF → JSL without [Unique] (Proposition 7);
+    - boolean circuits → well-formed recursive JSL (Proposition 9);
+    - two-counter machines → recursive JNL with [EQ(α,β)]
+      (Proposition 4; the reduction witnesses undecidability, so only
+      the forward direction — accepting run ⇒ satisfying document — is
+      checkable). *)
+
+(** {1 3SAT (Proposition 2)} *)
+
+type lit = { var : int; positive : bool }
+(** Variables are numbered [0 .. nvars-1]. *)
+
+type cnf = lit list list
+
+val cnf_to_jnl : nvars:int -> cnf -> Jnl.form
+(** The paper's encoding: variable [pᵢ] true ⟺ the value under key
+    [pᵢ] is an array ([⟨.pᵢ?(<\[1\]>)⟩]); false ⟺ it is an object with
+    the fresh key [w].  Positive, negation-free, deterministic. *)
+
+val assignment_doc : bool array -> Jsont.Value.t
+(** The document encoding a given assignment (satisfies
+    [cnf_to_jnl] iff the assignment satisfies the CNF). *)
+
+val dpll : nvars:int -> cnf -> bool array option
+(** Reference SAT oracle (DPLL with unit propagation); returns a
+    satisfying assignment when one exists. *)
+
+(** {1 QBF (Proposition 7)} *)
+
+type qbf = { prefix : [ `Forall | `Exists ] list; matrix : cnf }
+(** [prefix] quantifies variables [0, 1, …] in order; the matrix is a
+    CNF over them. *)
+
+val qbf_to_jsl : qbf -> Jsl.t
+(** The Benedikt–Fan–Geerts-style encoding from the proof of
+    Proposition 7: models are assignment trees alternating an [X] level
+    and a [T]/[F] level per variable ([T] and [F] children both present
+    under universal variables, exactly one under existential ones), and
+    each clause contributes the negation of its falsifying-path
+    formula.  Uses no [Unique]. *)
+
+val qbf_eval : qbf -> bool
+(** Reference oracle (exponential expansion). *)
+
+val assignment_tree : qbf -> (int -> bool array -> bool) -> Jsont.Value.t
+(** [assignment_tree q choose] materializes an assignment tree; for the
+    existential variable [i] under partial assignment [a] the branch
+    kept is [choose i a].  Used to build concrete models/countermodels
+    in tests. *)
+
+(** {1 Boolean circuits (Proposition 9)} *)
+
+type gate =
+  | G_input of int  (** input number [0 .. n_inputs-1] *)
+  | G_and of int * int  (** indices of earlier gates *)
+  | G_or of int * int
+  | G_not of int
+
+type circuit = { gates : gate array; output : int; n_inputs : int }
+(** Gates may only reference strictly smaller indices (checked). *)
+
+val circuit_check : circuit -> (unit, string) result
+
+val circuit_to_jsl_rec : circuit -> Jsl_rec.t
+(** One definition γⱼ per gate, referenced {e outside} modal operators
+    (legal: the circuit is acyclic, hence so is the precedence graph);
+    inputs read [◇_INᵢ Pattern(T)] off the document. *)
+
+val circuit_doc : bool array -> Jsont.Value.t
+(** [{"IN0": "T"/"F", …}]. *)
+
+val circuit_eval : circuit -> bool array -> bool
+(** Reference oracle. *)
+
+(** {1 Two-counter machines (Proposition 4)} *)
+
+type cm_instr =
+  | Incr of int * string  (** increment counter (0 or 1), go to state *)
+  | Decr of int * string
+  | If_zero of int * string * string
+      (** if the counter is zero go to the first state, else the second *)
+  | Halt
+
+type machine = {
+  states : (string * cm_instr) list;
+  start : string;
+  final : string;
+}
+
+val cm_to_jnl : machine -> Jnl.form
+(** The Proposition 4 formula: uses [Star], [EQ(α,β)] and no
+    negation. *)
+
+val cm_run : machine -> max_steps:int -> (string * int * int) list option
+(** Simulate; [Some configs] when the machine reaches [final] within
+    [max_steps], as a list of (state, c0, c1) configurations. *)
+
+val cm_run_doc : (string * int * int) list -> Jsont.Value.t
+(** Encode a run as the chained-configuration document of the proof. *)

@@ -1,0 +1,435 @@
+type path =
+  | Self
+  | Key of string
+  | Idx of int
+  | Keys of Rexp.Syntax.t
+  | Range of int * int option
+  | Seq of path * path
+  | Test of form
+  | Star of path
+  | Alt of path * path
+
+and form =
+  | True
+  | Not of form
+  | And of form * form
+  | Or of form * form
+  | Exists of path
+  | Eq_doc of path * Jsont.Value.t
+  | Eq_paths of path * path
+
+let ff = Not True
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc f -> And (acc, f)) f fs
+
+let disj = function
+  | [] -> ff
+  | f :: fs -> List.fold_left (fun acc f -> Or (acc, f)) f fs
+
+let seq = function
+  | [] -> Self
+  | p :: ps -> List.fold_left (fun acc p -> Seq (acc, p)) p ps
+
+type fragment = {
+  deterministic : bool;
+  recursive : bool;
+  uses_eq_paths : bool;
+  uses_negation : bool;
+}
+
+let top_fragment =
+  { deterministic = true;
+    recursive = false;
+    uses_eq_paths = false;
+    uses_negation = false }
+
+let merge a b =
+  { deterministic = a.deterministic && b.deterministic;
+    recursive = a.recursive || b.recursive;
+    uses_eq_paths = a.uses_eq_paths || b.uses_eq_paths;
+    uses_negation = a.uses_negation || b.uses_negation }
+
+let rec classify_path = function
+  | Self | Key _ | Idx _ -> top_fragment
+  | Keys _ | Range _ -> { top_fragment with deterministic = false }
+  | Seq (a, b) -> merge (classify_path a) (classify_path b)
+  | Alt (a, b) ->
+    { (merge (classify_path a) (classify_path b)) with deterministic = false }
+  | Test f -> classify f
+  | Star a ->
+    let f = classify_path a in
+    { f with deterministic = false; recursive = true }
+
+and classify = function
+  | True -> top_fragment
+  | Not f -> { (classify f) with uses_negation = true }
+  | And (a, b) | Or (a, b) -> merge (classify a) (classify b)
+  | Exists p -> classify_path p
+  | Eq_doc (p, _) -> classify_path p
+  | Eq_paths (a, b) ->
+    { (merge (classify_path a) (classify_path b)) with uses_eq_paths = true }
+
+let rec path_size = function
+  | Self | Key _ | Idx _ | Range _ -> 1
+  | Keys e -> Rexp.Syntax.size e
+  | Seq (a, b) | Alt (a, b) -> 1 + path_size a + path_size b
+  | Test f -> 1 + size f
+  | Star a -> 1 + path_size a
+
+and size = function
+  | True -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Exists p -> 1 + path_size p
+  | Eq_doc (p, v) -> 1 + path_size p + Jsont.Value.size v
+  | Eq_paths (a, b) -> 1 + path_size a + path_size b
+
+let compare : form -> form -> int = Stdlib.compare
+let equal a b = compare a b = 0
+
+(* ---- pretty printing --------------------------------------------------- *)
+
+let is_bare_key k =
+  k <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       k
+
+let rec pp_path fmt = function
+  | Alt (a, b) -> Format.fprintf fmt "%a|%a" pp_path_seq a pp_path b
+  | p -> pp_path_seq fmt p
+
+and pp_path_seq fmt = function
+  | Seq (a, b) ->
+    pp_path_seq fmt a;
+    pp_step fmt b
+  | p -> pp_step fmt p
+
+and pp_step fmt = function
+  | Self -> Format.pp_print_string fmt "eps"
+  | Key k when is_bare_key k -> Format.fprintf fmt ".%s" k
+  | Key k -> Format.fprintf fmt ".%s" (Jsont.Value.to_string (Jsont.Value.Str k))
+  | Idx i -> Format.fprintf fmt "[%d]" i
+  | Keys e -> Format.fprintf fmt ".~/%s/" (Rexp.Syntax.to_string e)
+  | Range (i, None) -> Format.fprintf fmt "[%d:*]" i
+  | Range (i, Some j) -> Format.fprintf fmt "[%d:%d]" i j
+  | Test f -> Format.fprintf fmt "?(%a)" pp f
+  | Star p -> Format.fprintf fmt "(%a)*" pp_path p
+  | (Seq _ | Alt _) as p -> Format.fprintf fmt "(%a)" pp_path p
+
+and pp fmt = function
+  | Or (a, b) -> Format.fprintf fmt "%a | %a" pp_and a pp b
+  | f -> pp_and fmt f
+
+and pp_and fmt = function
+  | And (a, b) -> Format.fprintf fmt "%a & %a" pp_atom a pp_and b
+  | f -> pp_atom fmt f
+
+and pp_atom fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Not True -> Format.pp_print_string fmt "false"
+  | Not f -> Format.fprintf fmt "!%a" pp_atom f
+  | Exists p -> Format.fprintf fmt "<%a>" pp_path p
+  | Eq_doc (p, v) ->
+    Format.fprintf fmt "eq(%a, %s)" pp_path p (Jsont.Value.to_string v)
+  | Eq_paths (a, b) -> Format.fprintf fmt "eq(%a, %a)" pp_path a pp_path b
+  | (And _ | Or _) as f -> Format.fprintf fmt "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+let path_to_string p = Format.asprintf "%a" pp_path p
+
+(* ---- parser ------------------------------------------------------------ *)
+
+exception Bad of string
+
+type parse_state = { input : string; mutable pos : int }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun s -> raise (Bad (Printf.sprintf "at offset %d: %s" st.pos s)))
+    fmt
+
+let peek_char st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | _ -> ()
+
+let eat st c =
+  skip_ws st;
+  match peek_char st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st "expected %C, found %C" c c'
+  | None -> fail st "expected %C, found end of input" c
+
+let looking_at st s =
+  st.pos + String.length s <= String.length st.input
+  && String.sub st.input st.pos (String.length s) = s
+
+let parse_int st =
+  skip_ws st;
+  let start = st.pos in
+  if peek_char st = Some '-' then st.pos <- st.pos + 1;
+  while
+    match peek_char st with Some ('0' .. '9') -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start || (st.pos = start + 1 && st.input.[start] = '-') then
+    fail st "expected an integer";
+  int_of_string (String.sub st.input start (st.pos - start))
+
+let parse_bare_key st =
+  let start = st.pos in
+  while
+    match peek_char st with
+    | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-') -> true
+    | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a key";
+  String.sub st.input start (st.pos - start)
+
+let parse_json st =
+  skip_ws st;
+  match Jsont.Parser.parse_prefix st.input st.pos with
+  | Ok (v, next) ->
+    st.pos <- next;
+    v
+  | Error e -> fail st "bad JSON document: %s" e.Jsont.Parser.message
+
+let parse_regex_literal st =
+  eat st '/';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> fail st "unterminated /regex/ literal"
+    | Some '/' -> st.pos <- st.pos + 1
+    | Some '\\' when st.pos + 1 < String.length st.input
+                     && st.input.[st.pos + 1] = '/' ->
+      Buffer.add_char buf '/';
+      st.pos <- st.pos + 2;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  match Rexp.Parse.parse (Buffer.contents buf) with
+  | Ok e -> e
+  | Error m -> fail st "bad regex: %s" m
+
+(* Does a JSON document (rather than a path) start here?  Paths start
+   with '.', '[', '?', '(', 'eps'; JSON with '{', '"', a digit, '['...
+   '[' is ambiguous: as a path step it is [int] or [int:...], as JSON it
+   is an array.  We disambiguate '[' by what follows the integer. *)
+let rec starts_json st =
+  skip_ws st;
+  match peek_char st with
+  | Some ('{' | '"') -> true
+  | Some ('0' .. '9') -> true
+  | Some '[' -> (
+    (* lookahead: [int] or [int:...] is a path step; anything else is JSON *)
+    let saved = st.pos in
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    let is_path =
+      match peek_char st with
+      | Some ('0' .. '9' | '-') -> (
+        match parse_int st with
+        | _ ->
+          skip_ws st;
+          (match peek_char st with Some (']' | ':') -> true | _ -> false)
+        | exception Bad _ -> false)
+      | _ -> false
+    in
+    st.pos <- saved;
+    not is_path)
+  | _ -> false
+
+and parse_form st =
+  let left = parse_and st in
+  skip_ws st;
+  match peek_char st with
+  | Some '|' ->
+    st.pos <- st.pos + 1;
+    Or (left, parse_form st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_form_atom st in
+  skip_ws st;
+  match peek_char st with
+  | Some '&' ->
+    st.pos <- st.pos + 1;
+    And (left, parse_and st)
+  | _ -> left
+
+and parse_form_atom st =
+  skip_ws st;
+  match peek_char st with
+  | Some '!' ->
+    st.pos <- st.pos + 1;
+    Not (parse_form_atom st)
+  | Some '<' ->
+    st.pos <- st.pos + 1;
+    let p = parse_path_expr st in
+    eat st '>';
+    Exists p
+  | Some '(' ->
+    st.pos <- st.pos + 1;
+    let f = parse_form st in
+    eat st ')';
+    f
+  | Some 't' when looking_at st "true" ->
+    st.pos <- st.pos + 4;
+    True
+  | Some 'f' when looking_at st "false" ->
+    st.pos <- st.pos + 5;
+    ff
+  | Some 'e' when looking_at st "eq(" ->
+    st.pos <- st.pos + 3;
+    let a = parse_path_expr st in
+    eat st ',';
+    if starts_json st then begin
+      let v = parse_json st in
+      eat st ')';
+      Eq_doc (a, v)
+    end
+    else begin
+      let b = parse_path_expr st in
+      eat st ')';
+      Eq_paths (a, b)
+    end
+  | Some c -> fail st "unexpected %C in formula" c
+  | None -> fail st "unexpected end of formula"
+
+and parse_path_expr st =
+  let left = parse_path_seq st in
+  skip_ws st;
+  match peek_char st with
+  | Some '|' ->
+    st.pos <- st.pos + 1;
+    Alt (left, parse_path_expr st)
+  | _ -> left
+
+and parse_path_seq st =
+  let first = parse_path_step st in
+  let rec go acc =
+    skip_ws st;
+    match peek_char st with
+    | Some ('.' | '[' | '?') -> go (Seq (acc, parse_path_step st))
+    | Some '(' -> go (Seq (acc, parse_path_step st))
+    | Some '/' ->
+      st.pos <- st.pos + 1;
+      go (Seq (acc, parse_path_step st))
+    | Some 'e' when looking_at st "eps" -> go (Seq (acc, parse_path_step st))
+    | _ -> acc
+  in
+  go first
+
+and parse_path_step st =
+  skip_ws st;
+  let atom =
+    match peek_char st with
+    | Some '.' ->
+      st.pos <- st.pos + 1;
+      (match peek_char st with
+      | Some '~' ->
+        st.pos <- st.pos + 1;
+        Keys (parse_regex_literal st)
+      | Some '"' ->
+        let v = parse_json st in
+        (match v with
+        | Jsont.Value.Str k -> Key k
+        | _ -> fail st "expected a string key")
+      | _ -> Key (parse_bare_key st))
+    | Some '[' ->
+      st.pos <- st.pos + 1;
+      let i = parse_int st in
+      skip_ws st;
+      (match peek_char st with
+      | Some ']' ->
+        st.pos <- st.pos + 1;
+        Idx i
+      | Some ':' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        (match peek_char st with
+        | Some '*' ->
+          st.pos <- st.pos + 1;
+          eat st ']';
+          Range (i, None)
+        | _ ->
+          let j = parse_int st in
+          eat st ']';
+          Range (i, Some j))
+      | _ -> fail st "expected ']' or ':'")
+    | Some '?' ->
+      st.pos <- st.pos + 1;
+      eat st '(';
+      let f = parse_form st in
+      eat st ')';
+      Test f
+    | Some '(' ->
+      st.pos <- st.pos + 1;
+      let p = parse_path_expr st in
+      eat st ')';
+      p
+    | Some 'e' when looking_at st "eps" ->
+      st.pos <- st.pos + 3;
+      Self
+    | Some c -> fail st "unexpected %C in path" c
+    | None -> fail st "unexpected end of path"
+  in
+  (* postfix stars *)
+  let rec stars acc =
+    skip_ws st;
+    match peek_char st with
+    | Some '*' ->
+      st.pos <- st.pos + 1;
+      stars (Star acc)
+    | _ -> acc
+  in
+  stars atom
+
+let run_parser f input =
+  let st = { input; pos = 0 } in
+  let result = f st in
+  skip_ws st;
+  (match peek_char st with
+  | None -> ()
+  | Some c -> fail st "trailing %C" c);
+  result
+
+let parse input =
+  match run_parser parse_form input with
+  | f -> Ok f
+  | exception Bad m -> Error m
+
+let parse_exn input =
+  match parse input with
+  | Ok f -> f
+  | Error m -> invalid_arg ("Jnl.parse_exn: " ^ m)
+
+let parse_path input =
+  match run_parser parse_path_expr input with
+  | p -> Ok p
+  | exception Bad m -> Error m
+
+let parse_path_exn input =
+  match parse_path input with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Jnl.parse_path_exn: " ^ m)

@@ -1,0 +1,101 @@
+(** Abstract syntax of the JSON Navigational Logic (JNL) of Section 4.
+
+    The logic is two-sorted (Definition 1): {e binary} formulas
+    ({!path}) select pairs of nodes — they navigate — and {e unary}
+    formulas ({!form}) select nodes — they test.
+
+    The deterministic core of §4.2 uses [Self], [Key], [Idx], [Seq] and
+    [Test]; the extensions of §4.3 add non-determinism ([Keys],
+    [Range]) and recursion ([Star]).  [Alt] (union of paths) is a
+    conservative convenience extension beyond the paper's grammar —
+    PDL-style path union, needed to express JSONPath's "any child" and
+    recursive-descent axes over trees that mix objects and arrays; it
+    adds no expressive power over the formula-level [Or] for the unary
+    fragment and is flagged by {!classify} like the other
+    non-deterministic constructs. *)
+
+type path =
+  | Self  (** ε — stay at the current node *)
+  | Key of string  (** [X_w]: follow the object edge labelled [w] *)
+  | Idx of int
+      (** [X_i]: follow array edge [i]; negative [i] addresses from the
+          end ([-1] = last), the dual operator remarked after Def. 1 *)
+  | Keys of Rexp.Syntax.t  (** [X_e]: any object edge with label in L(e) *)
+  | Range of int * int option
+      (** [X_{i:j}]: any array edge [p] with [i ≤ p ≤ j];
+          [None] is [+∞] *)
+  | Seq of path * path  (** [α ∘ β] — composition *)
+  | Test of form  (** [⟨ϕ⟩] — filter the current node *)
+  | Star of path  (** [(α)*] — reflexive-transitive closure *)
+  | Alt of path * path  (** path union (extension, see above) *)
+
+and form =
+  | True  (** ⊤ *)
+  | Not of form
+  | And of form * form
+  | Or of form * form
+  | Exists of path
+      (** [\[α\]] — some [α]-successor exists from the current node *)
+  | Eq_doc of path * Jsont.Value.t
+      (** [EQ(α, A)] — some [α]-successor's subtree equals document [A] *)
+  | Eq_paths of path * path
+      (** [EQ(α, β)] — some [α]- and [β]-successors carry equal
+          subtrees *)
+
+val ff : form
+(** ⊥, sugar for [Not True]. *)
+
+val conj : form list -> form
+val disj : form list -> form
+val seq : path list -> path
+
+(** {1 Classification}
+
+    The complexity results of the paper are parameterized by which
+    constructs occur; {!classify} computes the relevant fragment
+    flags. *)
+
+type fragment = {
+  deterministic : bool;
+      (** no [Keys], [Range], [Star] or [Alt] — the logic of §4.2 *)
+  recursive : bool;  (** uses [Star] *)
+  uses_eq_paths : bool;  (** uses the binary equality [EQ(α,β)] *)
+  uses_negation : bool;
+}
+
+val classify : form -> fragment
+val classify_path : path -> fragment
+
+val size : form -> int
+(** AST size, the |ϕ| of the complexity statements. *)
+
+val path_size : path -> int
+
+val compare : form -> form -> int
+val equal : form -> form -> bool
+
+(** {1 Concrete syntax}
+
+    {v
+      form ::= 'true' | 'false' | '!' form | form '&' form | form '|' form
+             | '<' path '>'                    (the paper's [α])
+             | 'eq(' path ',' json ')' | 'eq(' path ',' path ')'
+             | '(' form ')'
+      path ::= step+ ('/' optional between steps)
+      step ::= '.' key | '.~' '/' regex '/' | '[' int ']'
+             | '[' int ':' (int | '*') ']' | '?(' form ')' | 'eps'
+             | '(' path ')' | step '*'
+    v}
+
+    Examples: [<.name.first>], [eq(.age, 32)],
+    [<.hobbies[0:*]?(eq(eps,"yoga"))>], [<(.~/.*/)*.id>]. *)
+
+val pp : Format.formatter -> form -> unit
+val pp_path : Format.formatter -> path -> unit
+val to_string : form -> string
+val path_to_string : path -> string
+
+val parse : string -> (form, string) result
+val parse_exn : string -> form
+val parse_path : string -> (path, string) result
+val parse_path_exn : string -> path

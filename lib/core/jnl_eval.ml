@@ -1,0 +1,272 @@
+module Tree = Jsont.Tree
+
+type ctx = {
+  t : Tree.t;
+  memo : (Jnl.form, Bitset.t) Hashtbl.t;
+  langs : (Rexp.Syntax.t, Rexp.Lang.t) Hashtbl.t;
+}
+
+let context t = { t; memo = Hashtbl.create 16; langs = Hashtbl.create 8 }
+let tree ctx = ctx.t
+
+let lang ctx e =
+  match Hashtbl.find_opt ctx.langs e with
+  | Some l -> l
+  | None ->
+    let l = Rexp.Lang.of_syntax e in
+    Hashtbl.add ctx.langs e l;
+    l
+
+let n_nodes ctx = Tree.node_count ctx.t
+
+(* Does the incoming edge of [child] match one navigation step?  Array
+   steps may use negative indices (from the end). *)
+let edge_matches_idx ctx child i =
+  match Tree.edge_from_parent ctx.t child with
+  | Tree.Pos j ->
+    if i >= 0 then j = i
+    else begin
+      match Tree.parent ctx.t child with
+      | Some p -> j = Tree.arity ctx.t p + i
+      | None -> false
+    end
+  | Tree.Key _ | Tree.Root -> false
+
+let edge_matches_range ctx child i j =
+  match Tree.edge_from_parent ctx.t child with
+  | Tree.Pos p -> p >= i && (match j with None -> true | Some j -> p <= j)
+  | Tree.Key _ | Tree.Root -> false
+
+let edge_matches_key ctx child w =
+  match Tree.edge_from_parent ctx.t child with
+  | Tree.Key k -> String.equal k w
+  | Tree.Pos _ | Tree.Root -> false
+
+let edge_matches_keys ctx child l =
+  match Tree.edge_from_parent ctx.t child with
+  | Tree.Key k -> Rexp.Lang.matches l k
+  | Tree.Pos _ | Tree.Root -> false
+
+(* ---- set-at-a-time evaluation ------------------------------------------ *)
+
+(* [pre_exists ctx α target] = { n | ∃n' . (n,n') ∈ ⟦α⟧ ∧ n' ∈ target } *)
+let rec pre_exists ctx (p : Jnl.path) target =
+  match p with
+  | Jnl.Self -> target
+  | Jnl.Key w ->
+    let out = Bitset.create (n_nodes ctx) in
+    Bitset.iter
+      (fun child ->
+        if edge_matches_key ctx child w then
+          match Tree.parent ctx.t child with
+          | Some par -> Bitset.add out par
+          | None -> ())
+      target;
+    out
+  | Jnl.Keys e ->
+    let l = lang ctx e in
+    let out = Bitset.create (n_nodes ctx) in
+    Bitset.iter
+      (fun child ->
+        if edge_matches_keys ctx child l then
+          match Tree.parent ctx.t child with
+          | Some par -> Bitset.add out par
+          | None -> ())
+      target;
+    out
+  | Jnl.Idx i ->
+    let out = Bitset.create (n_nodes ctx) in
+    Bitset.iter
+      (fun child ->
+        if edge_matches_idx ctx child i then
+          match Tree.parent ctx.t child with
+          | Some par -> Bitset.add out par
+          | None -> ())
+      target;
+    out
+  | Jnl.Range (i, j) ->
+    let out = Bitset.create (n_nodes ctx) in
+    Bitset.iter
+      (fun child ->
+        if edge_matches_range ctx child i j then
+          match Tree.parent ctx.t child with
+          | Some par -> Bitset.add out par
+          | None -> ())
+      target;
+    out
+  | Jnl.Seq (a, b) -> pre_exists ctx a (pre_exists ctx b target)
+  | Jnl.Alt (a, b) ->
+    Bitset.union (pre_exists ctx a target) (pre_exists ctx b target)
+  | Jnl.Test f -> Bitset.inter target (eval ctx f)
+  | Jnl.Star a ->
+    (* least fixpoint S ⊇ target with pre(a, S) ⊆ S; converges within
+       height(J) iterations because ⟦a⟧ only relates ancestors to
+       descendants *)
+    let s = Bitset.copy target in
+    let continue = ref true in
+    while !continue do
+      let s' = pre_exists ctx a s in
+      continue := Bitset.union_into s' ~into:s
+    done;
+    s
+
+and eval ctx (f : Jnl.form) =
+  match Hashtbl.find_opt ctx.memo f with
+  | Some s -> s
+  | None ->
+    let result =
+      match f with
+      | Jnl.True -> Bitset.full (n_nodes ctx)
+      | Jnl.Not g -> Bitset.complement (eval ctx g)
+      | Jnl.And (a, b) -> Bitset.inter (eval ctx a) (eval ctx b)
+      | Jnl.Or (a, b) -> Bitset.union (eval ctx a) (eval ctx b)
+      | Jnl.Exists p -> pre_exists ctx p (Bitset.full (n_nodes ctx))
+      | Jnl.Eq_doc (p, v) -> pre_exists ctx p (nodes_equal_to ctx v)
+      | Jnl.Eq_paths (a, b) ->
+        let out = Bitset.create (n_nodes ctx) in
+        Seq.iter
+          (fun n -> if eq_paths_at ctx n a b then Bitset.add out n)
+          (Tree.nodes ctx.t);
+        out
+    in
+    Hashtbl.replace ctx.memo f result;
+    result
+
+(* nodes whose subtree equals the constant document [v] *)
+and nodes_equal_to ctx v =
+  let out = Bitset.create (n_nodes ctx) in
+  let vt = Tree.of_value v in
+  let h = Tree.subtree_hash vt Tree.root in
+  Seq.iter
+    (fun n ->
+      if Tree.subtree_hash ctx.t n = h && Tree.equal_across ctx.t n vt Tree.root
+      then Bitset.add out n)
+    (Tree.nodes ctx.t);
+  out
+
+and eq_paths_at ctx n a b =
+  let sa = succs ctx a n in
+  match sa with
+  | [] -> false
+  | _ ->
+    let by_hash = Hashtbl.create (List.length sa) in
+    List.iter
+      (fun m -> Hashtbl.add by_hash (Tree.subtree_hash ctx.t m) m)
+      sa;
+    List.exists
+      (fun m ->
+        List.exists
+          (fun m' -> Tree.equal_subtrees ctx.t m m')
+          (Hashtbl.find_all by_hash (Tree.subtree_hash ctx.t m)))
+      (succs ctx b n)
+
+(* ---- successor enumeration --------------------------------------------- *)
+
+and succs ctx (p : Jnl.path) n =
+  match p with
+  | Jnl.Self -> [ n ]
+  | Jnl.Key w -> Option.to_list (Tree.lookup ctx.t n w)
+  | Jnl.Idx i -> Option.to_list (Tree.nth ctx.t n i)
+  | Jnl.Keys e ->
+    let l = lang ctx e in
+    List.filter_map
+      (fun (k, c) -> if Rexp.Lang.matches l k then Some c else None)
+      (Tree.obj_children ctx.t n)
+  | Jnl.Range (i, j) ->
+    let kids = Tree.arr_children ctx.t n in
+    let hi =
+      match j with
+      | None -> Array.length kids - 1
+      | Some j -> min j (Array.length kids - 1)
+    in
+    let lo = max 0 i in
+    if hi < lo then []
+    else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
+  | Jnl.Seq (a, b) ->
+    let out = List.concat_map (succs ctx b) (succs ctx a n) in
+    List.sort_uniq Int.compare out
+  | Jnl.Alt (a, b) ->
+    List.sort_uniq Int.compare (succs ctx a n @ succs ctx b n)
+  | Jnl.Test f -> if holds ctx n f then [ n ] else []
+  | Jnl.Star a ->
+    (* BFS closure *)
+    let seen = Hashtbl.create 16 in
+    let rec visit acc = function
+      | [] -> acc
+      | m :: rest ->
+        if Hashtbl.mem seen m then visit acc rest
+        else begin
+          Hashtbl.add seen m ();
+          visit (m :: acc) (succs ctx a m @ rest)
+        end
+    in
+    List.sort Int.compare (visit [] [ n ])
+
+and holds ctx n f = Bitset.mem (eval ctx f) n
+
+(* ---- single-node, short-circuiting check -------------------------------- *)
+
+(* [find_succ ctx α n pred] — is there an α-successor of n satisfying
+   [pred]?  CPS style so Seq short-circuits. *)
+let rec find_succ ctx (p : Jnl.path) n pred =
+  match p with
+  | Jnl.Self -> pred n
+  | Jnl.Key w -> (
+    match Tree.lookup ctx.t n w with Some c -> pred c | None -> false)
+  | Jnl.Idx i -> (
+    match Tree.nth ctx.t n i with Some c -> pred c | None -> false)
+  | Jnl.Keys e ->
+    let l = lang ctx e in
+    List.exists
+      (fun (k, c) -> Rexp.Lang.matches l k && pred c)
+      (Tree.obj_children ctx.t n)
+  | Jnl.Range (i, j) ->
+    let kids = Tree.arr_children ctx.t n in
+    let hi =
+      match j with
+      | None -> Array.length kids - 1
+      | Some j -> min j (Array.length kids - 1)
+    in
+    let lo = max 0 i in
+    let rec go k = k <= hi && (pred kids.(k) || go (k + 1)) in
+    go lo
+  | Jnl.Seq (a, b) -> find_succ ctx a n (fun m -> find_succ ctx b m pred)
+  | Jnl.Alt (a, b) -> find_succ ctx a n pred || find_succ ctx b n pred
+  | Jnl.Test f -> check_at ctx n f && pred n
+  | Jnl.Star a ->
+    let seen = Hashtbl.create 16 in
+    let rec visit m =
+      if Hashtbl.mem seen m then false
+      else begin
+        Hashtbl.add seen m ();
+        pred m || find_succ ctx a m visit
+      end
+    in
+    visit n
+
+and check_at ctx n (f : Jnl.form) =
+  match f with
+  | Jnl.True -> true
+  | Jnl.Not g -> not (check_at ctx n g)
+  | Jnl.And (a, b) -> check_at ctx n a && check_at ctx n b
+  | Jnl.Or (a, b) -> check_at ctx n a || check_at ctx n b
+  | Jnl.Exists p -> find_succ ctx p n (fun _ -> true)
+  | Jnl.Eq_doc (p, v) ->
+    find_succ ctx p n (fun m -> Tree.equal_to_value ctx.t m v)
+  | Jnl.Eq_paths (a, b) -> eq_paths_at ctx n a b
+
+let eval_pairs ctx p =
+  Seq.fold_left
+    (fun acc n ->
+      List.fold_left (fun acc m -> (n, m) :: acc) acc (List.rev (succs ctx p n)))
+    [] (Tree.nodes ctx.t)
+  |> List.rev
+
+let select v p =
+  let t = Tree.of_value v in
+  let ctx = context t in
+  List.map (Tree.value_at t) (succs ctx p Tree.root)
+
+let satisfies v f =
+  let ctx = context (Tree.of_value v) in
+  check_at ctx Tree.root f

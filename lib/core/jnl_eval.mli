@@ -1,0 +1,50 @@
+(** Evaluation of JNL over JSON trees (Propositions 1 and 3).
+
+    Two evaluation strategies are provided:
+
+    - {!eval} computes the full satisfaction set [⟦ϕ⟧_J] bottom-up over
+      the formula, with node sets as bitsets and path pre-images
+      computed set-at-a-time.  Boolean connectives and single navigation
+      steps cost O(|J|); [Star] adds a fixpoint bounded by the tree
+      height; [Eq_paths] falls back to per-node successor enumeration
+      with hash-indexed subtree comparison — matching the O(|J|·|ϕ|)
+      bound of Proposition 1 on the EQ(α,β)-free fragment and the
+      higher-degree polynomial of Proposition 3 with it.
+
+    - {!check_at} decides [n ∈ ⟦ϕ⟧_J] top-down with short-circuiting
+      and no global set computation — the lightweight engine behind the
+      MongoDB-find and JSONPath front ends, which evaluate filters at
+      one node at a time.
+
+    Both agree (property-tested). *)
+
+type ctx
+(** Evaluation context: the tree plus memo tables (per-subformula
+    satisfaction sets, compiled regular expressions). *)
+
+val context : Jsont.Tree.t -> ctx
+val tree : ctx -> Jsont.Tree.t
+
+val eval : ctx -> Jnl.form -> Bitset.t
+(** [⟦ϕ⟧_J] as a set of nodes.  Memoized per context. *)
+
+val holds : ctx -> Jsont.Tree.node -> Jnl.form -> bool
+(** [holds ctx n ϕ] iff [n ∈ ⟦ϕ⟧_J], via {!eval}. *)
+
+val check_at : ctx -> Jsont.Tree.node -> Jnl.form -> bool
+(** Top-down, short-circuiting check of a single node. *)
+
+val succs : ctx -> Jnl.path -> Jsont.Tree.node -> Jsont.Tree.node list
+(** [{ n' | (n, n') ∈ ⟦α⟧_J }] in document order, without duplicates. *)
+
+val eval_pairs : ctx -> Jnl.path -> (Jsont.Tree.node * Jsont.Tree.node) list
+(** The full binary relation [⟦α⟧_J] — O(|J|²) worst case; intended for
+    tests and small documents. *)
+
+val select : Jsont.Value.t -> Jnl.path -> Jsont.Value.t list
+(** Convenience: the subdocuments reachable from the root through [α] —
+    the "subdocument selecting" use case of §4.1. *)
+
+val satisfies : Jsont.Value.t -> Jnl.form -> bool
+(** Convenience: does the root of the document satisfy [ϕ]?  (The
+    filter semantics of MongoDB's find, Example 1.) *)

@@ -1,0 +1,20 @@
+let satisfiable ?max_rounds ?candidates_per_round ?max_width f =
+  match Translate.jnl_to_jsl f with
+  | Error _ as e -> e
+  | Ok jsl ->
+    let outcome =
+      Jsl_sat.satisfiable ?max_rounds ?candidates_per_round ?max_width jsl
+    in
+    Ok
+      (match outcome with
+      | Jautomaton.Sat v ->
+        if Jnl_eval.satisfies v f then outcome
+        else
+          Jautomaton.Unknown
+            "internal error: witness failed JNL re-validation (please report)"
+      | Jautomaton.Unsat | Jautomaton.Unknown _ -> outcome)
+
+let satisfiable_exn ?max_rounds ?candidates_per_round ?max_width f =
+  match satisfiable ?max_rounds ?candidates_per_round ?max_width f with
+  | Ok o -> o
+  | Error m -> invalid_arg ("Jnl_sat.satisfiable_exn: " ^ m)

@@ -1,0 +1,31 @@
+let certify check outcome =
+  match outcome with
+  | Jautomaton.Sat v ->
+    if check v then outcome
+    else
+      Jautomaton.Unknown
+        "internal error: witness failed re-validation (please report)"
+  | Jautomaton.Unsat | Jautomaton.Unknown _ -> outcome
+
+let satisfiable ?max_rounds ?candidates_per_round ?max_width f =
+  let aut = Jautomaton.of_jsl f in
+  Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width aut
+  |> certify (fun v -> Jsl.validates v f)
+
+let satisfiable_rec ?max_rounds ?candidates_per_round ?max_width r =
+  let aut = Jautomaton.of_jsl_rec r in
+  Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width aut
+  |> certify (fun v -> Jsl_rec.validates v r)
+
+let models ?(limit = 5) ?max_rounds ?candidates_per_round f =
+  let rec go acc current k =
+    if k = 0 then List.rev acc
+    else
+      match satisfiable ?max_rounds ?candidates_per_round current with
+      | Jautomaton.Sat w ->
+        go (w :: acc)
+          (Jsl.And (current, Jsl.Not (Jsl.Test (Jsl.Eq_doc w))))
+          (k - 1)
+      | Jautomaton.Unsat | Jautomaton.Unknown _ -> List.rev acc
+  in
+  go [] f limit

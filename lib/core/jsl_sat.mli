@@ -1,0 +1,27 @@
+(** Satisfiability of JSL (Propositions 7 and 10).
+
+    Thin front end over {!Jautomaton.find_model}: compile the formula
+    (Lemmas 4/5) and run the profile-saturation emptiness search.
+    Every [Sat] answer carries a witness document, which is re-checked
+    against the source formula before being returned ([Sat] answers
+    are therefore certified); [Unsat] answers are exact when the
+    search saturated without truncation. *)
+
+val satisfiable :
+  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int -> Jsl.t
+  -> Jautomaton.outcome
+(** Non-recursive JSL (Proposition 7 setting). *)
+
+val satisfiable_rec :
+  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int -> Jsl_rec.t
+  -> Jautomaton.outcome
+(** Well-formed recursive JSL (Proposition 10 setting). *)
+
+val models :
+  ?limit:int -> ?max_rounds:int -> ?candidates_per_round:int -> Jsl.t
+  -> Jsont.Value.t list
+(** Up to [limit] (default 5) pairwise-distinct documents satisfying
+    the formula, by iterated witness exclusion: after finding [w], the
+    search continues on [ϕ ∧ ¬~(w)].  Useful for generating example
+    documents from schemas — the §5.2 remark motivates satisfiability
+    by exactly this kind of tooling. *)

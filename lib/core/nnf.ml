@@ -1,0 +1,31 @@
+let rec jsl (f : Jsl.t) : Jsl.t =
+  match f with
+  | Jsl.True | Jsl.Test _ | Jsl.Var _ -> f
+  | Jsl.And (a, b) -> Jsl.And (jsl a, jsl b)
+  | Jsl.Or (a, b) -> Jsl.Or (jsl a, jsl b)
+  | Jsl.Dia_keys (e, g) -> Jsl.Dia_keys (e, jsl g)
+  | Jsl.Box_keys (e, g) -> Jsl.Box_keys (e, jsl g)
+  | Jsl.Dia_range (i, j, g) -> Jsl.Dia_range (i, j, jsl g)
+  | Jsl.Box_range (i, j, g) -> Jsl.Box_range (i, j, jsl g)
+  | Jsl.Not g -> neg g
+
+and neg (f : Jsl.t) : Jsl.t =
+  match f with
+  | Jsl.True | Jsl.Test _ | Jsl.Var _ -> Jsl.Not f
+  | Jsl.Not g -> jsl g
+  | Jsl.And (a, b) -> Jsl.Or (neg a, neg b)
+  | Jsl.Or (a, b) -> Jsl.And (neg a, neg b)
+  | Jsl.Dia_keys (e, g) -> Jsl.Box_keys (e, neg g)
+  | Jsl.Box_keys (e, g) -> Jsl.Dia_keys (e, neg g)
+  | Jsl.Dia_range (i, j, g) -> Jsl.Box_range (i, j, neg g)
+  | Jsl.Box_range (i, j, g) -> Jsl.Dia_range (i, j, neg g)
+
+let rec is_nnf (f : Jsl.t) =
+  match f with
+  | Jsl.True | Jsl.Test _ | Jsl.Var _ -> true
+  | Jsl.Not (Jsl.True | Jsl.Test _ | Jsl.Var _) -> true
+  | Jsl.Not _ -> false
+  | Jsl.And (a, b) | Jsl.Or (a, b) -> is_nnf a && is_nnf b
+  | Jsl.Dia_keys (_, g) | Jsl.Box_keys (_, g) | Jsl.Dia_range (_, _, g)
+  | Jsl.Box_range (_, _, g) ->
+    is_nnf g

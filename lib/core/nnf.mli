@@ -1,0 +1,15 @@
+(** Negation normal form for JSL.
+
+    Negations are pushed down until they sit only on atomic node tests
+    (or on ⊤, giving ⊥), using De Morgan and the modal dualities
+    [¬◇ϕ ≡ □¬ϕ] / [¬□ϕ ≡ ◇¬ϕ].  This is the (polarity) normal form
+    the J-automaton compilation of Lemma 4 operates in — exposed as its
+    own transformation so it can be tested and reused.
+
+    Properties (checked in the suite): the result {!is_nnf}, has the
+    same satisfaction sets, and grows at most linearly. *)
+
+val jsl : Jsl.t -> Jsl.t
+
+val is_nnf : Jsl.t -> bool
+(** [Not] occurs only immediately above [Test _], [True] or [Var _]. *)

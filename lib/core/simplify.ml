@@ -1,0 +1,183 @@
+(* Conservative bottom-up rewriting; every rule preserves the
+   satisfaction set and never grows the formula. *)
+
+let is_ff (f : Jsl.t) = match f with Jsl.Not Jsl.True -> true | _ -> false
+
+(* node-kind tests are pairwise disjoint *)
+let kind_test (f : Jsl.t) =
+  match f with
+  | Jsl.Test Jsl.Is_obj -> Some `Obj
+  | Jsl.Test Jsl.Is_arr -> Some `Arr
+  | Jsl.Test Jsl.Is_str -> Some `Str
+  | Jsl.Test Jsl.Is_int -> Some `Int
+  | _ -> None
+
+(* flatten a binary operator into a list *)
+let rec flatten_and (f : Jsl.t) =
+  match f with
+  | Jsl.And (a, b) -> flatten_and a @ flatten_and b
+  | f -> [ f ]
+
+let rec flatten_or (f : Jsl.t) =
+  match f with
+  | Jsl.Or (a, b) -> flatten_or a @ flatten_or b
+  | f -> [ f ]
+
+let dedupe fs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: rest ->
+      if List.exists (Jsl.equal f) acc then go acc rest else go (f :: acc) rest
+  in
+  go [] fs
+
+let conj_contradiction fs =
+  (* two different kind tests, or inconsistent numeric bounds *)
+  let kinds = List.filter_map kind_test fs in
+  let distinct_kinds =
+    match kinds with
+    | k :: rest -> List.exists (fun k' -> k' <> k) rest
+    | [] -> false
+  in
+  let mins =
+    List.filter_map (function Jsl.Test (Jsl.Min i) -> Some i | _ -> None) fs
+  in
+  let maxs =
+    List.filter_map (function Jsl.Test (Jsl.Max i) -> Some i | _ -> None) fs
+  in
+  let bounds_clash =
+    match (mins, maxs) with
+    | _ :: _, _ :: _ ->
+      List.fold_left max 0 mins > List.fold_left min max_int maxs
+    | _ -> false
+  in
+  let minch =
+    List.filter_map (function Jsl.Test (Jsl.Min_ch i) -> Some i | _ -> None) fs
+  in
+  let maxch =
+    List.filter_map (function Jsl.Test (Jsl.Max_ch i) -> Some i | _ -> None) fs
+  in
+  let ch_clash =
+    match (minch, maxch) with
+    | _ :: _, _ :: _ ->
+      List.fold_left max 0 minch > List.fold_left min max_int maxch
+    | _ -> false
+  in
+  distinct_kinds || bounds_clash || ch_clash
+
+let rec jsl (f : Jsl.t) : Jsl.t =
+  match f with
+  | Jsl.True | Jsl.Var _ -> f
+  | Jsl.Test (Jsl.Min_ch 0) -> Jsl.True
+  | Jsl.Test (Jsl.Min 0) -> Jsl.Test Jsl.Is_int
+  | Jsl.Test (Jsl.Mult_of 1) -> Jsl.Test Jsl.Is_int
+  | Jsl.Test _ -> f
+  | Jsl.Not g -> (
+    match jsl g with
+    | Jsl.Not h -> h (* double negation *)
+    | g' -> Jsl.Not g')
+  | Jsl.And _ -> (
+    let parts = dedupe (List.map jsl (flatten_and f)) in
+    let parts = List.filter (fun p -> p <> Jsl.True) parts in
+    if List.exists is_ff parts || conj_contradiction parts then Jsl.ff
+    else
+      match parts with
+      | [] -> Jsl.True
+      | _ -> Jsl.conj parts)
+  | Jsl.Or _ -> (
+    let parts = dedupe (List.map jsl (flatten_or f)) in
+    let parts = List.filter (fun p -> not (is_ff p)) parts in
+    if List.exists (fun p -> p = Jsl.True) parts then Jsl.True
+    else
+      match parts with
+      | [] -> Jsl.ff
+      | _ -> Jsl.disj parts)
+  | Jsl.Dia_keys (e, g) -> (
+    let g' = jsl g in
+    if is_ff g' then Jsl.ff
+    else
+      match e with
+      | Rexp.Syntax.Empty -> Jsl.ff
+      | _ -> Jsl.Dia_keys (e, g'))
+  | Jsl.Box_keys (e, g) -> (
+    let g' = jsl g in
+    if g' = Jsl.True then Jsl.True
+    else
+      match e with
+      | Rexp.Syntax.Empty -> Jsl.True
+      | _ -> Jsl.Box_keys (e, g'))
+  | Jsl.Dia_range (i, j, g) -> (
+    let g' = jsl g in
+    if is_ff g' then Jsl.ff
+    else
+      match j with
+      | Some j when j < i -> Jsl.ff
+      | _ -> Jsl.Dia_range (i, j, g'))
+  | Jsl.Box_range (i, j, g) -> (
+    let g' = jsl g in
+    if g' = Jsl.True then Jsl.True
+    else
+      match j with
+      | Some j when j < i -> Jsl.True
+      | _ -> Jsl.Box_range (i, j, g'))
+
+(* ---- JNL ------------------------------------------------------------------ *)
+
+let jnl_is_ff (f : Jnl.form) =
+  match f with Jnl.Not Jnl.True -> true | _ -> false
+
+let rec jnl_path (p : Jnl.path) : Jnl.path =
+  match p with
+  | Jnl.Self | Jnl.Key _ | Jnl.Idx _ -> p
+  | Jnl.Keys e -> (
+    match Rexp.Syntax.as_word e with
+    | Some w -> Jnl.Key w
+    | None -> p)
+  | Jnl.Range (i, Some j) when i = j -> Jnl.Idx i
+  | Jnl.Range _ -> p
+  | Jnl.Seq (a, b) -> (
+    match (jnl_path a, jnl_path b) with
+    | Jnl.Self, b' -> b'
+    | a', Jnl.Self -> a'
+    | a', b' -> Jnl.Seq (a', b'))
+  | Jnl.Alt (a, b) -> (
+    let a' = jnl_path a and b' = jnl_path b in
+    if a' = b' then a' else Jnl.Alt (a', b'))
+  | Jnl.Test f -> (
+    match jnl f with
+    | Jnl.True -> Jnl.Self
+    | f' -> Jnl.Test f')
+  | Jnl.Star a -> (
+    match jnl_path a with
+    | Jnl.Self -> Jnl.Self
+    | Jnl.Star _ as s -> s
+    | a' -> Jnl.Star a')
+
+and jnl (f : Jnl.form) : Jnl.form =
+  match f with
+  | Jnl.True -> f
+  | Jnl.Not g -> (
+    match jnl g with
+    | Jnl.Not h -> h
+    | g' -> Jnl.Not g')
+  | Jnl.And (a, b) -> (
+    match (jnl a, jnl b) with
+    | Jnl.True, b' -> b'
+    | a', Jnl.True -> a'
+    | a', b' when jnl_is_ff a' || jnl_is_ff b' -> Jnl.ff
+    | a', b' when Jnl.equal a' b' -> a'
+    | a', b' -> Jnl.And (a', b'))
+  | Jnl.Or (a, b) -> (
+    match (jnl a, jnl b) with
+    | Jnl.True, _ | _, Jnl.True -> Jnl.True
+    | a', b' when jnl_is_ff a' -> b'
+    | a', b' when jnl_is_ff b' -> a'
+    | a', b' when Jnl.equal a' b' -> a'
+    | a', b' -> Jnl.Or (a', b'))
+  | Jnl.Exists p -> (
+    match jnl_path p with
+    | Jnl.Self -> Jnl.True
+    | Jnl.Test g -> g (* [⟨ϕ⟩] ≡ ϕ *)
+    | p' -> Jnl.Exists p')
+  | Jnl.Eq_doc (p, v) -> Jnl.Eq_doc (jnl_path p, v)
+  | Jnl.Eq_paths (a, b) -> Jnl.Eq_paths (jnl_path a, jnl_path b)

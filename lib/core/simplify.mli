@@ -1,0 +1,21 @@
+(** Semantics-preserving formula simplification.
+
+    Useful both as a query optimizer in front of the evaluators and to
+    keep machine-generated formulas (translations, query-frontend
+    output) readable.  Guarantees, property-tested in the suite:
+
+    - the result is equivalent on every document (same satisfaction
+      set);
+    - the result is never larger than the input
+      ({!Jnl.size} / {!Jsl.size}).
+
+    Rewrites include boolean laws (double negation, unit/absorbing
+    elements, duplicate and contradictory conjuncts — the node-kind
+    tests are pairwise disjoint, numeric bounds can clash), modal
+    vacuity ([◇ over ∅ or an empty range] ≡ ⊥, [□] dually ≡ ⊤),
+    path normalization (ε units, star idempotence, word-shaped [Keys]
+    to [Key], singleton ranges to [Idx]), and [⟨ϕ⟩]-test absorption. *)
+
+val jsl : Jsl.t -> Jsl.t
+val jnl : Jnl.form -> Jnl.form
+val jnl_path : Jnl.path -> Jnl.path

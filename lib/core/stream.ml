@@ -1,0 +1,286 @@
+module Lexer = Jsont.Lexer
+module Value = Jsont.Value
+
+(* ---- compiling ~(A) away ------------------------------------------------- *)
+
+let rec eq_formula (v : Value.t) : Jsl.t =
+  match v with
+  | Value.Num n -> Jsl.conj [ Jsl.Test Jsl.Is_int; Jsl.Test (Jsl.Min n); Jsl.Test (Jsl.Max n) ]
+  | Value.Str s ->
+    Jsl.And (Jsl.Test Jsl.Is_str, Jsl.Test (Jsl.Pattern (Rexp.Syntax.literal s)))
+  | Value.Arr vs ->
+    let n = List.length vs in
+    Jsl.conj
+      (Jsl.Test Jsl.Is_arr :: Jsl.Test (Jsl.Min_ch n) :: Jsl.Test (Jsl.Max_ch n)
+      :: List.mapi (fun i v -> Jsl.dia_idx i (eq_formula v)) vs)
+  | Value.Obj kvs ->
+    let n = List.length kvs in
+    (* distinct keys + arity = n pins the object exactly *)
+    Jsl.conj
+      (Jsl.Test Jsl.Is_obj :: Jsl.Test (Jsl.Min_ch n) :: Jsl.Test (Jsl.Max_ch n)
+      :: List.map (fun (k, v) -> Jsl.dia_key k (eq_formula v)) kvs)
+
+let rec expand_eq (f : Jsl.t) : Jsl.t =
+  match f with
+  | Jsl.True | Jsl.Var _ -> f
+  | Jsl.Test (Jsl.Eq_doc v) -> eq_formula v
+  | Jsl.Test _ -> f
+  | Jsl.Not g -> Jsl.Not (expand_eq g)
+  | Jsl.And (a, b) -> Jsl.And (expand_eq a, expand_eq b)
+  | Jsl.Or (a, b) -> Jsl.Or (expand_eq a, expand_eq b)
+  | Jsl.Dia_keys (e, g) -> Jsl.Dia_keys (e, expand_eq g)
+  | Jsl.Box_keys (e, g) -> Jsl.Box_keys (e, expand_eq g)
+  | Jsl.Dia_range (i, j, g) -> Jsl.Dia_range (i, j, expand_eq g)
+  | Jsl.Box_range (i, j, g) -> Jsl.Box_range (i, j, expand_eq g)
+
+let word_of_syntax = Rexp.Syntax.as_word
+
+let supported f =
+  let f = expand_eq f in
+  let rec check (f : Jsl.t) =
+    match f with
+    | Jsl.True | Jsl.Test (Jsl.Is_obj | Jsl.Is_arr | Jsl.Is_str | Jsl.Is_int)
+    | Jsl.Test (Jsl.Pattern _ | Jsl.Min _ | Jsl.Max _ | Jsl.Mult_of _)
+    | Jsl.Test (Jsl.Min_ch _ | Jsl.Max_ch _) ->
+      Ok ()
+    | Jsl.Test Jsl.Unique -> Error "Unique requires subtree comparisons"
+    | Jsl.Test (Jsl.Eq_doc _) -> assert false (* expanded away *)
+    | Jsl.Var v -> Error (Printf.sprintf "free recursion symbol $%s" v)
+    | Jsl.Not g -> check g
+    | Jsl.And (a, b) | Jsl.Or (a, b) -> (
+      match check a with Ok () -> check b | Error _ as e -> e)
+    | Jsl.Dia_keys (e, g) | Jsl.Box_keys (e, g) -> (
+      match word_of_syntax e with
+      | Some _ -> check g
+      | None -> Error "non-deterministic key modality (regular expression)")
+    | Jsl.Dia_range (i, Some j, g) | Jsl.Box_range (i, Some j, g) ->
+      if i = j then check g else Error "non-deterministic index range"
+    | Jsl.Dia_range (_, None, _) | Jsl.Box_range (_, None, _) ->
+      Error "unbounded index range"
+  in
+  check f
+
+(* ---- the streaming evaluator --------------------------------------------- *)
+
+type stats = { tokens : int; peak_obligations : int }
+
+exception Stream_error of string
+
+type engine = {
+  lx : Lexer.t;
+  mutable tokens : int;
+  mutable live : int;
+  mutable peak : int;
+}
+
+let next eng =
+  eng.tokens <- eng.tokens + 1;
+  Lexer.next eng.lx
+
+let peek eng = Lexer.peek eng.lx
+
+let bad fmt = Format.kasprintf (fun s -> raise (Stream_error s)) fmt
+
+(* consume one complete value without building it; O(1) memory *)
+let skip_value eng =
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let _, tok = next eng in
+    (match tok with
+    | Lexer.Lbrace | Lexer.Lbracket -> incr depth
+    | Lexer.Rbrace | Lexer.Rbracket -> decr depth
+    | Lexer.String _ | Lexer.Nat _ | Lexer.Colon | Lexer.Comma -> ()
+    | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False | Lexer.Null ->
+      bad "value outside the model"
+    | Lexer.Eof -> bad "unexpected end of input");
+    if !depth = 0 then continue := false
+  done
+
+type node_kind =
+  | At_int of int
+  | At_str of string
+  | At_obj
+  | At_arr
+
+(* one node's worth of evaluation state *)
+let rec eval_value eng (obls : Jsl.t list) : bool list =
+  eng.live <- eng.live + List.length obls;
+  if eng.live > eng.peak then eng.peak <- eng.live;
+  (* collect the distinct child obligations: key/index -> operand list *)
+  let key_obls : (string, Jsl.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let idx_obls : (int, Jsl.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let add tbl k g =
+    match Hashtbl.find_opt tbl k with
+    | Some l -> if not (List.exists (Jsl.equal g) !l) then l := g :: !l
+    | None -> Hashtbl.add tbl k (ref [ g ])
+  in
+  let rec collect (f : Jsl.t) =
+    match f with
+    | Jsl.True | Jsl.Test _ -> ()
+    | Jsl.Var _ -> bad "free recursion symbol"
+    | Jsl.Not g -> collect g
+    | Jsl.And (a, b) | Jsl.Or (a, b) ->
+      collect a;
+      collect b
+    | Jsl.Dia_keys (e, g) | Jsl.Box_keys (e, g) -> (
+      match word_of_syntax e with
+      | Some w -> add key_obls w g
+      | None -> bad "non-deterministic key modality")
+    | Jsl.Dia_range (i, Some j, g) | Jsl.Box_range (i, Some j, g) when i = j ->
+      add idx_obls i g
+    | Jsl.Dia_range _ | Jsl.Box_range _ -> bad "non-deterministic index range"
+  in
+  List.iter collect obls;
+  (* child results: (key|idx, formula) -> bool; presence separately *)
+  let key_results : (string * Jsl.t, bool) Hashtbl.t = Hashtbl.create 8 in
+  let idx_results : (int * Jsl.t, bool) Hashtbl.t = Hashtbl.create 8 in
+  let keys_seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let arity = ref 0 in
+  (* stream the node *)
+  let kind =
+    let pos, tok = next eng in
+    ignore pos;
+    match tok with
+    | Lexer.Nat n -> At_int n
+    | Lexer.String s -> At_str s
+    | Lexer.Lbrace ->
+      let rec members first =
+        let _, tok = next eng in
+        match tok with
+        | Lexer.Rbrace when first -> ()
+        | Lexer.String k ->
+          if Hashtbl.mem keys_seen k then bad "duplicate key %S" k;
+          Hashtbl.add keys_seen k ();
+          incr arity;
+          let _, colon = next eng in
+          if colon <> Lexer.Colon then bad "expected ':'";
+          (match Hashtbl.find_opt key_obls k with
+          | Some gs ->
+            let results = eval_value eng !gs in
+            List.iter2
+              (fun g r -> Hashtbl.replace key_results (k, g) r)
+              !gs results
+          | None -> skip_value eng);
+          let _, sep = next eng in
+          (match sep with
+          | Lexer.Comma -> members false
+          | Lexer.Rbrace -> ()
+          | _ -> bad "expected ',' or '}'")
+        | _ -> bad "expected a key or '}'"
+      in
+      members true;
+      At_obj
+    | Lexer.Lbracket ->
+      let rec elements i =
+        let _, tok = peek eng in
+        if tok = Lexer.Rbracket && i = 0 then ignore (next eng)
+        else begin
+          incr arity;
+          (match Hashtbl.find_opt idx_obls i with
+          | Some gs ->
+            let results = eval_value eng !gs in
+            List.iter2
+              (fun g r -> Hashtbl.replace idx_results (i, g) r)
+              !gs results
+          | None -> skip_value eng);
+          let _, sep = next eng in
+          match sep with
+          | Lexer.Comma -> elements (i + 1)
+          | Lexer.Rbracket -> ()
+          | _ -> bad "expected ',' or ']'"
+        end
+      in
+      elements 0;
+      At_arr
+    | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False | Lexer.Null ->
+      bad "value outside the model"
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof ->
+      bad "expected a value"
+  in
+  (* resolve the obligations against what we saw *)
+  let atom_truth (nt : Jsl.node_test) =
+    match nt with
+    | Jsl.Is_obj -> kind = At_obj
+    | Jsl.Is_arr -> kind = At_arr
+    | Jsl.Is_str -> ( match kind with At_str _ -> true | _ -> false)
+    | Jsl.Is_int -> ( match kind with At_int _ -> true | _ -> false)
+    | Jsl.Pattern e -> (
+      match kind with
+      | At_str s -> Rexp.Deriv.matches e s
+      | _ -> false)
+    | Jsl.Min i -> ( match kind with At_int v -> v >= i | _ -> false)
+    | Jsl.Max i -> ( match kind with At_int v -> v <= i | _ -> false)
+    | Jsl.Mult_of i -> (
+      match kind with At_int v -> i <> 0 && v mod i = 0 | _ -> false)
+    | Jsl.Min_ch i -> !arity >= i
+    | Jsl.Max_ch i -> !arity <= i
+    | Jsl.Unique -> bad "Unique is not streamable"
+    | Jsl.Eq_doc _ -> bad "~(A) should have been expanded"
+  in
+  let rec truth (f : Jsl.t) =
+    match f with
+    | Jsl.True -> true
+    | Jsl.Var _ -> bad "free recursion symbol"
+    | Jsl.Not g -> not (truth g)
+    | Jsl.And (a, b) -> truth a && truth b
+    | Jsl.Or (a, b) -> truth a || truth b
+    | Jsl.Test nt -> atom_truth nt
+    | Jsl.Dia_keys (e, g) -> (
+      match word_of_syntax e with
+      | Some w -> (
+        match Hashtbl.find_opt key_results (w, g) with
+        | Some r -> r
+        | None -> false)
+      | None -> bad "non-deterministic key modality")
+    | Jsl.Box_keys (e, g) -> (
+      match word_of_syntax e with
+      | Some w -> (
+        if not (Hashtbl.mem keys_seen w) then true
+        else
+          match Hashtbl.find_opt key_results (w, g) with
+          | Some r -> r
+          | None -> bad "missing child result for key %S" w)
+      | None -> bad "non-deterministic key modality")
+    | Jsl.Dia_range (i, Some j, g) when i = j -> (
+      match Hashtbl.find_opt idx_results (i, g) with
+      | Some r -> r
+      | None -> false)
+    | Jsl.Box_range (i, Some j, g) when i = j -> (
+      if i >= !arity || kind <> At_arr then true
+      else
+        match Hashtbl.find_opt idx_results (i, g) with
+        | Some r -> r
+        | None -> bad "missing child result for index %d" i)
+    | Jsl.Dia_range _ | Jsl.Box_range _ -> bad "non-deterministic index range"
+  in
+  let results = List.map truth obls in
+  eng.live <- eng.live - List.length obls;
+  results
+
+let validate_with_stats input f =
+  match supported f with
+  | Error m -> Error m
+  | Ok () -> (
+    let f = expand_eq f in
+    let eng = { lx = Lexer.create input; tokens = 0; live = 0; peak = 0 } in
+    match
+      let results = eval_value eng [ f ] in
+      let _, tok = next eng in
+      if tok <> Lexer.Eof then bad "trailing content after the document";
+      results
+    with
+    | [ r ] -> Ok (r, { tokens = eng.tokens; peak_obligations = eng.peak })
+    | _ -> Error "internal error"
+    | exception Stream_error m -> Error m
+    | exception Lexer.Error (_, m) -> Error m)
+
+let validate input f = Result.map fst (validate_with_stats input f)
+
+let validate_jnl input f =
+  match Translate.jnl_to_jsl f with
+  | Error m -> Error ("not streamable: " ^ m)
+  | Ok jsl -> (
+    match supported jsl with
+    | Error m -> Error ("not streamable: " ^ m)
+    | Ok () -> validate input jsl)

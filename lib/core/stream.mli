@@ -1,0 +1,48 @@
+(** Streaming validation of deterministic JSL (the Section 6
+    conjecture).
+
+    The paper conjectures that the deterministic fragments of JNL/JSL
+    can be evaluated over a stream "with constant memory requirements
+    when tree equality is excluded".  This module realizes that for
+    deterministic JSL: the document is consumed token by token straight
+    from the {!Jsont.Lexer}, no tree is built, and memory is bounded by
+    O(|ϕ|) live obligations — independent of the document size
+    (sub-documents not addressed by the formula are skipped with a
+    counter, not a stack).
+
+    Tree-equality tests [~(A)] against a {e constant} [A] do not
+    require buffering the input: they are compiled away up front into
+    structural deterministic JSL over [A] (kind + arity + per-key /
+    per-index equalities), see {!expand_eq}.  What the conjecture
+    excludes — [EQ(α,β)] between two streamed subtrees — is indeed not
+    expressible here.
+
+    Supported fragment: deterministic modalities (single word keys,
+    single indices), all node tests except [Unique], no recursion
+    symbols.  {!supported} checks membership. *)
+
+val expand_eq : Jsl.t -> Jsl.t
+(** Rewrite every [~(A)] node test into an equivalent deterministic
+    JSL formula over the structure of [A]. *)
+
+val supported : Jsl.t -> (unit, string) result
+(** Is the formula (after {!expand_eq}) in the streamable fragment? *)
+
+type stats = {
+  tokens : int;  (** tokens consumed *)
+  peak_obligations : int;
+      (** maximum number of live formula obligations at any point —
+          the memory bound, independent of document size *)
+}
+
+val validate : string -> Jsl.t -> (bool, string) result
+(** [validate input ϕ]: does the JSON document in [input] satisfy ϕ at
+    its root?  Single pass, no tree construction. *)
+
+val validate_with_stats : string -> Jsl.t -> (bool * stats, string) result
+
+val validate_jnl : string -> Jnl.form -> (bool, string) result
+(** Deterministic JNL streaming (the §6 conjecture covers both logics):
+    the formula is taken through the Theorem 2 translation into
+    deterministic JSL and then streamed.  [Error] when the formula is
+    non-deterministic, recursive, or uses [EQ(α,β)]. *)

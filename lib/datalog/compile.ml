@@ -1,0 +1,133 @@
+open Ast
+module Jnl = Jlogic.Jnl
+
+type state = {
+  edb : Edb.t;
+  mutable rules : rule list;
+  mutable pred_count : int;
+  mutable var_count : int;
+  memo : (Jnl.form, string) Hashtbl.t;
+}
+
+let fresh_pred st prefix =
+  let p = Printf.sprintf "%s%d" prefix st.pred_count in
+  st.pred_count <- st.pred_count + 1;
+  p
+
+let fresh_var st =
+  let x = Printf.sprintf "X%d" st.var_count in
+  st.var_count <- st.var_count + 1;
+  x
+
+let add_rule st r = st.rules <- r :: st.rules
+
+(* All ways a path can relate [x] to an end node: a list of
+   (body literals, end variable).  [Seq] multiplies alternatives,
+   [Star] introduces a recursive binary predicate. *)
+let rec path_bodies st (p : Jnl.path) (x : string) : (literal list * string) list =
+  match p with
+  | Jnl.Self -> [ ([], x) ]
+  | Jnl.Key w ->
+    let y = fresh_var st in
+    [ ([ Pos (atom ("key:" ^ w) [ v x; v y ]) ], y) ]
+  | Jnl.Idx i ->
+    let y = fresh_var st in
+    let pred =
+      if i >= 0 then "idx:" ^ string_of_int i else Edb.intern_idx_neg st.edb i
+    in
+    [ ([ Pos (atom pred [ v x; v y ]) ], y) ]
+  | Jnl.Keys e ->
+    let y = fresh_var st in
+    [ ([ Pos (atom (Edb.intern_key_lang st.edb e) [ v x; v y ]) ], y) ]
+  | Jnl.Range (i, j) ->
+    let y = fresh_var st in
+    [ ([ Pos (atom (Edb.intern_idx_range st.edb i j) [ v x; v y ]) ], y) ]
+  | Jnl.Seq (a, b) ->
+    List.concat_map
+      (fun (body_a, mid) ->
+        List.map
+          (fun (body_b, last) -> (body_a @ body_b, last))
+          (path_bodies st b mid))
+      (path_bodies st a x)
+  | Jnl.Alt (a, b) -> path_bodies st a x @ path_bodies st b x
+  | Jnl.Test f ->
+    let pf = compile_form st f in
+    [ ([ Pos (atom pf [ v x ]) ], x) ]
+  | Jnl.Star a ->
+    (* reach(s, s) :- node(s).
+       reach(s, e) :- reach(s, m), α(m, e).   (one rule per alternative) *)
+    let reach = fresh_pred st "reach" in
+    let s = fresh_var st and m = fresh_var st in
+    add_rule st (atom reach [ v s; v s ] <-- [ Pos (atom "node" [ v s ]) ]);
+    List.iter
+      (fun (body, e) ->
+        add_rule st
+          (atom reach [ v s; v e ] <-- (Pos (atom reach [ v s; v m ]) :: body)))
+      (path_bodies st a m);
+    let y = fresh_var st in
+    [ ([ Pos (atom reach [ v x; v y ]) ], y) ]
+
+(* Each subformula becomes a unary predicate holding of its satisfying
+   nodes. *)
+and compile_form st (f : Jnl.form) : string =
+  match Hashtbl.find_opt st.memo f with
+  | Some p -> p
+  | None ->
+    let pred = fresh_pred st "p" in
+    Hashtbl.add st.memo f pred;
+    let x = fresh_var st in
+    let head = atom pred [ v x ] in
+    (match f with
+    | Jnl.True -> add_rule st (head <-- [ Pos (atom "node" [ v x ]) ])
+    | Jnl.Not g ->
+      let pg = compile_form st g in
+      add_rule st
+        (head <-- [ Pos (atom "node" [ v x ]); Neg (atom pg [ v x ]) ])
+    | Jnl.And (a, b) ->
+      let pa = compile_form st a and pb = compile_form st b in
+      add_rule st (head <-- [ Pos (atom pa [ v x ]); Pos (atom pb [ v x ]) ])
+    | Jnl.Or (a, b) ->
+      let pa = compile_form st a and pb = compile_form st b in
+      add_rule st (head <-- [ Pos (atom pa [ v x ]) ]);
+      add_rule st (head <-- [ Pos (atom pb [ v x ]) ])
+    | Jnl.Exists p ->
+      List.iter
+        (fun (body, _) ->
+          let body = if body = [] then [ Pos (atom "node" [ v x ]) ] else body in
+          add_rule st (head <-- body))
+        (path_bodies st p x)
+    | Jnl.Eq_doc (p, doc) ->
+      let eqdoc = Edb.intern_doc st.edb doc in
+      List.iter
+        (fun (body, y) ->
+          let body =
+            if body = [] then [ Pos (atom "node" [ v x ]) ] else body
+          in
+          add_rule st (head <-- (body @ [ Pos (atom eqdoc [ v y ]) ])))
+        (path_bodies st p x)
+    | Jnl.Eq_paths (a, b) ->
+      List.iter
+        (fun (body_a, ya) ->
+          List.iter
+            (fun (body_b, yb) ->
+              let body = body_a @ body_b in
+              let body =
+                if body = [] then [ Pos (atom "node" [ v x ]) ] else body
+              in
+              add_rule st
+                (head <-- (body @ [ Pos (atom "eq" [ v ya; v yb ]) ])))
+            (path_bodies st b x))
+        (path_bodies st a x));
+    pred
+
+let jnl edb f =
+  let st =
+    { edb; rules = []; pred_count = 0; var_count = 0; memo = Hashtbl.create 16 }
+  in
+  let goal = compile_form st f in
+  { rules = List.rev st.rules; goal }
+
+let eval tree f =
+  let edb = Edb.of_tree tree in
+  let program = jnl edb f in
+  Engine.query_nodes edb program

@@ -1,0 +1,25 @@
+(** The Proposition 1 translation: JNL formulas to datalog programs
+    with stratified negation over the {!Edb} encoding.
+
+    One unary predicate per subformula; paths inline into tree-shaped
+    rule bodies (the "tree queries" of the proof); [Not] introduces
+    stratified negation; [EQ(α,β)] uses the external [eq] relation,
+    evaluated online exactly as the proof prescribes; [EQ(α,A)] uses an
+    interned constant document.
+
+    Fragment correspondences:
+    - deterministic JNL → {e non-recursive monadic} programs (the class
+      of the proof; check with {!Ast.is_monadic} / {!Ast.is_recursive});
+    - [Star] → recursive rules with a binary reachability predicate
+      (leaving the monadic class but staying stratified);
+    - [Alt] / path unions → one rule per alternative (bodies multiply
+      across compositions, mirroring the Theorem 2 blow-up). *)
+
+val jnl : Edb.t -> Jlogic.Jnl.form -> Ast.program
+(** Compile a formula against a tree's EDB (the EDB is needed to intern
+    constant documents, key languages and index ranges). *)
+
+val eval : Jsont.Tree.t -> Jlogic.Jnl.form -> (int list, string) result
+(** End-to-end: encode the tree, compile, evaluate — the sorted set of
+    nodes satisfying the formula.  Agrees with {!Jlogic.Jnl_eval.eval}
+    (property-tested). *)

@@ -1,0 +1,118 @@
+module Tree = Jsont.Tree
+module Value = Jsont.Value
+
+type t = {
+  tr : Tree.t;
+  stored : (string, int list list ref) Hashtbl.t;
+  docs : (string, Tree.t) Hashtbl.t;  (* eqdoc:<h> -> constant tree *)
+  mutable lang_count : int;
+}
+
+let add_fact t pred tuple =
+  match Hashtbl.find_opt t.stored pred with
+  | Some l -> l := tuple :: !l
+  | None -> Hashtbl.add t.stored pred (ref [ tuple ])
+
+let of_tree tr =
+  let t = { tr; stored = Hashtbl.create 64; docs = Hashtbl.create 4; lang_count = 0 } in
+  Seq.iter
+    (fun n ->
+      add_fact t "node" [ n ];
+      (match Tree.kind tr n with
+      | Tree.Kobj -> add_fact t "obj" [ n ]
+      | Tree.Karr -> add_fact t "arr" [ n ]
+      | Tree.Kstr s ->
+        add_fact t "str" [ n ];
+        add_fact t ("val:str:" ^ s) [ n ]
+      | Tree.Kint i ->
+        add_fact t "int" [ n ];
+        add_fact t ("val:int:" ^ string_of_int i) [ n ]);
+      List.iter
+        (fun (k, ch) ->
+          add_fact t ("key:" ^ k) [ n; ch ];
+          add_fact t "child" [ n; ch ])
+        (Tree.obj_children tr n);
+      Array.iteri
+        (fun i ch ->
+          add_fact t ("idx:" ^ string_of_int i) [ n; ch ];
+          add_fact t "child" [ n; ch ])
+        (Tree.arr_children tr n))
+    (Tree.nodes tr);
+  add_fact t "root" [ Tree.root ];
+  t
+
+let tree t = t.tr
+let domain t = Tree.node_count t.tr
+
+let facts t pred =
+  match Hashtbl.find_opt t.stored pred with
+  | Some l -> !l
+  | None -> []
+
+let predicates t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.stored []
+  |> List.sort String.compare
+
+let intern_doc t v =
+  let vt = Tree.of_value v in
+  let name = Printf.sprintf "eqdoc:%x" (Value.hash v) in
+  if not (Hashtbl.mem t.docs name) then Hashtbl.add t.docs name vt;
+  name
+
+let intern_key_lang t e =
+  let name = Printf.sprintf "keylang:%d" t.lang_count in
+  t.lang_count <- t.lang_count + 1;
+  let lang = Rexp.Lang.of_syntax e in
+  Seq.iter
+    (fun n ->
+      List.iter
+        (fun (k, ch) ->
+          if Rexp.Lang.matches lang k then add_fact t name [ n; ch ])
+        (Tree.obj_children t.tr n))
+    (Tree.nodes t.tr);
+  (* ensure the predicate exists even when empty *)
+  if not (Hashtbl.mem t.stored name) then Hashtbl.add t.stored name (ref []);
+  name
+
+let intern_idx_range t i j =
+  let name =
+    Printf.sprintf "idxrange:%d:%s" i
+      (match j with None -> "inf" | Some j -> string_of_int j)
+  in
+  if not (Hashtbl.mem t.stored name) then begin
+    Hashtbl.add t.stored name (ref []);
+    Seq.iter
+      (fun n ->
+        Array.iteri
+          (fun p ch ->
+            if p >= i && (match j with None -> true | Some j -> p <= j) then
+              add_fact t name [ n; ch ])
+          (Tree.arr_children t.tr n))
+      (Tree.nodes t.tr)
+  end;
+  name
+
+let intern_idx_neg t i =
+  let name = Printf.sprintf "idxneg:%d" (-i) in
+  if not (Hashtbl.mem t.stored name) then begin
+    Hashtbl.add t.stored name (ref []);
+    Seq.iter
+      (fun n ->
+        let kids = Tree.arr_children t.tr n in
+        let p = Array.length kids + i in
+        if p >= 0 && p < Array.length kids then add_fact t name [ n; kids.(p) ])
+      (Tree.nodes t.tr)
+  end;
+  name
+
+let is_external t pred = pred = "eq" || Hashtbl.mem t.docs pred
+
+let eval_external t pred args =
+  match (pred, args) with
+  | "eq", [ a; b ] -> Tree.equal_subtrees t.tr a b
+  | _, [ a ] when Hashtbl.mem t.docs pred ->
+    let vt = Hashtbl.find t.docs pred in
+    Tree.equal_across t.tr a vt Tree.root
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Edb.eval_external: %s/%d" pred (List.length args))

@@ -1,0 +1,55 @@
+(** The relational encoding of a JSON tree, after the remark before
+    Proposition 8: one binary relation [key:w] per key word [w], one
+    binary relation [idx:i] per array position, the unary node-kind
+    partition, and the value predicates.
+
+    Predicates provided over a tree [J]:
+
+    - [node(x)] — every node;  [root(x)] — the root;
+    - [obj(x)], [arr(x)], [str(x)], [int(x)] — the partition;
+    - [key:w(x,y)] — the O relation restricted to key [w];
+    - [idx:i(x,y)] — the A relation restricted to position [i];
+    - [child(x,y)] — the union of both (for recursive axes);
+    - [val:str:s(x)] / [val:int:n(x)] — atomic values;
+    - materialized on demand: [keylang:<e>(x,y)] (O restricted to a
+      regular key language) and [idxrange:<i>:<j>(x,y)] (A restricted
+      to an interval);
+    - external, evaluated on bound arguments only — the "online"
+      comparisons of the Proposition 1 proof: [eq(x,y)] (subtree
+      equality) and [eqdoc:<h>(x)] (equality to an interned constant
+      document). *)
+
+type t
+
+val of_tree : Jsont.Tree.t -> t
+val tree : t -> Jsont.Tree.t
+
+val domain : t -> int
+(** Number of nodes (constants range over [0 .. domain-1]). *)
+
+val facts : t -> string -> int list list
+(** Extension of a stored predicate; [[]] if absent. *)
+
+val predicates : t -> string list
+(** All stored predicate names. *)
+
+val intern_doc : t -> Jsont.Value.t -> string
+(** Register a constant document; returns the [eqdoc:…] external
+    predicate name testing subtree equality against it. *)
+
+val intern_key_lang : t -> Rexp.Syntax.t -> string
+(** Materialize the O relation restricted to a key language; returns
+    the stored predicate's name. *)
+
+val intern_idx_range : t -> int -> int option -> string
+(** Materialize the A relation restricted to an interval. *)
+
+val intern_idx_neg : t -> int -> string
+(** Materialize the A relation for a negative (from-the-end) index:
+    [(n, child at position arity(n) + i)]. *)
+
+val is_external : t -> string -> bool
+(** [eq] and interned [eqdoc:…] predicates. *)
+
+val eval_external : t -> string -> int list -> bool
+(** Evaluate an external predicate on fully bound arguments. *)

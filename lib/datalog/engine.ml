@@ -1,0 +1,302 @@
+open Ast
+
+(* ---- relations ------------------------------------------------------------ *)
+
+(* A set of tuples with a first-argument index for the common
+   bound-first joins of tree navigation. *)
+module Relation = struct
+  type t = {
+    all : (int list, unit) Hashtbl.t;
+    by_first : (int, int list list ref) Hashtbl.t;
+  }
+
+  let create () = { all = Hashtbl.create 16; by_first = Hashtbl.create 16 }
+
+  let mem t tuple = Hashtbl.mem t.all tuple
+
+  let add t tuple =
+    if Hashtbl.mem t.all tuple then false
+    else begin
+      Hashtbl.add t.all tuple ();
+      (match tuple with
+      | first :: _ -> (
+        match Hashtbl.find_opt t.by_first first with
+        | Some l -> l := tuple :: !l
+        | None -> Hashtbl.add t.by_first first (ref [ tuple ]))
+      | [] -> ());
+      true
+    end
+
+  let iter_matching t (pattern : int option list) f =
+    let matches tuple =
+      List.length tuple = List.length pattern
+      && List.for_all2
+           (fun v p -> match p with None -> true | Some c -> v = c)
+           tuple pattern
+    in
+    match pattern with
+    | Some first :: _ -> (
+      match Hashtbl.find_opt t.by_first first with
+      | Some l -> List.iter (fun tu -> if matches tu then f tu) !l
+      | None -> ())
+    | _ -> Hashtbl.iter (fun tu () -> if matches tu then f tu) t.all
+
+  let cardinal t = Hashtbl.length t.all
+  let to_list t = Hashtbl.fold (fun tu () acc -> tu :: acc) t.all []
+end
+
+(* ---- stratification -------------------------------------------------------- *)
+
+let stratify (p : program) =
+  let idb = idb_predicates p in
+  let stratum = Hashtbl.create 16 in
+  List.iter (fun pred -> Hashtbl.replace stratum pred 0) idb;
+  let get pred = Option.value ~default:0 (Hashtbl.find_opt stratum pred) in
+  let changed = ref true in
+  let iterations = ref 0 in
+  let bound = List.length idb + 1 in
+  (try
+     while !changed do
+       changed := false;
+       incr iterations;
+       if !iterations > bound + 1 then raise Exit;
+       List.iter
+         (fun r ->
+           let h = r.head.pred in
+           List.iter
+             (fun lit ->
+               let required =
+                 match lit with
+                 | Pos a when List.mem a.pred idb -> Some (get a.pred)
+                 | Neg a when List.mem a.pred idb -> Some (get a.pred + 1)
+                 | Pos _ | Neg _ -> None
+               in
+               match required with
+               | Some s when s > get h ->
+                 Hashtbl.replace stratum h s;
+                 changed := true
+               | _ -> ())
+             r.body)
+         p.rules
+     done
+   with Exit -> ());
+  if !iterations > bound then
+    Error "no stratification: recursion through negation"
+  else begin
+    let max_stratum = List.fold_left (fun acc pred -> max acc (get pred)) 0 idb in
+    Ok
+      (List.init (max_stratum + 1) (fun s ->
+           List.filter (fun pred -> get pred = s) idb))
+  end
+
+(* ---- evaluation ------------------------------------------------------------ *)
+
+type db = {
+  edb : Edb.t;
+  idb : (string, Relation.t) Hashtbl.t;
+  edb_rel : (string, Relation.t) Hashtbl.t;  (* cached stored EDB *)
+}
+
+let idb_relation db pred =
+  match Hashtbl.find_opt db.idb pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create () in
+    Hashtbl.add db.idb pred r;
+    r
+
+let edb_relation db pred =
+  match Hashtbl.find_opt db.edb_rel pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create () in
+    List.iter (fun tu -> ignore (Relation.add r tu)) (Edb.facts db.edb pred);
+    Hashtbl.add db.edb_rel pred r;
+    r
+
+exception Unsafe of string
+
+(* Evaluate one rule, calling [emit] on every derived head tuple.
+   [delta] optionally restricts one positive IDB atom to the delta
+   relation (semi-naive); when [delta] is [None] full relations are
+   used everywhere. *)
+let eval_rule db idb_preds (r : rule) ~delta ~emit =
+  let binding : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let term_value = function
+    | Const n -> Some n
+    | Var x -> Hashtbl.find_opt binding x
+  in
+  let bound_pattern a = List.map term_value a.args in
+  let all_bound a = List.for_all (fun t -> term_value t <> None) a.args in
+  let bind_tuple a tuple k =
+    (* unify the atom's args with a concrete tuple *)
+    let added = ref [] in
+    let ok =
+      List.for_all2
+        (fun t v ->
+          match t with
+          | Const c -> c = v
+          | Var x -> (
+            match Hashtbl.find_opt binding x with
+            | Some v' -> v = v'
+            | None ->
+              Hashtbl.add binding x v;
+              added := x :: !added;
+              true))
+        a.args tuple
+    in
+    if ok then k ();
+    List.iter (Hashtbl.remove binding) !added
+  in
+  (* pick an evaluation order dynamically: any stored positive atom can
+     run; negation and externals wait for full binding *)
+  let relation_for a ~use_delta =
+    if List.mem a.pred idb_preds then
+      match (use_delta, delta) with
+      | true, Some (dpred, drel) when dpred = a.pred -> Some drel
+      | _ -> Some (idb_relation db a.pred)
+    else if Edb.is_external db.edb a.pred then None
+    else Some (edb_relation db a.pred)
+  in
+  let rec solve literals ~delta_pending =
+    match literals with
+    | [] ->
+      if delta_pending then () (* a semi-naive pass must consume its delta *)
+      else
+        emit
+          (List.map
+             (fun t ->
+               match term_value t with
+               | Some v -> v
+               | None -> raise (Unsafe ("unbound head variable in " ^ r.head.pred)))
+             r.head.args)
+    | _ ->
+      (* choose the next literal *)
+      let ready = function
+        | Pos a -> Edb.is_external db.edb a.pred = false || all_bound a
+        | Neg a -> all_bound a
+      in
+      let rec split acc = function
+        | [] -> None
+        | lit :: rest when ready lit -> Some (lit, List.rev_append acc rest)
+        | lit :: rest -> split (lit :: acc) rest
+      in
+      (match split [] literals with
+      | None ->
+        raise
+          (Unsafe
+             (Printf.sprintf "rule for %s: cannot bind all variables"
+                r.head.pred))
+      | Some (Pos a, rest) when Edb.is_external db.edb a.pred ->
+        let args = List.map (fun t -> Option.get (term_value t)) a.args in
+        if Edb.eval_external db.edb a.pred args then
+          solve rest ~delta_pending
+      | Some (Pos a, rest) ->
+        (* try the delta relation for this atom if it is the delta
+           predicate and the delta has not been consumed yet *)
+        let with_rel rel still_pending =
+          Relation.iter_matching rel (bound_pattern a) (fun tuple ->
+              bind_tuple a tuple (fun () -> solve rest ~delta_pending:still_pending))
+        in
+        (match delta with
+        | Some (dpred, _) when dpred = a.pred && delta_pending ->
+          (* two choices: this occurrence is the delta occurrence, or a
+             later one is.  Cover both: delta here + full-relation here
+             with delta still pending. *)
+          (match relation_for a ~use_delta:true with
+          | Some drel -> with_rel drel false
+          | None -> ());
+          if List.exists (function (Pos b | Neg b) -> b.pred = dpred) rest
+          then begin
+            match relation_for a ~use_delta:false with
+            | Some full -> with_rel full true
+            | None -> ()
+          end
+        | _ -> (
+          match relation_for a ~use_delta:false with
+          | Some rel -> with_rel rel delta_pending
+          | None -> ()))
+      | Some (Neg a, rest) ->
+        let args = List.map (fun t -> Option.get (term_value t)) a.args in
+        let holds =
+          if Edb.is_external db.edb a.pred then
+            Edb.eval_external db.edb a.pred args
+          else
+            let rel =
+              if List.mem a.pred idb_preds then idb_relation db a.pred
+              else edb_relation db a.pred
+            in
+            Relation.mem rel args
+        in
+        if not holds then solve rest ~delta_pending)
+  in
+  solve r.body ~delta_pending:(delta <> None)
+
+let run edb (p : program) =
+  match stratify p with
+  | Error _ as e -> e
+  | Ok strata -> (
+    let db = { edb; idb = Hashtbl.create 16; edb_rel = Hashtbl.create 32 } in
+    let idb_preds = idb_predicates p in
+    try
+      List.iter
+        (fun stratum_preds ->
+          let rules =
+            List.filter (fun r -> List.mem r.head.pred stratum_preds) p.rules
+          in
+          (* initial naive pass *)
+          let delta0 = Hashtbl.create 8 in
+          List.iter
+            (fun pred -> Hashtbl.replace delta0 pred (Relation.create ()))
+            stratum_preds;
+          List.iter
+            (fun r ->
+              eval_rule db idb_preds r ~delta:None ~emit:(fun tuple ->
+                  if Relation.add (idb_relation db r.head.pred) tuple then
+                    ignore (Relation.add (Hashtbl.find delta0 r.head.pred) tuple)))
+            rules;
+          (* semi-naive iterations *)
+          let deltas = ref delta0 in
+          let continue = ref true in
+          while !continue do
+            let next = Hashtbl.create 8 in
+            List.iter
+              (fun pred -> Hashtbl.replace next pred (Relation.create ()))
+              stratum_preds;
+            let produced = ref false in
+            List.iter
+              (fun r ->
+                (* one semi-naive pass per delta predicate occurring in
+                   the rule body *)
+                List.iter
+                  (fun dpred ->
+                    let drel = Hashtbl.find !deltas dpred in
+                    if Relation.cardinal drel > 0
+                       && List.exists
+                            (function (Pos a | Neg a) -> a.pred = dpred)
+                            r.body
+                    then
+                      eval_rule db idb_preds r ~delta:(Some (dpred, drel))
+                        ~emit:(fun tuple ->
+                          if Relation.add (idb_relation db r.head.pred) tuple
+                          then begin
+                            produced := true;
+                            ignore
+                              (Relation.add (Hashtbl.find next r.head.pred) tuple)
+                          end))
+                  stratum_preds)
+              rules;
+            deltas := next;
+            continue := !produced
+          done)
+        strata;
+      Ok (Relation.to_list (idb_relation db p.goal))
+    with Unsafe m -> Error m)
+
+let query_nodes edb p =
+  match run edb p with
+  | Error _ as e -> e
+  | Ok tuples ->
+    Ok
+      (List.sort_uniq Int.compare
+         (List.filter_map (function [ n ] -> Some n | _ -> None) tuples))

@@ -1,0 +1,23 @@
+(** Bottom-up evaluation of datalog with stratified negation.
+
+    - {!stratify} computes the stratification (error on a cycle through
+      negation — the same well-formedness discipline as recursive JSL's
+      precedence graph, Section 5.3);
+    - {!run} evaluates stratum by stratum, semi-naively (each rule
+      fires only with at least one Δ-atom), over the {!Edb} relations
+      and externals.
+
+    Body literals are evaluated in an order chosen per binding state:
+    stored atoms join left to right; negated and external atoms wait
+    until their variables are bound (rules where that never happens are
+    rejected as unsafe — the engine-level counterpart of
+    {!Ast.check_safety}). *)
+
+val stratify : Ast.program -> (string list list, string) result
+(** IDB predicates grouped by stratum, lowest first. *)
+
+val run : Edb.t -> Ast.program -> (int list list, string) result
+(** The extension of the goal predicate. *)
+
+val query_nodes : Edb.t -> Ast.program -> (int list, string) result
+(** For a unary goal: the sorted node list. *)

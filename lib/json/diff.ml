@@ -1,0 +1,159 @@
+type op =
+  | Add of Pointer.t * Value.t
+  | Remove of Pointer.t * Value.t
+  | Replace of Pointer.t * Value.t * Value.t
+
+type t = op list
+
+let rec diff_at path (a : Value.t) (b : Value.t) : op list =
+  if Value.equal a b then []
+  else
+    match (a, b) with
+    | Value.Obj ka, Value.Obj kb ->
+      let removed =
+        List.filter_map
+          (fun (k, va) ->
+            if List.mem_assoc k kb then None
+            else Some (Remove (path @ [ Pointer.Key k ], va)))
+          ka
+      in
+      let added =
+        List.filter_map
+          (fun (k, vb) ->
+            if List.mem_assoc k ka then None
+            else Some (Add (path @ [ Pointer.Key k ], vb)))
+          kb
+      in
+      let changed =
+        List.concat_map
+          (fun (k, va) ->
+            match List.assoc_opt k kb with
+            | Some vb -> diff_at (path @ [ Pointer.Key k ]) va vb
+            | None -> [])
+          ka
+      in
+      removed @ added @ changed
+    | Value.Arr la, Value.Arr lb ->
+      let na = List.length la and nb = List.length lb in
+      let common = min na nb in
+      let changed =
+        List.concat
+          (List.init common (fun i ->
+               diff_at
+                 (path @ [ Pointer.Index i ])
+                 (List.nth la i) (List.nth lb i)))
+      in
+      (* removals from the tail, highest index first; additions ascending *)
+      let removed =
+        List.init (max 0 (na - nb)) (fun k ->
+            let i = na - 1 - k in
+            Remove (path @ [ Pointer.Index i ], List.nth la i))
+      in
+      let added =
+        List.init (max 0 (nb - na)) (fun k ->
+            let i = common + k in
+            Add (path @ [ Pointer.Index i ], List.nth lb i))
+      in
+      changed @ removed @ added
+    | _ -> [ Replace (path, a, b) ]
+
+let diff a b = diff_at [] a b
+
+(* ---- application ----------------------------------------------------------- *)
+
+exception Patch_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Patch_error s)) fmt
+
+(* rebuild the value along [path], applying [edit] at its end *)
+let rec update path (v : Value.t) ~edit =
+  match path with
+  | [] -> edit (Some v) |> Option.get
+  | Pointer.Key k :: rest -> (
+    match v with
+    | Value.Obj kvs when rest = [] -> (
+      (* the edit may add or remove the key itself *)
+      let present = List.assoc_opt k kvs in
+      match edit present with
+      | Some v' ->
+        if present = None then Value.Obj (kvs @ [ (k, v') ])
+        else Value.Obj (List.map (fun (k', v0) -> if k' = k then (k', v') else (k', v0)) kvs)
+      | None ->
+        if present = None then fail "remove: missing key %S" k
+        else Value.Obj (List.filter (fun (k', _) -> k' <> k) kvs))
+    | Value.Obj kvs -> (
+      match List.assoc_opt k kvs with
+      | None -> fail "path key %S not found" k
+      | Some child ->
+        let child' = update rest child ~edit in
+        Value.Obj
+          (List.map (fun (k', v0) -> if k' = k then (k', child') else (k', v0)) kvs))
+    | _ -> fail "path key %S into a non-object" k)
+  | Pointer.Index i :: rest -> (
+    match v with
+    | Value.Arr vs when rest = [] -> (
+      let n = List.length vs in
+      let present = if i >= 0 && i < n then Some (List.nth vs i) else None in
+      match edit present with
+      | Some v' ->
+        if present = None then
+          if i = n then Value.Arr (vs @ [ v' ])
+          else fail "add at index %d of a %d-element array" i n
+        else Value.Arr (List.mapi (fun j v0 -> if j = i then v' else v0) vs)
+      | None ->
+        if present = None then fail "remove: index %d out of bounds" i
+        else if i <> n - 1 then fail "remove at non-tail index %d" i
+        else Value.Arr (List.filteri (fun j _ -> j <> i) vs))
+    | Value.Arr vs -> (
+      let n = List.length vs in
+      if i < 0 || i >= n then fail "path index %d out of bounds" i
+      else
+        let child' = update rest (List.nth vs i) ~edit in
+        Value.Arr (List.mapi (fun j v0 -> if j = i then child' else v0) vs))
+    | _ -> fail "path index %d into a non-array" i)
+
+let apply_op v = function
+  | Add (path, value) ->
+    update path v ~edit:(function
+      | None -> Some value
+      | Some _ -> fail "add: target already present")
+  | Remove (path, expected) ->
+    update path v ~edit:(function
+      | Some old when Value.equal old expected -> None
+      | Some old -> fail "remove: found %s" (Value.to_string old)
+      | None -> fail "remove: target missing")
+  | Replace (path, old_v, new_v) ->
+    update path v ~edit:(function
+      | Some old when Value.equal old old_v -> Some new_v
+      | Some old -> fail "replace: found %s" (Value.to_string old)
+      | None -> fail "replace: target missing")
+
+let apply ops v =
+  match List.fold_left apply_op v ops with
+  | result -> Ok result
+  | exception Patch_error m -> Error m
+
+let invert ops =
+  List.rev_map
+    (function
+      | Add (p, v) -> Remove (p, v)
+      | Remove (p, v) -> Add (p, v)
+      | Replace (p, a, b) -> Replace (p, b, a))
+    ops
+
+let size = List.length
+
+let pp fmt ops =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun op ->
+      match op with
+      | Add (p, v) ->
+        Format.fprintf fmt "+ %s: %s@," (Pointer.to_string p) (Value.to_string v)
+      | Remove (p, v) ->
+        Format.fprintf fmt "- %s: %s@," (Pointer.to_string p) (Value.to_string v)
+      | Replace (p, a, b) ->
+        Format.fprintf fmt "~ %s: %s -> %s@," (Pointer.to_string p)
+          (Value.to_string a) (Value.to_string b))
+    ops;
+  Format.fprintf fmt "@]"

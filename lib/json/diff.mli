@@ -1,0 +1,30 @@
+(** Structural difference of JSON documents.
+
+    [diff a b] is an edit script transforming [a] into [b]:
+    applying it with {!apply} reconstructs [b] (property-tested).
+    Objects are compared as key sets (order-insensitive, like
+    {!Value.equal}); arrays positionally, with additions/removals at
+    the tail.  The full subtree is reported at each changed path — the
+    paper's "value is the whole subtree" reading of JSON values. *)
+
+type op =
+  | Add of Pointer.t * Value.t  (** new key / appended element *)
+  | Remove of Pointer.t * Value.t  (** carries the removed value *)
+  | Replace of Pointer.t * Value.t * Value.t  (** old, new *)
+
+type t = op list
+
+val diff : Value.t -> Value.t -> t
+(** [diff a b] — empty iff [Value.equal a b]. *)
+
+val apply : t -> Value.t -> (Value.t, string) result
+(** [apply (diff a b) a = Ok b]. *)
+
+val invert : t -> t
+(** The inverse script: [apply (invert (diff a b)) b = Ok a]. *)
+
+val size : t -> int
+(** Number of edit operations. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per operation, e.g. [~ name.first: "John" -> "Jane"]. *)

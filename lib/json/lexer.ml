@@ -1,0 +1,272 @@
+type position = { line : int; col : int; offset : int }
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Comma
+  | String of string
+  | Nat of int
+  | Neg_int of int
+  | Float of float
+  | True
+  | False
+  | Null
+  | Eof
+
+exception Error of position * string
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+  mutable lookahead : (position * token) option;
+}
+
+let create input = { input; pos = 0; line = 1; bol = 0; lookahead = None }
+
+let position lx = { line = lx.line; col = lx.pos - lx.bol + 1; offset = lx.pos }
+
+let error lx fmt =
+  Format.kasprintf (fun s -> raise (Error (position lx, s))) fmt
+
+let is_eof lx = lx.pos >= String.length lx.input
+let cur lx = lx.input.[lx.pos]
+
+let advance lx =
+  if not (is_eof lx) then begin
+    if cur lx = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+    end;
+    lx.pos <- lx.pos + 1
+  end
+
+let rec skip_ws lx =
+  if not (is_eof lx) then
+    match cur lx with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance lx;
+      skip_ws lx
+    | _ -> ()
+
+let expect_word lx word token =
+  let n = String.length word in
+  if
+    lx.pos + n <= String.length lx.input
+    && String.sub lx.input lx.pos n = word
+  then begin
+    for _ = 1 to n do
+      advance lx
+    done;
+    token
+  end
+  else error lx "expected literal %S" word
+
+let hex_digit lx c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error lx "invalid hex digit %C in \\u escape" c
+
+let read_u16 lx =
+  let code = ref 0 in
+  for _ = 1 to 4 do
+    if is_eof lx then error lx "unterminated \\u escape";
+    code := (!code * 16) + hex_digit lx (cur lx);
+    advance lx
+  done;
+  !code
+
+(* Encode a unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let read_string lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if is_eof lx then error lx "unterminated string literal";
+    match cur lx with
+    | '"' ->
+      advance lx;
+      Buffer.contents buf
+    | '\\' ->
+      advance lx;
+      if is_eof lx then error lx "unterminated escape sequence";
+      let c = cur lx in
+      advance lx;
+      (match c with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let hi = read_u16 lx in
+        if hi >= 0xD800 && hi <= 0xDBFF then begin
+          (* high surrogate: a \uXXXX low surrogate must follow *)
+          if
+            is_eof lx || cur lx <> '\\'
+            || lx.pos + 1 >= String.length lx.input
+            || lx.input.[lx.pos + 1] <> 'u'
+          then error lx "high surrogate not followed by \\u escape";
+          advance lx;
+          advance lx;
+          let lo = read_u16 lx in
+          if lo < 0xDC00 || lo > 0xDFFF then
+            error lx "invalid low surrogate %04x" lo;
+          add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+        end
+        else if hi >= 0xDC00 && hi <= 0xDFFF then
+          error lx "unpaired low surrogate %04x" hi
+        else add_utf8 buf hi
+      | c -> error lx "invalid escape character %C" c);
+      go ()
+    | c when Char.code c < 0x20 ->
+      error lx "unescaped control character %#x in string" (Char.code c)
+    | c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ()
+
+let read_number lx =
+  let start = lx.pos in
+  if cur lx = '-' then advance lx;
+  if is_eof lx then error lx "truncated number";
+  (match cur lx with
+  | '0' -> advance lx
+  | '1' .. '9' ->
+    while (not (is_eof lx)) && cur lx >= '0' && cur lx <= '9' do
+      advance lx
+    done
+  | c -> error lx "invalid number start %C" c);
+  let is_float = ref false in
+  if (not (is_eof lx)) && cur lx = '.' then begin
+    is_float := true;
+    advance lx;
+    if is_eof lx || not (cur lx >= '0' && cur lx <= '9') then
+      error lx "missing digits after decimal point";
+    while (not (is_eof lx)) && cur lx >= '0' && cur lx <= '9' do
+      advance lx
+    done
+  end;
+  if (not (is_eof lx)) && (cur lx = 'e' || cur lx = 'E') then begin
+    is_float := true;
+    advance lx;
+    if (not (is_eof lx)) && (cur lx = '+' || cur lx = '-') then advance lx;
+    if is_eof lx || not (cur lx >= '0' && cur lx <= '9') then
+      error lx "missing exponent digits";
+    while (not (is_eof lx)) && cur lx >= '0' && cur lx <= '9' do
+      advance lx
+    done
+  end;
+  let text = String.sub lx.input start (lx.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n when n >= 0 -> Nat n
+    | Some n -> Neg_int n
+    | None -> error lx "integer literal %s out of range" text
+
+let next_token lx =
+  skip_ws lx;
+  let pos = position lx in
+  if is_eof lx then (pos, Eof)
+  else
+    let tok =
+      match cur lx with
+      | '{' ->
+        advance lx;
+        Lbrace
+      | '}' ->
+        advance lx;
+        Rbrace
+      | '[' ->
+        advance lx;
+        Lbracket
+      | ']' ->
+        advance lx;
+        Rbracket
+      | ':' ->
+        advance lx;
+        Colon
+      | ',' ->
+        advance lx;
+        Comma
+      | '"' -> String (read_string lx)
+      | 't' -> expect_word lx "true" True
+      | 'f' -> expect_word lx "false" False
+      | 'n' -> expect_word lx "null" Null
+      | '-' | '0' .. '9' -> read_number lx
+      | c -> error lx "unexpected character %C" c
+    in
+    (pos, tok)
+
+let next lx =
+  match lx.lookahead with
+  | Some tok ->
+    lx.lookahead <- None;
+    tok
+  | None -> next_token lx
+
+let peek lx =
+  match lx.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = next_token lx in
+    lx.lookahead <- Some tok;
+    tok
+
+let offset lx =
+  match lx.lookahead with
+  | Some (pos, _) -> pos.offset
+  | None -> lx.pos
+
+let pp_token fmt = function
+  | Lbrace -> Format.pp_print_string fmt "'{'"
+  | Rbrace -> Format.pp_print_string fmt "'}'"
+  | Lbracket -> Format.pp_print_string fmt "'['"
+  | Rbracket -> Format.pp_print_string fmt "']'"
+  | Colon -> Format.pp_print_string fmt "':'"
+  | Comma -> Format.pp_print_string fmt "','"
+  | String s -> Format.fprintf fmt "string %S" s
+  | Nat n -> Format.fprintf fmt "number %d" n
+  | Neg_int n -> Format.fprintf fmt "number %d" n
+  | Float f -> Format.fprintf fmt "number %g" f
+  | True -> Format.pp_print_string fmt "'true'"
+  | False -> Format.pp_print_string fmt "'false'"
+  | Null -> Format.pp_print_string fmt "'null'"
+  | Eof -> Format.pp_print_string fmt "end of input"
+
+let tokenize input =
+  let lx = create input in
+  let rec go acc =
+    let ((_, tok) as t) = next lx in
+    if tok = Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,56 @@
+(** A from-scratch JSON lexer.
+
+    Tokenizes the full RFC 8259 grammar (including [true]/[false]/[null]
+    and fractional/exponent numbers); the {!Parser} decides which of
+    those are admitted into the paper's restricted data model.
+
+    Strings are decoded: the eight single-character escapes and
+    [\uXXXX] (including UTF-16 surrogate pairs) are resolved and the
+    result is stored as UTF-8 bytes. *)
+
+type position = { line : int; col : int; offset : int }
+(** 1-based line and column of the {e start} of a token, plus byte
+    offset into the input. *)
+
+type token =
+  | Lbrace  (** [{] *)
+  | Rbrace  (** [}] *)
+  | Lbracket  (** [\[] *)
+  | Rbracket  (** [\]] *)
+  | Colon  (** [:] *)
+  | Comma  (** [,] *)
+  | String of string  (** a decoded string literal *)
+  | Nat of int  (** a non-negative integer literal *)
+  | Neg_int of int  (** a negative integer literal (outside the model) *)
+  | Float of float  (** a literal with fraction or exponent *)
+  | True
+  | False
+  | Null
+  | Eof
+
+exception Error of position * string
+(** Lexical error with the position at which it occurred. *)
+
+type t
+(** A lexer state over an in-memory input string. *)
+
+val create : string -> t
+(** [create input] is a lexer over [input]. *)
+
+val next : t -> position * token
+(** [next lx] consumes and returns the next token.  After [Eof] it keeps
+    returning [Eof].  @raise Error on malformed input. *)
+
+val peek : t -> position * token
+(** [peek lx] is the next token without consuming it. *)
+
+val offset : t -> int
+(** Byte offset of the first unconsumed byte (the peeked token's start
+    when a lookahead is pending). *)
+
+val pp_token : Format.formatter -> token -> unit
+(** Render a token for error messages. *)
+
+val tokenize : string -> (position * token) list
+(** [tokenize input] is the full token stream, ending with [Eof].
+    @raise Error on malformed input. *)

@@ -1,0 +1,129 @@
+type error = { position : Lexer.position; message : string }
+
+let pp_error fmt { position; message } =
+  Format.fprintf fmt "line %d, column %d: %s" position.Lexer.line
+    position.Lexer.col message
+
+exception Parse_error of error
+
+let fail position fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+let unexpected pos tok expectation =
+  fail pos "unexpected %a, expected %s" Lexer.pp_token tok expectation
+
+(* Convert a literal outside the paper's model according to [mode]. *)
+let literal mode pos (tok : Lexer.token) : Value.t =
+  match (tok, mode) with
+  | Lexer.Nat n, _ -> Value.Num n
+  | Lexer.String s, _ -> Value.Str s
+  | Lexer.True, `Lenient -> Value.Str "true"
+  | Lexer.False, `Lenient -> Value.Str "false"
+  | Lexer.Null, `Lenient -> Value.Str "null"
+  | Lexer.Float f, `Lenient when Float.is_integer f && f >= 0. ->
+    Value.Num (int_of_float f)
+  | Lexer.True, `Strict | Lexer.False, `Strict ->
+    fail pos "boolean literals are outside the model (use `Lenient mode)"
+  | Lexer.Null, `Strict ->
+    fail pos "null is outside the model (use `Lenient mode)"
+  | Lexer.Float _, _ ->
+    fail pos "non-integer numbers are outside the model"
+  | Lexer.Neg_int _, _ ->
+    fail pos "negative numbers are outside the model"
+  | _, _ -> assert false
+
+let parse_value mode max_depth lx =
+  let rec value depth =
+    if depth > max_depth then begin
+      let pos, _ = Lexer.peek lx in
+      fail pos "maximum nesting depth %d exceeded" max_depth
+    end;
+    let pos, tok = Lexer.next lx in
+    match tok with
+    | Lexer.Lbrace -> obj depth pos
+    | Lexer.Lbracket -> array depth pos
+    | Lexer.String _ | Lexer.Nat _ | Lexer.Neg_int _ | Lexer.Float _
+    | Lexer.True | Lexer.False | Lexer.Null ->
+      literal mode pos tok
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof ->
+      unexpected pos tok "a JSON value"
+  and obj depth open_pos =
+    let rec members acc =
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.String key ->
+        if List.mem_assoc key acc then
+          fail pos "duplicate object key %S" key;
+        let pos, tok = Lexer.next lx in
+        if tok <> Lexer.Colon then unexpected pos tok "':'";
+        let v = value (depth + 1) in
+        let acc = (key, v) :: acc in
+        let pos, tok = Lexer.next lx in
+        (match tok with
+        | Lexer.Comma -> members acc
+        | Lexer.Rbrace -> Value.Obj (List.rev acc)
+        | _ -> unexpected pos tok "',' or '}'")
+      | _ -> unexpected pos tok "a string key"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbrace then begin
+      ignore (Lexer.next lx);
+      Value.Obj []
+    end
+    else begin
+      ignore open_pos;
+      members []
+    end
+  and array depth open_pos =
+    let rec elements acc =
+      let v = value (depth + 1) in
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.Comma -> elements (v :: acc)
+      | Lexer.Rbracket -> Value.Arr (List.rev (v :: acc))
+      | _ -> unexpected pos tok "',' or ']'"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbracket then begin
+      ignore (Lexer.next lx);
+      Value.Arr []
+    end
+    else begin
+      ignore open_pos;
+      elements []
+    end
+  in
+  value 0
+
+let parse_exn ?(mode = `Strict) ?(max_depth = 10_000) input =
+  let lx = Lexer.create input in
+  let v = parse_value mode max_depth lx in
+  let pos, tok = Lexer.next lx in
+  if tok <> Lexer.Eof then unexpected pos tok "end of input";
+  v
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+  | exception Lexer.Error (position, message) -> Error { position; message }
+
+let parse ?mode ?max_depth input =
+  wrap (fun () -> parse_exn ?mode ?max_depth input)
+
+let parse_prefix ?(mode = `Strict) input start =
+  wrap (fun () ->
+      let tail = String.sub input start (String.length input - start) in
+      let lx = Lexer.create tail in
+      let v = parse_value mode 10_000 lx in
+      (v, start + Lexer.offset lx))
+
+let parse_many ?(mode = `Strict) input =
+  wrap (fun () ->
+      let lx = Lexer.create input in
+      let rec go acc =
+        let _, tok = Lexer.peek lx in
+        if tok = Lexer.Eof then List.rev acc
+        else go (parse_value mode 10_000 lx :: acc)
+      in
+      go [])

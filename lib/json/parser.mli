@@ -1,0 +1,43 @@
+(** Recursive-descent parser producing {!Value.t}.
+
+    Two modes control how full-JSON literals outside the paper's model
+    (Section 2 restricts values to objects, arrays, strings and natural
+    numbers) are treated:
+
+    - [`Strict] (default): [true], [false], [null], floats and negative
+      integers are rejected with a descriptive error.
+    - [`Lenient]: [true]/[false]/[null] are encoded as the strings
+      ["true"]/["false"]/["null"]; floats that are exact non-negative
+      integers are narrowed; anything else is still rejected.
+
+    Duplicate object keys are always rejected, as mandated by the JSON
+    tree model (condition 2 of Definition in Section 3.1). *)
+
+type error = { position : Lexer.position; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+(** Renders ["line L, column C: message"]. *)
+
+exception Parse_error of error
+
+val parse : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int -> string
+  -> (Value.t, error) result
+(** [parse input] parses a single JSON document followed only by
+    whitespace.  [max_depth] (default [10_000]) bounds nesting to keep
+    the parser total on adversarial inputs. *)
+
+val parse_exn : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int -> string
+  -> Value.t
+(** Like {!parse}.  @raise Parse_error on failure. *)
+
+val parse_many : ?mode:[ `Strict | `Lenient ] -> string
+  -> (Value.t list, error) result
+(** [parse_many input] parses a stream of whitespace-separated JSON
+    documents (as found in log files / JSON-lines collections). *)
+
+val parse_prefix : ?mode:[ `Strict | `Lenient ] -> string -> int
+  -> (Value.t * int, error) result
+(** [parse_prefix input start] parses one JSON document beginning at
+    byte offset [start] of [input] and returns it together with the
+    offset of the first byte after it.  Lets other parsers (the JNL
+    concrete syntax, Mongo filters) embed JSON documents. *)

@@ -1,0 +1,152 @@
+type step =
+  | Key of string
+  | Index of int
+
+type t = step list
+
+let is_plain_key s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+  && not (String.for_all (fun c -> c >= '0' && c <= '9') s)
+
+let to_string path =
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i step ->
+      match step with
+      | Key k when is_plain_key k ->
+        if i > 0 then Buffer.add_char buf '.';
+        Buffer.add_string buf k
+      | Key k ->
+        Buffer.add_char buf '[';
+        Buffer.add_string buf (Value.to_string (Value.Str k));
+        Buffer.add_char buf ']'
+      | Index i ->
+        Buffer.add_char buf '[';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ']')
+    path;
+  Buffer.contents buf
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+exception Bad of string
+
+let of_string_exn_inner input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail fmt =
+    Format.kasprintf (fun s -> raise (Bad (Printf.sprintf "at offset %d: %s" !pos s))) fmt
+  in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let bare_key () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match input.[!pos] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a key";
+    String.sub input start (!pos - start)
+  in
+  let quoted_key () =
+    (* re-use the JSON lexer for the quoted string *)
+    let rest = String.sub input !pos (n - !pos) in
+    let lx = Lexer.create rest in
+    match Lexer.next lx with
+    | _, Lexer.String s ->
+      (* consume exactly the string literal: find the closing quote by
+         re-scanning positions via the lexer's next token offset *)
+      let consumed =
+        match Lexer.peek lx with
+        | p, _ -> p.Lexer.offset
+      in
+      pos := !pos + consumed;
+      s
+    | _ -> fail "expected a quoted key"
+    | exception Lexer.Error (_, m) -> fail "bad quoted key: %s" m
+  in
+  let bracket () =
+    incr pos (* '[' *);
+    match peek () with
+    | Some '"' ->
+      let k = quoted_key () in
+      (* skip whitespace *)
+      while !pos < n && input.[!pos] = ' ' do
+        incr pos
+      done;
+      if !pos >= n || input.[!pos] <> ']' then fail "expected ']'";
+      incr pos;
+      Key k
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      if input.[!pos] = '-' then incr pos;
+      while !pos < n && input.[!pos] >= '0' && input.[!pos] <= '9' do
+        incr pos
+      done;
+      let text = String.sub input start (!pos - start) in
+      if text = "-" then fail "expected digits after '-'";
+      if !pos >= n || input.[!pos] <> ']' then fail "expected ']'";
+      incr pos;
+      Index (int_of_string text)
+    | _ -> fail "expected a quoted key or an index inside '[ ]'"
+  in
+  let steps = ref [] in
+  (* optional leading $ for the whole document *)
+  if peek () = Some '$' then incr pos;
+  let first = ref true in
+  while !pos < n do
+    (match peek () with
+    | Some '.' ->
+      incr pos;
+      steps := Key (bare_key ()) :: !steps
+    | Some '[' -> steps := bracket () :: !steps
+    | Some _ when !first -> steps := Key (bare_key ()) :: !steps
+    | Some c -> fail "unexpected character %C" c
+    | None -> ());
+    first := false
+  done;
+  List.rev !steps
+
+let of_string input =
+  match of_string_exn_inner input with
+  | p -> Ok p
+  | exception Bad msg -> Error msg
+
+let of_string_exn input =
+  match of_string input with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Pointer.of_string_exn: " ^ msg)
+
+let step_value (v : Value.t) = function
+  | Key k -> Value.member k v
+  | Index i -> Value.nth i v
+
+let get path v =
+  let rec go v = function
+    | [] -> Some v
+    | s :: rest -> ( match step_value v s with None -> None | Some v -> go v rest)
+  in
+  go v path
+
+let get_node path t n =
+  let rec go n = function
+    | [] -> Some n
+    | Key k :: rest -> (
+      match Tree.lookup t n k with None -> None | Some c -> go c rest)
+    | Index i :: rest -> (
+      match Tree.nth t n i with None -> None | Some c -> go c rest)
+  in
+  go n path
+
+let exists path v = Option.is_some (get path v)

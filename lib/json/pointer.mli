@@ -1,0 +1,41 @@
+(** JSON navigation instructions (Section 2).
+
+    A pointer is a sequence of the two primitives every JSON system
+    provides: access the value under a key of an object ([J\[key\]]),
+    and random access to the [i]-th element of an array ([J\[i\]]).
+    Negative indices address elements from the end ([-1] is last),
+    covering the dual operator discussed in §4.2.
+
+    Concrete syntax (python-flavoured dot notation):
+    {v  name.first        hobbies[1]        items[-1].id
+        ["key with.dots"] a.b[0]["c"]  v}
+    A leading [$] (the whole document) is accepted and ignored. *)
+
+type step =
+  | Key of string  (** [J\[key\]] on objects *)
+  | Index of int  (** [J\[i\]] on arrays; negative = from the end *)
+
+type t = step list
+(** A navigation path, applied left to right; [\[\]] denotes the
+    document itself. *)
+
+val of_string : string -> (t, string) result
+(** Parse the concrete syntax above. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on a malformed pointer. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} (keys needing quotes are quoted). *)
+
+val pp : Format.formatter -> t -> unit
+
+val get : t -> Value.t -> Value.t option
+(** [get p v] follows [p] from [v]; [None] when a step does not apply
+    (missing key, out-of-range index, wrong node type). *)
+
+val get_node : t -> Tree.t -> Tree.node -> Tree.node option
+(** Same, over the tree model starting from a given node. *)
+
+val exists : t -> Value.t -> bool
+(** [exists p v] is [true] iff [get p v] is [Some _]. *)

@@ -1,0 +1,41 @@
+let compact = Value.to_string
+
+let pretty ?(indent = 2) v =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let string s = Buffer.add_string buf (Value.to_string (Value.Str s)) in
+  let rec go depth = function
+    | (Value.Num _ | Value.Str _) as v -> Buffer.add_string buf (compact v)
+    | Value.Arr [] -> Buffer.add_string buf "[]"
+    | Value.Obj [] -> Buffer.add_string buf "{}"
+    | Value.Arr vs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          go (depth + 1) v)
+        vs;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf ']'
+    | Value.Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          string k;
+          Buffer.add_string buf ": ";
+          go (depth + 1) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let pp_pretty ?indent fmt v = Format.pp_print_string fmt (pretty ?indent v)
+let to_buffer buf v = Buffer.add_string buf (compact v)
+let to_channel oc v = output_string oc (compact v)

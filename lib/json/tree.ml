@@ -1,0 +1,269 @@
+type node = int
+
+type kind =
+  | Kobj
+  | Karr
+  | Kstr of string
+  | Kint of int
+
+type edge = Root | Key of string | Pos of int
+
+type t = {
+  kinds : kind array;
+  child_nodes : node array array;  (* children in document order *)
+  child_keys : string array array;  (* keys, empty for non-objects *)
+  parents : node array;  (* -1 for the root *)
+  edges : edge array;
+  sizes : int array;
+  heights : int array;
+  depths : int array;
+  hashes : int array;
+  by_key : (node * string, node) Hashtbl.t;  (* O(1) key lookup *)
+}
+
+let root = 0
+
+(* Structural hashing: must agree with Value.hash-style equality, i.e.
+   insensitive to object pair order.  We fold children of objects in
+   key-sorted order; hash mixing matches no external format, it only has
+   to be internally consistent. *)
+let mix h x = (h * 0x01000193) lxor x land max_int
+
+let of_value v =
+  let n = Value.size v in
+  let kinds = Array.make n Kobj in
+  let child_nodes = Array.make n [||] in
+  let child_keys = Array.make n [||] in
+  let parents = Array.make n (-1) in
+  let edges = Array.make n Root in
+  let sizes = Array.make n 1 in
+  let heights = Array.make n 0 in
+  let depths = Array.make n 0 in
+  let hashes = Array.make n 0 in
+  let by_key = Hashtbl.create (max 16 n) in
+  let counter = ref 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  (* Returns (id, size, height, hash) of the built subtree. *)
+  let rec build v parent edge depth =
+    let id = fresh () in
+    parents.(id) <- parent;
+    edges.(id) <- edge;
+    depths.(id) <- depth;
+    match v with
+    | Value.Num k ->
+      if k < 0 then raise (Value.Invalid "negative number in tree");
+      kinds.(id) <- Kint k;
+      hashes.(id) <- mix (mix 0x811c9dc5 1) k;
+      (id, 1, 0, hashes.(id))
+    | Value.Str s ->
+      kinds.(id) <- Kstr s;
+      hashes.(id) <- mix (mix 0x811c9dc5 2) (Hashtbl.hash s);
+      (id, 1, 0, hashes.(id))
+    | Value.Arr vs ->
+      kinds.(id) <- Karr;
+      let kids = Array.make (List.length vs) 0 in
+      let sz = ref 1 and ht = ref 0 and h = ref (mix 0x811c9dc5 3) in
+      List.iteri
+        (fun i v ->
+          let cid, csz, cht, chash = build v id (Pos i) (depth + 1) in
+          kids.(i) <- cid;
+          sz := !sz + csz;
+          ht := max !ht (cht + 1);
+          h := mix !h chash)
+        vs;
+      child_nodes.(id) <- kids;
+      sizes.(id) <- !sz;
+      heights.(id) <- !ht;
+      hashes.(id) <- !h;
+      (id, !sz, !ht, !h)
+    | Value.Obj kvs ->
+      kinds.(id) <- Kobj;
+      let m = List.length kvs in
+      let kids = Array.make m 0 in
+      let keys = Array.make m "" in
+      let sz = ref 1 and ht = ref 0 in
+      let child_hashes = Array.make m (0, 0) in
+      List.iteri
+        (fun i (k, v) ->
+          if Hashtbl.mem by_key (id, k) then
+            raise (Value.Invalid (Printf.sprintf "duplicate key %S" k));
+          let cid, csz, cht, chash = build v id (Key k) (depth + 1) in
+          kids.(i) <- cid;
+          keys.(i) <- k;
+          Hashtbl.add by_key (id, k) cid;
+          sz := !sz + csz;
+          ht := max !ht (cht + 1);
+          child_hashes.(i) <- (Hashtbl.hash k, chash))
+        kvs;
+      (* order-insensitive: fold pair hashes in sorted order *)
+      Array.sort Stdlib.compare child_hashes;
+      let h =
+        Array.fold_left
+          (fun h (kh, vh) -> mix (mix h kh) vh)
+          (mix 0x811c9dc5 4) child_hashes
+      in
+      child_nodes.(id) <- kids;
+      child_keys.(id) <- keys;
+      sizes.(id) <- !sz;
+      heights.(id) <- !ht;
+      hashes.(id) <- h;
+      (id, !sz, !ht, h)
+  in
+  let _ = build v (-1) Root 0 in
+  { kinds; child_nodes; child_keys; parents; edges; sizes; heights; depths;
+    hashes; by_key }
+
+let node_count t = Array.length t.kinds
+let kind t n = t.kinds.(n)
+let is_obj t n = match t.kinds.(n) with Kobj -> true | _ -> false
+let is_arr t n = match t.kinds.(n) with Karr -> true | _ -> false
+let is_str t n = match t.kinds.(n) with Kstr _ -> true | _ -> false
+let is_int t n = match t.kinds.(n) with Kint _ -> true | _ -> false
+let str_value t n = match t.kinds.(n) with Kstr s -> Some s | _ -> None
+let int_value t n = match t.kinds.(n) with Kint k -> Some k | _ -> None
+
+let obj_children t n =
+  match t.kinds.(n) with
+  | Kobj ->
+    let kids = t.child_nodes.(n) and keys = t.child_keys.(n) in
+    List.init (Array.length kids) (fun i -> (keys.(i), kids.(i)))
+  | Karr | Kstr _ | Kint _ -> []
+
+let arr_children t n =
+  match t.kinds.(n) with
+  | Karr -> t.child_nodes.(n)
+  | Kobj | Kstr _ | Kint _ -> [||]
+
+let children t n = Array.to_list t.child_nodes.(n)
+let arity t n = Array.length t.child_nodes.(n)
+
+let lookup t n k =
+  match t.kinds.(n) with
+  | Kobj -> Hashtbl.find_opt t.by_key (n, k)
+  | Karr | Kstr _ | Kint _ -> None
+
+let nth t n i =
+  match t.kinds.(n) with
+  | Karr ->
+    let kids = t.child_nodes.(n) in
+    let len = Array.length kids in
+    let i = if i < 0 then len + i else i in
+    if i < 0 || i >= len then None else Some kids.(i)
+  | Kobj | Kstr _ | Kint _ -> None
+
+let parent t n = if t.parents.(n) < 0 then None else Some t.parents.(n)
+let edge_from_parent t n = t.edges.(n)
+let size t n = t.sizes.(n)
+let height_of t n = t.heights.(n)
+let height t = t.heights.(root)
+let depth t n = t.depths.(n)
+let subtree_hash t n = t.hashes.(n)
+
+let rec value_at t n =
+  match t.kinds.(n) with
+  | Kint k -> Value.Num k
+  | Kstr s -> Value.Str s
+  | Karr -> Value.Arr (List.map (value_at t) (children t n))
+  | Kobj -> Value.Obj (List.map (fun (k, c) -> (k, value_at t c)) (obj_children t n))
+
+let to_value t = value_at t root
+
+(* Structural walk deciding json(n1) = json(n2) across trees t1/t2. *)
+let rec structural_equal t1 n1 t2 n2 =
+  match (t1.kinds.(n1), t2.kinds.(n2)) with
+  | Kint a, Kint b -> a = b
+  | Kstr a, Kstr b -> String.equal a b
+  | Karr, Karr ->
+    let k1 = t1.child_nodes.(n1) and k2 = t2.child_nodes.(n2) in
+    Array.length k1 = Array.length k2
+    &&
+    let rec go i =
+      i >= Array.length k1
+      || (structural_equal t1 k1.(i) t2 k2.(i) && go (i + 1))
+    in
+    go 0
+  | Kobj, Kobj ->
+    let k1 = t1.child_nodes.(n1) and k2 = t2.child_nodes.(n2) in
+    Array.length k1 = Array.length k2
+    &&
+    let keys1 = t1.child_keys.(n1) in
+    let rec go i =
+      i >= Array.length k1
+      ||
+      match lookup t2 n2 keys1.(i) with
+      | None -> false
+      | Some c2 -> structural_equal t1 k1.(i) t2 c2 && go (i + 1)
+    in
+    go 0
+  | (Kobj | Karr | Kstr _ | Kint _), _ -> false
+
+let equal_across t1 n1 t2 n2 =
+  t1.hashes.(n1) = t2.hashes.(n2)
+  && t1.sizes.(n1) = t2.sizes.(n2)
+  && structural_equal t1 n1 t2 n2
+
+let equal_subtrees t n1 n2 = n1 = n2 || equal_across t n1 t n2
+
+(* Compare a subtree against a constant value without materializing the
+   value of the subtree. *)
+let rec equal_value_walk t n (v : Value.t) =
+  match (t.kinds.(n), v) with
+  | Kint a, Value.Num b -> a = b
+  | Kstr a, Value.Str b -> String.equal a b
+  | Karr, Value.Arr vs ->
+    let kids = t.child_nodes.(n) in
+    List.length vs = Array.length kids
+    && List.for_all2
+         (fun c v -> equal_value_walk t c v)
+         (Array.to_list kids) vs
+  | Kobj, Value.Obj kvs ->
+    arity t n = List.length kvs
+    && List.for_all
+         (fun (k, v) ->
+           match lookup t n k with
+           | None -> false
+           | Some c -> equal_value_walk t c v)
+         kvs
+  | (Kobj | Karr | Kstr _ | Kint _), _ -> false
+
+let equal_to_value t n v =
+  size t n = Value.size v && equal_value_walk t n v
+
+let nodes t = Seq.init (node_count t) Fun.id
+let iter f t = Seq.iter f (nodes t)
+
+let nodes_by_height t =
+  let h = height t in
+  let buckets = Array.make (h + 1) [] in
+  (* reverse preorder keeps each bucket in preorder *)
+  for n = node_count t - 1 downto 0 do
+    buckets.(t.heights.(n)) <- n :: buckets.(t.heights.(n))
+  done;
+  buckets
+
+let address t n =
+  let rec go n acc =
+    match t.edges.(n) with
+    | Root -> acc
+    | Pos i -> go t.parents.(n) (i :: acc)
+    | Key k ->
+      (* position of the key among the parent's children *)
+      let keys = t.child_keys.(t.parents.(n)) in
+      let rec find i = if keys.(i) = k then i else find (i + 1) in
+      go t.parents.(n) (find 0 :: acc)
+  in
+  go n []
+
+let pp_node t fmt n =
+  let addr = address t n in
+  Format.fprintf fmt "@[<h>/%s: %s@]"
+    (String.concat "/" (List.map string_of_int addr))
+    (match t.kinds.(n) with
+    | Kobj -> Printf.sprintf "object(%d children)" (arity t n)
+    | Karr -> Printf.sprintf "array(%d elements)" (arity t n)
+    | Kstr s -> Printf.sprintf "string %S" s
+    | Kint k -> Printf.sprintf "number %d" k)

@@ -1,0 +1,140 @@
+(** The formal JSON tree model of Section 3.1.
+
+    A JSON tree is a structure [J = (D, Obj, Arr, Str, Int, A, O, val)]
+    where [D] is a tree domain partitioned into object, array, string
+    and number nodes, [O] is the key-labelled object-child relation
+    (keys pairwise distinct per node), [A] is the position-labelled
+    array-child relation, and [val] assigns atoms their values.
+
+    This module realizes that structure over flat arrays: nodes are
+    dense integer identifiers in {e preorder} (the root is [0] and the
+    subtree of [n] occupies the contiguous range
+    [n .. n + size t n - 1]), every node carries a precomputed
+    structural hash, size and height, so that
+
+    - child access by key or index is O(1) expected,
+    - [json(n)] subtree equality ({!equal_subtrees}) is O(1) expected
+      (hash comparison, structurally verified on collision),
+
+    which is what the linear-time evaluation results of the paper
+    (Propositions 1, 3, 6) assume of the substrate. *)
+
+type t
+(** An immutable JSON tree. *)
+
+type node = int
+(** Node identifier: [0 .. node_count t - 1], in preorder. *)
+
+type kind =
+  | Kobj  (** an object node *)
+  | Karr  (** an array node *)
+  | Kstr of string  (** a string leaf carrying its value *)
+  | Kint of int  (** a number leaf carrying its value *)
+
+type edge = Root | Key of string | Pos of int
+(** How a node is reached from its parent: object edges are labelled
+    with keys (relation [O]), array edges with positions (relation
+    [A]); the root has no incoming edge. *)
+
+val of_value : Value.t -> t
+(** Build the tree of a value.  @raise Value.Invalid on invalid values
+    (duplicate keys / negative numbers). *)
+
+val to_value : t -> Value.t
+(** Inverse of {!of_value} (up to object pair order). *)
+
+val value_at : t -> node -> Value.t
+(** [value_at t n] is [json(n)]: the JSON value of the subtree rooted at
+    [n] — itself a valid JSON document (compositionality, §3.1). *)
+
+val root : node
+(** The root node, always [0]. *)
+
+val node_count : t -> int
+(** [|D|], the number of nodes. *)
+
+val kind : t -> node -> kind
+val is_obj : t -> node -> bool
+val is_arr : t -> node -> bool
+val is_str : t -> node -> bool
+val is_int : t -> node -> bool
+
+val str_value : t -> node -> string option
+(** [val(n)] for string nodes. *)
+
+val int_value : t -> node -> int option
+(** [val(n)] for number nodes. *)
+
+val obj_children : t -> node -> (string * node) list
+(** Key-labelled children (empty unless [n] is an object), in document
+    order. *)
+
+val arr_children : t -> node -> node array
+(** Position-labelled children (empty unless [n] is an array); element
+    [i] is the child reached through edge [i]. *)
+
+val children : t -> node -> node list
+(** All children in document order, whatever the node kind. *)
+
+val arity : t -> node -> int
+(** Number of children. *)
+
+val lookup : t -> node -> string -> node option
+(** [lookup t n k] resolves the navigation instruction [n\[k\]]:
+    the unique child of object [n] under key [k].  O(1) expected. *)
+
+val nth : t -> node -> int -> node option
+(** [nth t n i] resolves [n\[i\]] on array nodes.  Negative [i] counts
+    from the end ([-1] is the last element), cf. the dual operator
+    remark in §4.2. *)
+
+val parent : t -> node -> node option
+(** [None] only for the root. *)
+
+val edge_from_parent : t -> node -> edge
+(** The incoming edge label. *)
+
+val size : t -> node -> int
+(** Number of nodes of the subtree rooted at [n]. *)
+
+val height_of : t -> node -> int
+(** Height of the subtree rooted at [n] (leaves have height [0]). *)
+
+val height : t -> int
+(** Height of the whole tree. *)
+
+val depth : t -> node -> int
+(** Distance from the root. *)
+
+val subtree_hash : t -> node -> int
+(** Structural hash of [json(n)], equal for structurally equal
+    subtrees (object key order insensitive). *)
+
+val equal_subtrees : t -> node -> node -> bool
+(** [equal_subtrees t n1 n2] decides [json(n1) = json(n2)].  Exact:
+    hash comparison fast path, structural walk on agreement. *)
+
+val equal_across : t -> node -> t -> node -> bool
+(** Subtree equality across two different trees. *)
+
+val equal_to_value : t -> node -> Value.t -> bool
+(** [equal_to_value t n a] decides [json(n) = A] for a constant
+    document [A] (the [EQ(α, A)] and [~(A)] atomic tests). *)
+
+val nodes : t -> node Seq.t
+(** All nodes in preorder. *)
+
+val iter : (node -> unit) -> t -> unit
+(** Preorder iteration. *)
+
+val nodes_by_height : t -> node list array
+(** [nodes_by_height t] groups node ids by subtree height — index [h]
+    lists the nodes of height exactly [h].  Used by the bottom-up
+    recursive-JSL evaluator (Proposition 9). *)
+
+val address : t -> node -> int list
+(** The tree-domain address of [n]: the sequence of child positions
+    from the root, i.e. the element of [D ⊆ N*] the node stands for. *)
+
+val pp_node : t -> Format.formatter -> node -> unit
+(** Debug rendering: address, kind and value of a node. *)

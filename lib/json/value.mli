@@ -1,0 +1,97 @@
+(** JSON values, restricted to the data model of Bourhis et al. (PODS'17).
+
+    The paper abstracts JSON to four kinds of values: natural numbers,
+    strings, arrays, and objects whose keys are pairwise distinct
+    (Section 2).  This module provides that value type together with
+    smart constructors enforcing the key-distinctness invariant,
+    structural comparison, hashing, and convenient accessors.
+
+    Full-JSON literals ([true], [false], [null], floats) are handled at
+    the parser level (see {!Parser}); they are not part of the formal
+    model. *)
+
+type t =
+  | Num of int  (** a natural number; the invariant [n >= 0] is enforced
+                    by {!num} and checked by {!check}. *)
+  | Str of string  (** a unicode string, stored as UTF-8 bytes. *)
+  | Arr of t list  (** an array [\[v1, ..., vn\]]. *)
+  | Obj of (string * t) list
+      (** an object [{k1: v1, ..., kn: vn}]; keys must be pairwise
+          distinct.  Order of pairs is preserved for printing but is
+          irrelevant for {!equal} and {!compare}. *)
+
+exception Invalid of string
+(** Raised by smart constructors on invariant violations. *)
+
+val num : int -> t
+(** [num n] is [Num n].  @raise Invalid if [n < 0]. *)
+
+val str : string -> t
+(** [str s] is [Str s]. *)
+
+val arr : t list -> t
+(** [arr vs] is [Arr vs]. *)
+
+val obj : (string * t) list -> t
+(** [obj kvs] is [Obj kvs].  @raise Invalid if two keys coincide. *)
+
+val empty_obj : t
+(** The empty object [{}]. *)
+
+val check : t -> (unit, string) result
+(** [check v] verifies the deep invariants: all numbers are naturals and
+    all objects have pairwise-distinct keys. *)
+
+val is_valid : t -> bool
+(** [is_valid v] is [true] iff [check v] is [Ok ()]. *)
+
+val equal : t -> t -> bool
+(** Structural equality.  Objects are compared as key-value {e sets}:
+    pair order is irrelevant, mirroring the unordered semantics of JSON
+    objects in the paper. *)
+
+val compare : t -> t -> int
+(** A total order compatible with {!equal} (objects compared on
+    key-sorted pairs). *)
+
+val hash : t -> int
+(** A structural hash compatible with {!equal}. *)
+
+val sort_keys : t -> t
+(** [sort_keys v] recursively sorts all object pairs by key, producing
+    the canonical representative of [v]'s equivalence class. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k v] is the value under key [k] when [v] is an object
+    containing [k], the JSON navigation instruction [v\[k\]]. *)
+
+val nth : int -> t -> t option
+(** [nth i v] is the [i]-th element (0-based) when [v] is an array.
+    Negative indices count from the end: [-1] is the last element. *)
+
+val kind : t -> [ `Num | `Str | `Arr | `Obj ]
+(** The top-level type of a value. *)
+
+val kind_name : t -> string
+(** Human-readable name of {!kind}: ["number"], ["string"], ["array"],
+    ["object"]. *)
+
+(** {1 Size measures} *)
+
+val size : t -> int
+(** Number of JSON values nested in [v], including [v] itself — the
+    number of nodes of the corresponding JSON tree. *)
+
+val height : t -> int
+(** Height of the corresponding JSON tree; atoms and empty containers
+    have height [0]. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact single-line JSON rendering (suitable for error messages). *)
+
+val to_string : t -> string
+(** [to_string v] is the compact rendering of [v]. *)

@@ -1,0 +1,87 @@
+type t = {
+  tag : string;
+  label : string option;
+  text : string option;
+  children : t list;
+}
+
+let leaf tag text = { tag; label = None; text = Some text; children = [] }
+
+let rec encode (v : Value.t) : t =
+  match v with
+  | Value.Num n -> leaf "number" (string_of_int n)
+  | Value.Str s -> leaf "string" s
+  | Value.Arr vs ->
+    { tag = "array"; label = None; text = None; children = List.map encode vs }
+  | Value.Obj kvs ->
+    { tag = "object";
+      label = None;
+      text = None;
+      children =
+        List.map
+          (fun (k, v) ->
+            { tag = "pair"; label = Some k; text = None; children = [ encode v ] })
+          kvs }
+
+let rec decode (x : t) : (Value.t, string) result =
+  match (x.tag, x.text, x.children) with
+  | "number", Some s, [] -> (
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Value.Num n)
+    | _ -> Error ("bad number text " ^ s))
+  | "string", Some s, [] -> Ok (Value.Str s)
+  | "array", None, kids ->
+    let rec go acc = function
+      | [] -> Ok (Value.Arr (List.rev acc))
+      | kid :: rest -> (
+        match decode kid with
+        | Ok v -> go (v :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] kids
+  | "object", None, kids ->
+    let rec go acc = function
+      | [] -> (
+        match Value.obj (List.rev acc) with
+        | v -> Ok v
+        | exception Value.Invalid m -> Error m)
+      | { tag = "pair"; label = Some k; children = [ child ]; _ } :: rest -> (
+        match decode child with
+        | Ok v -> go ((k, v) :: acc) rest
+        | Error _ as e -> e)
+      | _ -> Error "object child is not a well-formed pair"
+    in
+    go [] kids
+  | tag, _, _ -> Error ("malformed node with tag " ^ tag)
+
+let lookup_key x key =
+  match x.tag with
+  | "object" ->
+    let rec scan = function
+      | [] -> None
+      | { tag = "pair"; label = Some k; children = [ child ]; _ } :: _
+        when String.equal k key ->
+        Some child
+      | _ :: rest -> scan rest
+    in
+    scan x.children
+  | _ -> None
+
+let nth x i =
+  match x.tag with
+  | "array" -> List.nth_opt x.children i
+  | _ -> None
+
+let rec size x = List.fold_left (fun acc c -> acc + size c) 1 x.children
+
+let rec pp fmt x =
+  let attrs =
+    (match x.label with Some l -> Printf.sprintf " key=%S" l | None -> "")
+    ^ match x.text with Some t -> Printf.sprintf " value=%S" t | None -> ""
+  in
+  match x.children with
+  | [] -> Format.fprintf fmt "<%s%s/>" x.tag attrs
+  | kids ->
+    Format.fprintf fmt "@[<v 2><%s%s>" x.tag attrs;
+    List.iter (fun k -> Format.fprintf fmt "@,%a" pp k) kids;
+    Format.fprintf fmt "@]@,</%s>" x.tag

@@ -1,0 +1,45 @@
+(** The XML-style coding of JSON discussed in Section 3.2.
+
+    The paper argues that while JSON {e can} be coded as an XML-style
+    ordered labelled tree, the coding is awkward: keys become node
+    labels, so resolving the navigation instruction [J\[key\]] "would
+    require us to have keys as node labels, thus forcing a scan of all
+    of the node's children in order to retrieve the value" — against
+    the O(1) key access the native model supports (edges labelled by
+    keys, at most one per label).
+
+    This module implements that coding faithfully so the claim can be
+    measured (benchmark experiment E-XML): an ordered, node-labelled
+    tree with values at leaves, a round-tripping decoder, and the
+    scan-based key lookup.
+
+    Coding scheme:
+    - an object becomes a ["object"] node whose children are one
+      ["pair"] node per key-value pair, each carrying the key as its
+      label attribute and the coded value as its single child;
+    - an array becomes an ["array"] node with the coded elements as
+      ordered children (order is the only carrier of positions);
+    - atoms become ["string"]/["number"] leaves carrying their value. *)
+
+type t = {
+  tag : string;  (** "object" | "pair" | "array" | "string" | "number" *)
+  label : string option;  (** the key, on "pair" nodes *)
+  text : string option;  (** the atomic value, on leaves *)
+  children : t list;
+}
+
+val encode : Value.t -> t
+val decode : t -> (Value.t, string) result
+(** [decode (encode v) = Ok v] (property-tested). *)
+
+val lookup_key : t -> string -> t option
+(** [J\[key\]] under the coding: a linear scan of the children — the
+    §3.2 inefficiency.  Returns the coded value, not the pair node. *)
+
+val nth : t -> int -> t option
+(** [J\[i\]] under the coding: positional access into the ordered
+    children. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+(** Angle-bracketed rendering (debugging aid). *)

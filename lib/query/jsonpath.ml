@@ -1,0 +1,219 @@
+module Jnl = Jlogic.Jnl
+
+let any_child : Jnl.path = Jnl.Alt (Jnl.Keys Rexp.Syntax.all, Jnl.Range (0, None))
+let descendant_or_self : Jnl.path = Jnl.Star any_child
+
+exception Bad of string
+
+type st = { input : string; mutable pos : int }
+
+let bad st fmt =
+  Format.kasprintf
+    (fun s -> raise (Bad (Printf.sprintf "at offset %d: %s" st.pos s)))
+    fmt
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let bare_name st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-') -> true
+    | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then bad st "expected a name";
+  String.sub st.input start (st.pos - start)
+
+let quoted_name st =
+  let quote = Option.get (peek st) in
+  advance st;
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | None -> bad st "unterminated quoted name"
+    | Some c when c = quote -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | None -> bad st "dangling backslash")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let int_opt st =
+  let start = st.pos in
+  if peek st = Some '-' then advance st;
+  while match peek st with Some ('0' .. '9') -> true | _ -> false do
+    advance st
+  done;
+  if st.pos = start || (st.pos = start + 1 && st.input.[start] = '-') then begin
+    st.pos <- start;
+    None
+  end
+  else Some (int_of_string (String.sub st.input start (st.pos - start)))
+
+(* the contents of a bracket selector, after '[' *)
+let bracket st : Jnl.path =
+  let item () : Jnl.path =
+    match peek st with
+    | Some '*' ->
+      advance st;
+      any_child
+    | Some ('\'' | '"') -> Jnl.Key (quoted_name st)
+    | Some '?' ->
+      advance st;
+      if peek st <> Some '(' then bad st "expected '(' after '?'";
+      advance st;
+      (* find the matching ')' to hand the inside to the JNL parser *)
+      let start = st.pos in
+      let depth = ref 1 in
+      while !depth > 0 do
+        match peek st with
+        | None -> bad st "unterminated filter"
+        | Some '(' ->
+          incr depth;
+          advance st
+        | Some ')' ->
+          decr depth;
+          if !depth > 0 then advance st
+        | Some _ -> advance st
+      done;
+      let inner = String.sub st.input start (st.pos - start) in
+      advance st (* closing ')' *);
+      (match Jnl.parse inner with
+      | Ok f -> Jnl.Test f
+      | Error m -> bad st "bad filter: %s" m)
+    | Some ('0' .. '9' | '-') -> (
+      let i = Option.get (int_opt st) in
+      match peek st with
+      | Some ':' ->
+        advance st;
+        (match int_opt st with
+        | Some j ->
+          if j <= i then bad st "empty slice %d:%d" i j
+          else Jnl.Range (i, Some (j - 1))
+        | None -> Jnl.Range (i, None))
+      | _ -> Jnl.Idx i)
+    | Some ':' -> (
+      advance st;
+      match int_opt st with
+      | Some j -> if j <= 0 then bad st "empty slice" else Jnl.Range (0, Some (j - 1))
+      | None -> Jnl.Range (0, None))
+    | Some c -> bad st "unexpected %C in brackets" c
+    | None -> bad st "unterminated brackets"
+  in
+  let rec items acc =
+    let it = item () in
+    let acc = match acc with None -> Some it | Some p -> Some (Jnl.Alt (p, it)) in
+    match peek st with
+    | Some ',' ->
+      advance st;
+      items acc
+    | Some ']' ->
+      advance st;
+      Option.get acc
+    | Some c -> bad st "expected ',' or ']', found %C" c
+    | None -> bad st "unterminated brackets"
+  in
+  items None
+
+let parse_exn_inner input =
+  let st = { input; pos = 0 } in
+  if peek st = Some '$' then advance st;
+  let steps = ref [] in
+  let push p = steps := p :: !steps in
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some '.' when peek2 st = Some '.' ->
+      advance st;
+      advance st;
+      push descendant_or_self;
+      (match peek st with
+      | Some '*' ->
+        advance st;
+        push any_child
+      | Some '[' ->
+        advance st;
+        push (bracket st)
+      | Some _ -> push (Jnl.Key (bare_name st))
+      | None -> bad st "dangling '..'");
+      go ()
+    | Some '.' ->
+      advance st;
+      (match peek st with
+      | Some '*' ->
+        advance st;
+        push any_child
+      | _ -> push (Jnl.Key (bare_name st)));
+      go ()
+    | Some '[' ->
+      advance st;
+      push (bracket st);
+      go ()
+    | Some c -> bad st "unexpected %C" c
+  in
+  go ();
+  match List.rev !steps with
+  | [] -> Jnl.Self
+  | first :: rest -> List.fold_left (fun acc p -> Jnl.Seq (acc, p)) first rest
+
+let parse input =
+  match parse_exn_inner input with p -> Ok p | exception Bad m -> Error m
+
+let parse_exn input =
+  match parse input with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Jquery.Jsonpath.parse_exn: " ^ m)
+
+let select_nodes tree path =
+  let ctx = Jlogic.Jnl_eval.context tree in
+  Jlogic.Jnl_eval.succs ctx path Jsont.Tree.root
+
+let select doc path_str =
+  match parse path_str with
+  | Error _ as e -> e
+  | Ok path ->
+    let tree = Jsont.Tree.of_value doc in
+    Ok (List.map (Jsont.Tree.value_at tree) (select_nodes tree path))
+
+let select_exn doc path_str =
+  match select doc path_str with
+  | Ok vs -> vs
+  | Error m -> invalid_arg ("Jquery.Jsonpath.select_exn: " ^ m)
+
+(* the pointer of a node: its edges from the root *)
+let pointer_of_node tree node =
+  let rec go n acc =
+    match Jsont.Tree.edge_from_parent tree n with
+    | Jsont.Tree.Root -> acc
+    | Jsont.Tree.Key k ->
+      go (Option.get (Jsont.Tree.parent tree n)) (Jsont.Pointer.Key k :: acc)
+    | Jsont.Tree.Pos i ->
+      go (Option.get (Jsont.Tree.parent tree n)) (Jsont.Pointer.Index i :: acc)
+  in
+  go node []
+
+let select_with_paths doc path_str =
+  match parse path_str with
+  | Error _ as e -> e
+  | Ok path ->
+    let tree = Jsont.Tree.of_value doc in
+    Ok
+      (List.map
+         (fun n -> (pointer_of_node tree n, Jsont.Tree.value_at tree n))
+         (select_nodes tree path))

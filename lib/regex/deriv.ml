@@ -1,0 +1,14 @@
+let rec derivative c (r : Syntax.t) =
+  match r with
+  | Syntax.Empty | Syntax.Epsilon -> Syntax.empty
+  | Syntax.Chars cs ->
+    if Charset.mem c cs then Syntax.epsilon else Syntax.empty
+  | Syntax.Cat (a, b) ->
+    let da_b = Syntax.cat (derivative c a) b in
+    if Syntax.nullable a then Syntax.alt da_b (derivative c b) else da_b
+  | Syntax.Alt (a, b) -> Syntax.alt (derivative c a) (derivative c b)
+  | Syntax.Star a -> Syntax.cat (derivative c a) (Syntax.star a)
+
+let matches r w =
+  let r = String.fold_left (fun r c -> derivative c r) r w in
+  Syntax.nullable r

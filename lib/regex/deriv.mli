@@ -1,0 +1,12 @@
+(** Brzozowski-derivative matcher — an independent second implementation
+    of regular-language membership, used to cross-validate the
+    NFA/DFA pipeline in the property-based test suite.
+
+    Relies on the smart constructors of {!Syntax} keeping derivative
+    sets finite (similarity classes). *)
+
+val derivative : char -> Syntax.t -> Syntax.t
+(** [derivative c e] denotes [{ w | c·w ∈ L(e) }]. *)
+
+val matches : Syntax.t -> string -> bool
+(** Membership by iterated derivatives and a final nullability test. *)

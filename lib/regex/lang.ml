@@ -1,0 +1,46 @@
+type t = {
+  syntax : Syntax.t option;  (* None when built by automaton combinations *)
+  dfa : Dfa.t Lazy.t;
+}
+
+let of_syntax s = { syntax = Some s; dfa = lazy (Dfa.of_syntax s) }
+
+let of_string str =
+  match Parse.parse str with
+  | Ok s -> Ok (of_syntax s)
+  | Error _ as e -> ( match e with Error m -> Error m | Ok _ -> assert false)
+
+let of_string_exn str = of_syntax (Parse.parse_exn str)
+
+let syntax t =
+  match t.syntax with
+  | Some s -> s
+  | None ->
+    invalid_arg "Rexp.Lang.syntax: language built by automaton combination"
+
+let dfa t = Lazy.force t.dfa
+let matches t w = Dfa.accepts (dfa t) w
+let is_empty t = Dfa.is_empty (dfa t)
+let is_universal t = Dfa.is_universal (dfa t)
+
+let combine2 f a b = { syntax = None; dfa = lazy (f (dfa a) (dfa b)) }
+let inter = combine2 Dfa.inter
+let union = combine2 Dfa.union
+let diff = combine2 Dfa.diff
+let complement a = { syntax = None; dfa = lazy (Dfa.complement (dfa a)) }
+let equiv a b = Dfa.equiv (dfa a) (dfa b)
+let subset a b = Dfa.subset (dfa a) (dfa b)
+let witness t = Dfa.shortest_word (dfa t)
+let witnesses ?limit t = Dfa.sample_words ?limit (dfa t)
+let all = of_syntax Syntax.all
+let literal s = of_syntax (Syntax.literal s)
+
+let extract_syntax t =
+  match t.syntax with
+  | Some s -> s
+  | None -> Dfa.to_syntax (dfa t)
+
+let pp fmt t =
+  match t.syntax with
+  | Some s -> Syntax.pp fmt s
+  | None -> Format.pp_print_string fmt "<combined language>"

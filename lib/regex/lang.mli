@@ -1,0 +1,44 @@
+(** High-level compiled regular languages.
+
+    A {!t} pairs the syntax with its (lazily built, cached) DFA, so that
+    repeated membership tests during formula evaluation cost O(|w|)
+    after a one-off compilation, and the satisfiability procedures can
+    freely combine languages with boolean operations. *)
+
+type t
+
+val of_syntax : Syntax.t -> t
+val of_string : string -> (t, string) result
+(** Parse with {!Parse.parse} and compile. *)
+
+val of_string_exn : string -> t
+val syntax : t -> Syntax.t
+
+val matches : t -> string -> bool
+(** [w ∈ L(e)], O(|w|) after compilation. *)
+
+val is_empty : t -> bool
+val is_universal : t -> bool
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+val equiv : t -> t -> bool
+val subset : t -> t -> bool
+
+val witness : t -> string option
+(** A shortest member of the language, if non-empty. *)
+
+val witnesses : ?limit:int -> t -> string list
+(** Several distinct short members. *)
+
+val all : t
+(** Σ*. *)
+
+val extract_syntax : t -> Syntax.t
+(** A regular expression denoting the language: the original syntax
+    when available, otherwise reconstructed from the automaton by state
+    elimination ({!Dfa.to_syntax}). *)
+
+val literal : string -> t
+val pp : Format.formatter -> t -> unit

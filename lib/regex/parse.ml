@@ -1,0 +1,234 @@
+exception Bad of string
+
+type state = { input : string; mutable pos : int }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun s -> raise (Bad (Printf.sprintf "at offset %d: %s" st.pos s)))
+    fmt
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let eat st c =
+  match peek st with
+  | Some c' when c = c' -> advance st
+  | _ -> fail st "expected %C" c
+
+let digit_class = Charset.range '0' '9'
+
+let word_class =
+  Charset.union
+    (Charset.union (Charset.range 'a' 'z') (Charset.range 'A' 'Z'))
+    (Charset.union digit_class (Charset.singleton '_'))
+
+let space_class = Charset.of_string " \t\n\r\011\012"
+
+let hex st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad hex digit %C" c
+
+(* Returns either a literal char or a character class for an escape. *)
+let escape st =
+  match peek st with
+  | None -> fail st "dangling backslash"
+  | Some c ->
+    advance st;
+    (match c with
+    | '\\' | '.' | '*' | '+' | '?' | '|' | '(' | ')' | '[' | ']' | '{' | '}'
+    | '^' | '$' | '-' | '/' ->
+      `Char c
+    | 'n' -> `Char '\n'
+    | 'r' -> `Char '\r'
+    | 't' -> `Char '\t'
+    | 'd' -> `Class digit_class
+    | 'D' -> `Class (Charset.complement digit_class)
+    | 'w' -> `Class word_class
+    | 'W' -> `Class (Charset.complement word_class)
+    | 's' -> `Class space_class
+    | 'S' -> `Class (Charset.complement space_class)
+    | 'x' -> (
+      match (peek st, st.pos + 1 < String.length st.input) with
+      | Some h1, true ->
+        advance st;
+        let h2 = st.input.[st.pos] in
+        advance st;
+        `Char (Char.chr ((hex st h1 * 16) + hex st h2))
+      | _ -> fail st "truncated \\x escape")
+    | c -> fail st "unknown escape \\%c" c)
+
+let char_class st =
+  eat st '[';
+  let negated =
+    match peek st with
+    | Some '^' ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let acc = ref Charset.empty in
+  let add cs = acc := Charset.union !acc cs in
+  let item_char () =
+    match peek st with
+    | None -> fail st "unterminated character class"
+    | Some '\\' ->
+      advance st;
+      (match escape st with
+      | `Char c -> `Char c
+      | `Class cs -> `Class cs)
+    | Some c ->
+      advance st;
+      `Char c
+  in
+  (* Unlike POSIX, a leading ']' closes the class: [] denotes the empty
+     class (∅) and [^] the full alphabet; a literal ']' must be escaped. *)
+  let rec items _first =
+    match peek st with
+    | None -> fail st "unterminated character class"
+    | Some ']' -> advance st
+    | Some _ -> (
+      match item_char () with
+      | `Class cs ->
+        add cs;
+        items false
+      | `Char lo -> (
+        match peek st with
+        | Some '-' when st.pos + 1 < String.length st.input
+                        && st.input.[st.pos + 1] <> ']' ->
+          advance st;
+          (match item_char () with
+          | `Char hi ->
+            if Char.code lo > Char.code hi then
+              fail st "inverted range %c-%c" lo hi;
+            add (Charset.range lo hi);
+            items false
+          | `Class _ -> fail st "class cannot end a range")
+        | _ ->
+          add (Charset.singleton lo);
+          items false))
+  in
+  items true;
+  if negated then Charset.complement !acc else !acc
+
+let rec parse_alt st =
+  let first = parse_cat st in
+  let rec go acc =
+    match peek st with
+    | Some '|' ->
+      advance st;
+      go (Syntax.alt acc (parse_cat st))
+    | _ -> acc
+  in
+  go first
+
+and parse_cat st =
+  let rec go acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> acc
+    | Some _ -> go (Syntax.cat acc (parse_post st))
+  in
+  go Syntax.epsilon
+
+and parse_post st =
+  let atom = parse_atom st in
+  let rec go acc =
+    match peek st with
+    | Some '*' ->
+      advance st;
+      go (Syntax.star acc)
+    | Some '+' ->
+      advance st;
+      go (Syntax.plus acc)
+    | Some '?' ->
+      advance st;
+      go (Syntax.opt acc)
+    | Some '{' ->
+      advance st;
+      let number () =
+        let start = st.pos in
+        while
+          match peek st with Some ('0' .. '9') -> true | _ -> false
+        do
+          advance st
+        done;
+        if st.pos = start then fail st "expected a number in {m,n}";
+        int_of_string (String.sub st.input start (st.pos - start))
+      in
+      let m = number () in
+      let n =
+        match peek st with
+        | Some ',' -> (
+          advance st;
+          match peek st with
+          | Some '}' -> None
+          | _ -> Some (number ()))
+        | _ -> Some m
+      in
+      eat st '}';
+      go (Syntax.repeat m n acc)
+    | _ -> acc
+  in
+  go atom
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '(' ->
+    advance st;
+    (* accept the empty group as ε *)
+    if peek st = Some ')' then begin
+      advance st;
+      Syntax.epsilon
+    end
+    else begin
+      let r = parse_alt st in
+      eat st ')';
+      r
+    end
+  | Some '.' ->
+    advance st;
+    Syntax.any_char
+  | Some '[' -> Syntax.chars (char_class st)
+  | Some '\\' ->
+    advance st;
+    (match escape st with
+    | `Char c -> Syntax.char c
+    | `Class cs -> Syntax.chars cs)
+  | Some ('*' | '+' | '?') -> fail st "quantifier with nothing to repeat"
+  | Some c ->
+    advance st;
+    Syntax.char c
+
+let run input =
+  (* strip redundant anchors: the semantics is whole-string already *)
+  let input =
+    let n = String.length input in
+    let from = if n > 0 && input.[0] = '^' then 1 else 0 in
+    let until =
+      if n > from && input.[n - 1] = '$'
+         && (n < 2 || input.[n - 2] <> '\\') then n - 1
+      else n
+    in
+    String.sub input from (until - from)
+  in
+  let st = { input; pos = 0 } in
+  let r = parse_alt st in
+  (match peek st with
+  | None -> ()
+  | Some c -> fail st "unexpected %C" c);
+  r
+
+let parse input =
+  match run input with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Rexp.Parse.parse_exn: " ^ msg)
+
+let search e = Syntax.(cat all (cat e all))

@@ -1,0 +1,26 @@
+(** Parser for the concrete regular-expression syntax.
+
+    Grammar (POSIX-flavoured, whole-string semantics):
+    {v
+      alt    ::= cat ('|' cat)*
+      cat    ::= post*
+      post   ::= atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+      atom   ::= literal-char | '.' | '\' escape | class | '(' alt ')'
+      class  ::= '[' '^'? item+ ']'      item ::= c | c '-' c
+    v}
+
+    Escapes: [\\ \. \* \+ \? \| \( \) \[ \] \{ \} \^ \$ \- \/],
+    [\n \r \t], [\xHH], and the classes [\d \D \w \W \s \S].
+
+    Expressions denote whole-string languages — [w ∈ L(e)] — matching
+    the paper's semantics for [X_e] and [Pattern(e)].  Anchors [^]/[$]
+    at the ends are accepted and ignored; use {!search} to get
+    substring-search semantics (as JSON Schema's [pattern] uses). *)
+
+val parse : string -> (Syntax.t, string) result
+val parse_exn : string -> Syntax.t
+(** @raise Invalid_argument on malformed input. *)
+
+val search : Syntax.t -> Syntax.t
+(** [search e] is [Σ* e Σ*]: turns whole-string semantics into
+    contains-a-match semantics. *)

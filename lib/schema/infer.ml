@@ -1,0 +1,75 @@
+module Value = Jsont.Value
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let partition_types vs =
+  let nums = List.filter_map (function Value.Num n -> Some n | _ -> None) vs in
+  let strs = List.filter_map (function Value.Str s -> Some s | _ -> None) vs in
+  let arrs = List.filter_map (function Value.Arr l -> Some l | _ -> None) vs in
+  let objs = List.filter_map (function Value.Obj l -> Some l | _ -> None) vs in
+  (nums, strs, arrs, objs)
+
+let infer_numbers ~strict nums : Schema.t =
+  let lo = List.fold_left min max_int nums in
+  let hi = List.fold_left max 0 nums in
+  let divisor = List.fold_left gcd 0 nums in
+  Schema.C_type Schema.T_number
+  ::
+  (if strict then
+     [ Schema.C_minimum lo; Schema.C_maximum hi ]
+     @ if divisor > 1 then [ Schema.C_multiple_of divisor ] else []
+   else [])
+
+let infer_strings strs : Schema.t =
+  let distinct = List.sort_uniq String.compare strs in
+  (* an enum only when the value set looks categorical *)
+  if List.length distinct <= 4 && List.length strs >= 2 * List.length distinct
+  then [ Schema.C_enum (List.map (fun s -> Value.Str s) distinct) ]
+  else [ Schema.C_type Schema.T_string ]
+
+let rec infer_values ~strict (vs : Value.t list) : Schema.t =
+  let nums, strs, arrs, objs = partition_types vs in
+  let branches =
+    (if nums = [] then [] else [ infer_numbers ~strict nums ])
+    @ (if strs = [] then [] else [ infer_strings strs ])
+    @ (if arrs = [] then [] else [ infer_arrays ~strict arrs ])
+    @ if objs = [] then [] else [ infer_objects ~strict objs ]
+  in
+  match branches with
+  | [] -> invalid_arg "Jschema.Infer.infer: no examples"
+  | [ s ] -> s
+  | ss -> [ Schema.C_any_of ss ]
+
+and infer_arrays ~strict (arrs : Value.t list list) : Schema.t =
+  let elements = List.concat arrs in
+  Schema.C_type Schema.T_array
+  ::
+  (if elements = [] then []
+   else [ Schema.C_additional_items (infer_values ~strict elements) ])
+
+and infer_objects ~strict (objs : (string * Value.t) list list) : Schema.t =
+  let keys =
+    List.sort_uniq String.compare (List.concat_map (List.map fst) objs)
+  in
+  let required =
+    List.filter (fun k -> List.for_all (List.mem_assoc k) objs) keys
+  in
+  let properties =
+    List.map
+      (fun k ->
+        let samples = List.filter_map (List.assoc_opt k) objs in
+        (k, infer_values ~strict samples))
+      keys
+  in
+  [ Schema.C_type Schema.T_object ]
+  @ (if required = [] then [] else [ Schema.C_required required ])
+  @ (if properties = [] then [] else [ Schema.C_properties properties ])
+  @
+  if strict && keys <> [] then [ Schema.C_additional_properties Schema.s_false ]
+  else []
+
+let infer ?(mode = `Loose) vs =
+  if vs = [] then invalid_arg "Jschema.Infer.infer: no examples";
+  infer_values ~strict:(mode = `Strict) vs
+
+let infer_document ?mode vs = Schema.plain (infer ?mode vs)

@@ -1,0 +1,34 @@
+(** Schema inference from example documents.
+
+    Section 5.2 motivates the study of satisfiability by noting that
+    "the community has repeatedly stated the need for algorithms that
+    can learn JSON Schemas from examples" and that basic static tasks
+    are the first steps toward it.  This module is that first step,
+    executable: it infers a schema generalizing a set of example
+    documents, with the guarantee — property-tested — that {e every
+    example validates against the inferred schema}.
+
+    The inference is structural and deliberately predictable:
+
+    - atoms contribute their type; numbers additionally narrow a
+      [minimum]/[maximum] interval (and a [multipleOf] when a common
+      divisor > 1 exists); strings contribute an [enum] when few
+      distinct values are seen, else just the type;
+    - objects merge key-wise: keys present in {e every} example become
+      [required]; every key's values are inferred recursively under
+      [properties];
+    - arrays merge element-wise into a single [additionalItems] schema
+      (the homogeneous-collection reading);
+    - heterogeneous types at one position become an [anyOf] of the
+      per-type inferences.
+
+    [`Strict] mode additionally closes objects with
+    [additionalProperties: false] and emits the numeric bounds;
+    [`Loose] (default) omits both, generalizing further. *)
+
+val infer : ?mode:[ `Loose | `Strict ] -> Jsont.Value.t list -> Schema.t
+(** @raise Invalid_argument on an empty example list. *)
+
+val infer_document :
+  ?mode:[ `Loose | `Strict ] -> Jsont.Value.t list -> Schema.document
+(** {!infer} wrapped as a definition-free document. *)

@@ -1,0 +1,19 @@
+(** Theorem 1 / Theorem 3, logic-to-schema direction: every JSL
+    expression has an equivalent JSON Schema.
+
+    Follows the constructions in the proof of Theorem 1, with two
+    repairs the proof glosses over:
+
+    - [MaxCh(i)] also holds at strings and numbers (0 children), so the
+      [anyOf] gains the two atomic types;
+    - index modalities must not constrain arrays too short to reach the
+      range (□ is vacuous there), so the [anyOf] enumerates the exact
+      shorter lengths — this is where numeric parameters written in
+      binary blow up the schema, as the paper remarks before
+      Proposition 7.
+
+    [◇] forms are emitted as [not □ not].  Recursion symbols become
+    [$ref]s (Theorem 3). *)
+
+val schema : Jlogic.Jsl.t -> Schema.t
+val document : Jlogic.Jsl_rec.t -> Schema.document

@@ -1,0 +1,14 @@
+(** Direct JSON Schema validator — independent of the JSL machinery, so
+    the Theorem 1 equivalence can be tested as the agreement of two
+    separately implemented semantics.
+
+    Follows the paper's semantics as documented in {!Schema}. *)
+
+val validates : Schema.document -> Jsont.Value.t -> bool
+(** Does the document validate against the schema?
+    @raise Invalid_argument if the schema is not well-formed. *)
+
+val validates_schema :
+  ?definitions:(string * Schema.t) list -> Schema.t -> Jsont.Value.t -> bool
+(** Validate against a bare schema with an optional definitions
+    environment. *)

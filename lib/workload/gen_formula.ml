@@ -1,0 +1,185 @@
+module Jnl = Jlogic.Jnl
+module Jsl = Jlogic.Jsl
+module Value = Jsont.Value
+
+type config = {
+  size : int;
+  keys : string list;
+  strings : string list;
+  max_int : int;
+  allow_nondet : bool;
+  allow_star : bool;
+  allow_eq_paths : bool;
+  allow_negation : bool;
+}
+
+let default =
+  { size = 12;
+    keys = Gen_json.default_profile.Gen_json.key_pool;
+    strings = Gen_json.default_profile.Gen_json.string_pool;
+    max_int = 1000;
+    allow_nondet = false;
+    allow_star = false;
+    allow_eq_paths = false;
+    allow_negation = true }
+
+(* a small constant document for EQ(α, A) tests *)
+let small_doc rng cfg =
+  match Prng.int rng 4 with
+  | 0 -> Value.Num (Prng.int rng (max 1 cfg.max_int))
+  | 1 -> Value.Str (Prng.choose rng cfg.strings)
+  | 2 -> Value.Arr [ Value.Num (Prng.int rng 10) ]
+  | _ -> Value.Obj [ (Prng.choose rng cfg.keys, Value.Num (Prng.int rng 10)) ]
+
+let key_regex rng cfg =
+  match Prng.int rng 3 with
+  | 0 ->
+    Rexp.Syntax.alt
+      (Rexp.Syntax.literal (Prng.choose rng cfg.keys))
+      (Rexp.Syntax.literal (Prng.choose rng cfg.keys))
+  | 1 ->
+    let k = Prng.choose rng cfg.keys in
+    let prefix = String.sub k 0 (min 2 (String.length k)) in
+    Rexp.Syntax.cat (Rexp.Syntax.literal prefix) Rexp.Syntax.all
+  | _ -> Rexp.Syntax.all
+
+let rec gen_path rng cfg budget : Jnl.path =
+  if budget <= 1 then gen_step rng cfg 1
+  else
+    match Prng.int rng 4 with
+    | 0 | 1 ->
+      let left = budget / 2 and right = budget - (budget / 2) in
+      Jnl.Seq (gen_path rng cfg left, gen_path rng cfg right)
+    | 2 when cfg.allow_nondet ->
+      let left = budget / 2 and right = budget - (budget / 2) in
+      Jnl.Alt (gen_path rng cfg left, gen_path rng cfg right)
+    | _ ->
+      if cfg.allow_star && Prng.int rng 3 = 0 then
+        Jnl.Star (gen_step rng cfg (budget - 1))
+      else Jnl.Seq (gen_step rng cfg 1, gen_path rng cfg (budget - 1))
+
+and gen_step rng cfg budget : Jnl.path =
+  let choices =
+    [ (4, `Key); (2, `Idx); (1, `Self) ]
+    @ (if cfg.allow_nondet then [ (2, `Keys); (2, `Range) ] else [])
+    @ if budget > 2 then [ (1, `Test) ] else []
+  in
+  match Prng.choose_weighted rng choices with
+  | `Key -> Jnl.Key (Prng.choose rng cfg.keys)
+  | `Idx -> Jnl.Idx (Prng.in_range rng (-2) 3)
+  | `Self -> Jnl.Self
+  | `Keys -> Jnl.Keys (key_regex rng cfg)
+  | `Range ->
+    let i = Prng.int rng 3 in
+    if Prng.bool rng then Jnl.Range (i, Some (i + Prng.int rng 3))
+    else Jnl.Range (i, None)
+  | `Test -> Jnl.Test (gen_form rng cfg (budget - 1))
+
+and gen_form rng cfg budget : Jnl.form =
+  if budget <= 1 then
+    if Prng.int rng 4 = 0 then Jnl.True else Jnl.Exists (gen_step rng cfg 1)
+  else
+    let choices =
+      [ (3, `Exists); (2, `And); (2, `Or); (2, `Eq_doc) ]
+      @ (if cfg.allow_negation then [ (2, `Not) ] else [])
+      @ if cfg.allow_eq_paths then [ (1, `Eq_paths) ] else []
+    in
+    match Prng.choose_weighted rng choices with
+    | `Exists -> Jnl.Exists (gen_path rng cfg (budget - 1))
+    | `Not -> Jnl.Not (gen_form rng cfg (budget - 1))
+    | `And ->
+      Jnl.And (gen_form rng cfg (budget / 2), gen_form rng cfg (budget - (budget / 2)))
+    | `Or ->
+      Jnl.Or (gen_form rng cfg (budget / 2), gen_form rng cfg (budget - (budget / 2)))
+    | `Eq_doc -> Jnl.Eq_doc (gen_path rng cfg (max 1 (budget - 2)), small_doc rng cfg)
+    | `Eq_paths ->
+      Jnl.Eq_paths
+        (gen_path rng cfg (budget / 2), gen_path rng cfg (budget - (budget / 2)))
+
+let jnl rng cfg = gen_form rng cfg (max 2 cfg.size)
+let jnl_path rng cfg = gen_path rng cfg (max 1 (cfg.size / 2))
+
+(* ---- JSL ------------------------------------------------------------------ *)
+
+let node_test rng cfg : Jsl.node_test =
+  match Prng.int rng 10 with
+  | 0 -> Jsl.Is_obj
+  | 1 -> Jsl.Is_arr
+  | 2 -> Jsl.Is_str
+  | 3 -> Jsl.Is_int
+  | 4 -> Jsl.Pattern (Rexp.Syntax.literal (Prng.choose rng cfg.strings))
+  | 5 -> Jsl.Min (Prng.int rng (max 1 cfg.max_int))
+  | 6 -> Jsl.Max (Prng.int rng (max 1 cfg.max_int))
+  | 7 -> Jsl.Mult_of (1 + Prng.int rng 6)
+  | 8 ->
+    if Prng.bool rng then Jsl.Min_ch (Prng.int rng 4) else Jsl.Max_ch (Prng.int rng 6)
+  | _ -> Jsl.Eq_doc (small_doc rng cfg)
+
+let rec gen_jsl rng cfg ~thm2 ~vars budget : Jsl.t =
+  if budget <= 1 then
+    match vars with
+    | _ :: _ when Prng.int rng 4 = 0 -> Jsl.Var (Prng.choose rng vars)
+    | _ ->
+      if thm2 then
+        if Prng.bool rng then Jsl.True else Jsl.Test (Jsl.Eq_doc (small_doc rng cfg))
+      else Jsl.Test (node_test rng cfg)
+  else
+    let choices =
+      [ (3, `Dia); (3, `Box); (2, `And); (2, `Or); (2, `Atom) ]
+      @ if cfg.allow_negation then [ (2, `Not) ] else []
+    in
+    match Prng.choose_weighted rng choices with
+    | `Atom -> gen_jsl rng cfg ~thm2 ~vars 1
+    | `Not -> Jsl.Not (gen_jsl rng cfg ~thm2 ~vars (budget - 1))
+    | `And ->
+      Jsl.And
+        ( gen_jsl rng cfg ~thm2 ~vars (budget / 2),
+          gen_jsl rng cfg ~thm2 ~vars (budget - (budget / 2)) )
+    | `Or ->
+      Jsl.Or
+        ( gen_jsl rng cfg ~thm2 ~vars (budget / 2),
+          gen_jsl rng cfg ~thm2 ~vars (budget - (budget / 2)) )
+    | `Dia | `Box ->
+      let inner = gen_jsl rng cfg ~thm2 ~vars (budget - 1) in
+      let dia = Prng.bool rng in
+      if cfg.allow_nondet && Prng.int rng 3 = 0 then
+        if Prng.bool rng then
+          let e = key_regex rng cfg in
+          if dia then Jsl.Dia_keys (e, inner) else Jsl.Box_keys (e, inner)
+        else
+          let i = Prng.int rng 3 in
+          let j = if Prng.bool rng then Some (i + Prng.int rng 3) else None in
+          if dia then Jsl.Dia_range (i, j, inner) else Jsl.Box_range (i, j, inner)
+      else if Prng.bool rng then
+        let k = Prng.choose rng cfg.keys in
+        if dia then Jsl.dia_key k inner else Jsl.box_key k inner
+      else
+        let i = Prng.int rng 3 in
+        if dia then Jsl.dia_idx i inner else Jsl.box_idx i inner
+
+let jsl rng cfg = gen_jsl rng cfg ~thm2:false ~vars:[] (max 2 cfg.size)
+let jsl_thm2 rng cfg = gen_jsl rng cfg ~thm2:true ~vars:[] (max 2 cfg.size)
+
+let jsl_rec rng cfg ~n_defs =
+  let names = List.init (max 1 n_defs) (fun i -> "g" ^ string_of_int i) in
+  (* definition i may reference any symbol, but only under a modality:
+     generate a modality-guarded body whose operand can use all vars *)
+  let guarded_body () =
+    let inner = gen_jsl rng cfg ~thm2:false ~vars:names (max 2 (cfg.size / 2)) in
+    if Prng.bool rng then Jsl.box_key (Prng.choose rng cfg.keys) inner
+    else Jsl.Dia_range (0, None, inner)
+  in
+  let defs =
+    List.map
+      (fun name ->
+        ( name,
+          match Prng.int rng 3 with
+          | 0 -> guarded_body ()
+          | 1 -> Jsl.Or (Jsl.Test (node_test rng cfg), guarded_body ())
+          | _ -> Jsl.And (guarded_body (), gen_jsl rng cfg ~thm2:false ~vars:[] 3) ))
+      names
+  in
+  let base =
+    Jsl.Or (Jsl.Var (Prng.choose rng names), gen_jsl rng cfg ~thm2:false ~vars:[] 3)
+  in
+  Jlogic.Jsl_rec.make_exn ~defs ~base

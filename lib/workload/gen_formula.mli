@@ -1,0 +1,34 @@
+(** Random formula generators over a shared key pool, used for scaling
+    benchmarks (formula-size axis) and for the agreement property
+    tests between independently implemented semantics (det vs general
+    evaluation, JSL vs schema, logic vs automaton). *)
+
+type config = {
+  size : int;  (** approximate AST size *)
+  keys : string list;  (** key pool — matches {!Gen_json.default_profile} *)
+  strings : string list;
+  max_int : int;
+  allow_nondet : bool;  (** [Keys]/[Range] steps, regex modalities *)
+  allow_star : bool;  (** recursion *)
+  allow_eq_paths : bool;  (** the binary [EQ(α,β)] *)
+  allow_negation : bool;
+}
+
+val default : config
+(** size 12, default pools, the full deterministic fragment. *)
+
+val jnl : Prng.t -> config -> Jlogic.Jnl.form
+val jnl_path : Prng.t -> config -> Jlogic.Jnl.path
+
+val jsl : Prng.t -> config -> Jlogic.Jsl.t
+(** Non-recursive JSL; honors [allow_nondet] (regex/range modalities)
+    and [allow_negation].  Never generates [Var]. *)
+
+val jsl_thm2 : Prng.t -> config -> Jlogic.Jsl.t
+(** JSL restricted to the Theorem 2 fragment (only the [~(A)] node
+    test), suitable for round-tripping through JNL. *)
+
+val jsl_rec : Prng.t -> config -> n_defs:int -> Jlogic.Jsl_rec.t
+(** A well-formed recursive JSL expression with [n_defs] definitions;
+    references across definitions are always guarded by a modal
+    operator, so well-formedness holds by construction. *)

@@ -1,0 +1,131 @@
+module Value = Jsont.Value
+
+type profile = {
+  target_size : int;
+  max_fanout : int;
+  key_pool : string list;
+  string_pool : string list;
+  max_int : int;
+  obj_weight : int;
+  arr_weight : int;
+  str_weight : int;
+  int_weight : int;
+}
+
+let default_profile =
+  { target_size = 256;
+    max_fanout = 6;
+    key_pool =
+      [ "id"; "name"; "value"; "items"; "meta"; "tags"; "type"; "data";
+        "next"; "info"; "key"; "flags" ];
+    string_pool = [ "alpha"; "beta"; "gamma"; "delta"; "x"; "longer string value" ];
+    max_int = 1000;
+    obj_weight = 3;
+    arr_weight = 2;
+    str_weight = 2;
+    int_weight = 3 }
+
+let generate rng p =
+  (* budget-driven: each emitted value decrements the budget; containers
+     spend part of the remaining budget on their children *)
+  let budget = ref (max 1 p.target_size) in
+  let atom () =
+    decr budget;
+    if Prng.int rng (p.str_weight + p.int_weight) < p.str_weight then
+      Value.Str (Prng.choose rng p.string_pool)
+    else Value.Num (Prng.int rng (max 1 p.max_int))
+  in
+  let rec value depth =
+    if !budget <= 1 || depth > 64 then atom ()
+    else
+      let kind =
+        Prng.choose_weighted rng
+          [ (p.obj_weight, `Obj); (p.arr_weight, `Arr);
+            (p.str_weight, `Str); (p.int_weight, `Int) ]
+      in
+      match kind with
+      | `Str | `Int -> atom ()
+      | `Arr ->
+        decr budget;
+        let n = min (Prng.in_range rng 0 p.max_fanout) !budget in
+        Value.Arr (List.init n (fun _ -> value (depth + 1)))
+      | `Obj ->
+        decr budget;
+        let n = min (Prng.in_range rng 0 p.max_fanout) !budget in
+        let keys =
+          let rec take acc k pool =
+            if k = 0 then acc
+            else
+              match pool with
+              | [] -> acc
+              | _ ->
+                let key = Prng.choose rng pool in
+                take (key :: acc) (k - 1) (List.filter (fun x -> x <> key) pool)
+          in
+          take [] n p.key_pool
+        in
+        Value.Obj (List.map (fun k -> (k, value (depth + 1))) keys)
+  in
+  (* The branching process can die out early; retry (deterministically)
+     and keep the largest attempt until we are within a factor two of
+     the target.  The root is forced to be a container so documents look
+     like JSON in the wild. *)
+  let attempt () =
+    budget := max 1 p.target_size;
+    match value 0 with
+    | (Value.Obj _ | Value.Arr _) as v -> v
+    | atom -> Value.Obj [ ("value", atom) ]
+  in
+  let rec search best best_size tries =
+    if tries = 0 || best_size * 2 >= p.target_size then best
+    else
+      let v = attempt () in
+      let size = Value.size v in
+      if size > best_size then search v size (tries - 1)
+      else search best best_size (tries - 1)
+  in
+  let first = attempt () in
+  search first (Value.size first) 20
+
+let sized rng n = generate rng { default_profile with target_size = n }
+
+let rec deep_chain n =
+  if n <= 0 then Value.Num 0 else Value.Obj [ ("next", deep_chain (n - 1)) ]
+
+let wide_object n =
+  Value.Obj (List.init n (fun i -> ("k" ^ string_of_int i, Value.Num i)))
+
+let wide_array n = Value.Arr (List.init n (fun i -> Value.Num i))
+
+let duplicated_array n =
+  let n = max 2 n in
+  Value.Arr
+    (List.init n (fun i -> Value.Num (if i = n - 1 then n - 2 else i)))
+
+let api_record rng n_orders =
+  let status = [ "pending"; "shipped"; "delivered"; "cancelled" ] in
+  let order i =
+    Value.Obj
+      [ ("order_id", Value.Num (1000 + i));
+        ("status", Value.Str (Prng.choose rng status));
+        ("total", Value.Num (Prng.in_range rng 5 500));
+        ( "lines",
+          Value.Arr
+            (List.init (Prng.in_range rng 1 4) (fun j ->
+                 Value.Obj
+                   [ ("sku", Value.Str (Printf.sprintf "SKU-%d-%d" i j));
+                     ("qty", Value.Num (Prng.in_range rng 1 9)) ])) ) ]
+  in
+  Value.Obj
+    [ ("id", Value.Num (Prng.int rng 100000));
+      ( "name",
+        Value.Obj
+          [ ("first", Value.Str (Prng.choose rng [ "John"; "Sue"; "Ana"; "Li" ]));
+            ("last", Value.Str (Prng.choose rng [ "Doe"; "Smith"; "Silva" ])) ] );
+      ("age", Value.Num (Prng.in_range rng 18 90));
+      ( "hobbies",
+        Value.Arr
+          (List.map
+             (fun s -> Value.Str s)
+             (Prng.shuffle rng [ "fishing"; "yoga"; "chess" ])) );
+      ("orders", Value.Arr (List.init (max 0 n_orders) order)) ]

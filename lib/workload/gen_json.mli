@@ -1,0 +1,46 @@
+(** Synthetic JSON document generators for benchmarks and tests.
+
+    All generators are driven by a {!Prng.t}, hence fully
+    deterministic given a seed. *)
+
+type profile = {
+  target_size : int;  (** approximate number of JSON values *)
+  max_fanout : int;  (** children per object/array *)
+  key_pool : string list;  (** keys to draw from (duplicates avoided) *)
+  string_pool : string list;  (** string atom values *)
+  max_int : int;
+  obj_weight : int;
+  arr_weight : int;
+  str_weight : int;
+  int_weight : int;
+}
+
+val default_profile : profile
+(** target 256 values, fanout ≤ 6, a 12-key pool, balanced types. *)
+
+val generate : Prng.t -> profile -> Jsont.Value.t
+(** A random document of roughly [target_size] values. *)
+
+val sized : Prng.t -> int -> Jsont.Value.t
+(** [sized rng n]: the default profile scaled to [n] values — the
+    document-size axis of the scaling experiments. *)
+
+val deep_chain : int -> Jsont.Value.t
+(** A single path of the given length (worst case for height-sensitive
+    algorithms). *)
+
+val wide_object : int -> Jsont.Value.t
+(** One object with [n] members (worst case for key lookup). *)
+
+val wide_array : int -> Jsont.Value.t
+(** One array with [n] distinct elements. *)
+
+val duplicated_array : int -> Jsont.Value.t
+(** One array with [n] elements where the two last are equal — a
+    [Unique] violation at the end, adversarial for the quadratic
+    check. *)
+
+val api_record : Prng.t -> int -> Jsont.Value.t
+(** A realistic API-style record: user object with profile, tags,
+    order history — the motivating shape of §1; [int] scales the
+    number of history entries. *)

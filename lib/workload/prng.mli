@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    The paper evaluates nothing on external data; all workloads in this
+    reproduction are synthesized.  A self-contained seeded PRNG keeps
+    every test and benchmark bit-reproducible across runs and
+    machines — independent of the OCaml stdlib [Random] whose sequence
+    may change between compiler versions. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound > 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] inclusive bounds. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0,1)]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val choose_weighted : t -> (int * 'a) list -> 'a
+(** Choice by positive integer weights. *)
+
+val split : t -> t
+(** An independent generator (splitmix splitting). *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,162 @@
+(* A JSONTestSuite-style conformance corpus for the parser (hand-curated
+   in the spirit of seriot.ch/parsing_json): y_ cases must parse, n_
+   cases must be rejected, i_ cases document our implementation-defined
+   choices for the paper's restricted model. *)
+
+let must_parse =
+  [ ("y_object_empty", "{}");
+    ("y_array_empty", "[]");
+    ("y_number_zero", "0");
+    ("y_number_simple", "123");
+    ("y_string_empty", {|""|});
+    ("y_string_space", {|" "|});
+    ("y_string_unicode_escape", {|"A"|});
+    ("y_string_surrogate_pair", {|"𝄞"|});
+    ("y_string_escaped_quote", {|"\""|});
+    ("y_string_backslash", {|"\\"|});
+    ("y_string_slash_escape", {|"\/"|});
+    ("y_string_all_escapes", {|"\"\\\/\b\f\n\r\t"|});
+    ("y_string_utf8_direct", {|"éléphant 🐘"|});
+    ("y_object_simple", {|{"a":1}|});
+    ("y_object_nested", {|{"a":{"b":{"c":{}}}}|});
+    ("y_object_many_types", {|{"n":0,"s":"x","a":[],"o":{}}|});
+    ("y_array_nested", "[[[[[]]]]]");
+    ("y_array_mixed", {|[1,"two",{"three":3},[4]]|});
+    ("y_whitespace_everywhere", " { \"a\" : [ 1 , 2 ] } ");
+    ("y_whitespace_tabs_newlines", "\t{\n\"a\"\r:\n1\t}");
+    ("y_object_key_with_spaces", {|{"key with spaces":1}|});
+    ("y_object_empty_key", {|{"":1}|});
+    ("y_deep_nesting_64",
+     String.concat "" (List.init 64 (fun _ -> "[")) ^ "1"
+     ^ String.concat "" (List.init 64 (fun _ -> "]")));
+    ("y_long_string", {|"|} ^ String.make 10000 'x' ^ {|"|});
+    ("y_big_number", "1073741823");
+    (* implementation choice: -0 denotes the natural 0 *)
+    ("y_negative_zero", "-0") ]
+
+let must_reject =
+  [ ("n_empty_input", "");
+    ("n_only_whitespace", "   ");
+    ("n_unclosed_object", "{");
+    ("n_unclosed_array", "[");
+    ("n_unclosed_string", {|"abc|});
+    ("n_mismatched_brackets", "[}");
+    ("n_mismatched_braces", "{]");
+    ("n_comma_only_object", "{,}");
+    ("n_trailing_comma_array", "[1,]");
+    ("n_trailing_comma_object", {|{"a":1,}|});
+    ("n_leading_comma", "[,1]");
+    ("n_double_comma", "[1,,2]");
+    ("n_missing_colon", {|{"a" 1}|});
+    ("n_double_colon", {|{"a"::1}|});
+    ("n_unquoted_key", "{a:1}");
+    ("n_single_quotes", "{'a':1}");
+    ("n_numeric_key", "{1:2}");
+    ("n_duplicate_keys", {|{"a":1,"a":2}|});
+    ("n_duplicate_keys_nested", {|{"o":{"k":1,"k":1}}|});
+    ("n_leading_zero", "012");
+    ("n_plus_sign", "+1");
+    ("n_hex_number", "0x1F");
+    ("n_number_trailing_garbage", "123abc");
+    ("n_bare_word", "hello");
+    ("n_capital_true", "True");
+    ("n_incomplete_literal", "tru");
+    ("n_two_documents", "{} {}");
+    ("n_trailing_garbage", "[1] x");
+    ("n_bad_escape", {|"\q"|});
+    ("n_bare_control_char", "\"\x01\"");
+    ("n_incomplete_unicode_escape", {|"\u12"|});
+    ("n_lone_high_surrogate", {|"\uD834"|});
+    ("n_lone_low_surrogate", {|"\uDD1E"|});
+    ("n_swapped_surrogates", {|"\uDD1E\uD834"|});
+    ("n_exponent_no_digits", "1e");
+    ("n_dot_no_digits", "1.");
+    ("n_comment", "[1] // nope");
+    ("n_nan", "NaN");
+    ("n_infinity", "Infinity") ]
+
+(* implementation-defined under the paper's restricted model: full JSON
+   accepts these, the strict mode does not; lenient mode folds the
+   literals into strings and whole floats into naturals *)
+let model_restricted =
+  [ ("i_true", "true", Some (Jsont.Value.Str "true"));
+    ("i_false", "false", Some (Jsont.Value.Str "false"));
+    ("i_null", "null", Some (Jsont.Value.Str "null"));
+    ("i_negative_int", "-1", None);
+    ("i_float", "1.5", None);
+    ("i_whole_float", "2.0", Some (Jsont.Value.Num 2));
+    ("i_exponent", "1e3", Some (Jsont.Value.Num 1000)) ]
+
+let test_y () =
+  List.iter
+    (fun (name, text) ->
+      match Jsont.Parser.parse text with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "%s rejected: %s" name
+          (Format.asprintf "%a" Jsont.Parser.pp_error e))
+    must_parse
+
+let test_n () =
+  List.iter
+    (fun (name, text) ->
+      match Jsont.Parser.parse text with
+      | Error _ -> ()
+      | Ok v ->
+        Alcotest.failf "%s accepted as %s" name (Jsont.Value.to_string v))
+    must_reject
+
+let test_i () =
+  List.iter
+    (fun (name, text, lenient_expectation) ->
+      (match Jsont.Parser.parse text with
+      | Error _ -> ()
+      | Ok v ->
+        Alcotest.failf "%s accepted strictly as %s" name (Jsont.Value.to_string v));
+      match (Jsont.Parser.parse ~mode:`Lenient text, lenient_expectation) with
+      | Ok v, Some expected ->
+        Alcotest.(check bool)
+          (name ^ " lenient value")
+          true
+          (Jsont.Value.equal v expected)
+      | Error _, None -> ()
+      | Ok v, None ->
+        Alcotest.failf "%s accepted leniently as %s" name (Jsont.Value.to_string v)
+      | Error e, Some _ ->
+        Alcotest.failf "%s rejected leniently: %s" name
+          (Format.asprintf "%a" Jsont.Parser.pp_error e))
+    model_restricted
+
+let test_roundtrip_corpus () =
+  (* every accepted document round-trips through both printers *)
+  List.iter
+    (fun (name, text) ->
+      let v = Jsont.Parser.parse_exn text in
+      let again = Jsont.Parser.parse_exn (Jsont.Printer.compact v) in
+      Alcotest.(check bool) (name ^ " compact roundtrip") true
+        (Jsont.Value.equal v again);
+      let again = Jsont.Parser.parse_exn (Jsont.Printer.pretty v) in
+      Alcotest.(check bool) (name ^ " pretty roundtrip") true
+        (Jsont.Value.equal v again))
+    must_parse
+
+let test_tree_corpus () =
+  (* and builds a well-formed tree *)
+  List.iter
+    (fun (name, text) ->
+      let v = Jsont.Parser.parse_exn text in
+      let t = Jsont.Tree.of_value v in
+      Alcotest.(check bool) (name ^ " tree roundtrip") true
+        (Jsont.Value.equal v (Jsont.Tree.to_value t));
+      Alcotest.(check int) (name ^ " node count") (Jsont.Value.size v)
+        (Jsont.Tree.node_count t))
+    must_parse
+
+let () =
+  Alcotest.run "conformance"
+    [ ("corpus",
+       [ Alcotest.test_case "y_ cases parse" `Quick test_y;
+         Alcotest.test_case "n_ cases rejected" `Quick test_n;
+         Alcotest.test_case "i_ cases per the model" `Quick test_i;
+         Alcotest.test_case "roundtrips" `Quick test_roundtrip_corpus;
+         Alcotest.test_case "tree building" `Quick test_tree_corpus ]) ]

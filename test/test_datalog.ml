@@ -1,0 +1,243 @@
+(* Tests for the datalog subsystem: the engine (stratified semi-naive
+   evaluation) and the Proposition 1 compilation of JNL. *)
+
+open Jdatalog
+module Jnl = Jlogic.Jnl
+module Tree = Jsont.Tree
+module Value = Jsont.Value
+
+let parse_doc = Jsont.Parser.parse_exn
+
+let doc = parse_doc {|{"a":{"b":{"c":1}},"d":[10,{"e":2}],"f":"s"}|}
+let tree = Tree.of_value doc
+let edb = Edb.of_tree tree
+
+(* ------------------------------------------------------------------ *)
+(* EDB                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_edb_relations () =
+  Alcotest.(check int) "domain" (Tree.node_count tree) (Edb.domain edb);
+  Alcotest.(check int) "one root" 1 (List.length (Edb.facts edb "root"));
+  Alcotest.(check int) "node facts" (Tree.node_count tree)
+    (List.length (Edb.facts edb "node"));
+  (* key:a relates the root to the a-child *)
+  (match Edb.facts edb "key:a" with
+  | [ [ p; ch ] ] ->
+    Alcotest.(check bool) "from root" true (p = Tree.root);
+    Alcotest.(check bool) "to the a child" true
+      (Tree.lookup tree Tree.root "a" = Some ch)
+  | other -> Alcotest.failf "key:a has %d facts" (List.length other));
+  (* the partition covers the domain exactly *)
+  let count p = List.length (Edb.facts edb p) in
+  Alcotest.(check int) "partition"
+    (Edb.domain edb)
+    (count "obj" + count "arr" + count "str" + count "int");
+  (* child = O ∪ A *)
+  Alcotest.(check int) "child edges" (Edb.domain edb - 1) (count "child");
+  (* value predicates *)
+  Alcotest.(check int) "val:int:10" 1 (count "val:int:10");
+  Alcotest.(check int) "val:str:s" 1 (count "val:str:s")
+
+let test_edb_externals () =
+  let a = Option.get (Tree.lookup tree Tree.root "a") in
+  Alcotest.(check bool) "eq reflexive" true (Edb.eval_external edb "eq" [ a; a ]);
+  Alcotest.(check bool) "eq distinct" false
+    (Edb.eval_external edb "eq" [ a; Tree.root ]);
+  let p = Edb.intern_doc edb (parse_doc {|{"b":{"c":1}}|}) in
+  Alcotest.(check bool) "eqdoc hit" true (Edb.eval_external edb p [ a ]);
+  Alcotest.(check bool) "eqdoc miss" false (Edb.eval_external edb p [ Tree.root ]);
+  Alcotest.(check bool) "externals flagged" true
+    (Edb.is_external edb "eq" && Edb.is_external edb p);
+  Alcotest.(check bool) "stored not external" false (Edb.is_external edb "key:a")
+
+let test_edb_interned_relations () =
+  let kl = Edb.intern_key_lang edb (Rexp.Parse.parse_exn "a|d") in
+  Alcotest.(check int) "keylang a|d" 2 (List.length (Edb.facts edb kl));
+  let d = Option.get (Tree.lookup tree Tree.root "d") in
+  let ir = Edb.intern_idx_range edb 1 None in
+  Alcotest.(check bool) "idxrange 1:inf" true
+    (List.mem [ d; Option.get (Tree.nth tree d 1) ] (Edb.facts edb ir));
+  let neg = Edb.intern_idx_neg edb (-1) in
+  Alcotest.(check bool) "idxneg -1 = last" true
+    (List.mem [ d; Option.get (Tree.nth tree d (-1)) ] (Edb.facts edb neg))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+open Ast
+
+let test_transitive_closure () =
+  (* descendant(x,y) via recursion over child *)
+  let program =
+    { rules =
+        [ atom "desc" [ v "X"; v "Y" ] <-- [ Pos (atom "child" [ v "X"; v "Y" ]) ];
+          atom "desc" [ v "X"; v "Z" ]
+          <-- [ Pos (atom "desc" [ v "X"; v "Y" ]);
+                Pos (atom "child" [ v "Y"; v "Z" ]) ] ];
+      goal = "desc" }
+  in
+  Alcotest.(check bool) "recursive" true (is_recursive program);
+  match Engine.run edb program with
+  | Error m -> Alcotest.fail m
+  | Ok tuples ->
+    (* every non-root node is a descendant of the root, and pair count
+       equals the sum over nodes of their proper-descendant counts *)
+    let expected =
+      Seq.fold_left (fun acc n -> acc + Tree.size tree n - 1) 0 (Tree.nodes tree)
+    in
+    Alcotest.(check int) "descendant pairs" expected (List.length tuples);
+    Alcotest.(check bool) "root reaches a leaf" true
+      (List.exists
+         (function [ r; _ ] -> r = Tree.root | _ -> false)
+         tuples)
+
+let test_stratified_negation () =
+  (* leaves: nodes with no children *)
+  let program =
+    { rules =
+        [ atom "haschild" [ v "X" ] <-- [ Pos (atom "child" [ v "X"; v "Y" ]) ];
+          atom "leaf" [ v "X" ]
+          <-- [ Pos (atom "node" [ v "X" ]); Neg (atom "haschild" [ v "X" ]) ] ];
+      goal = "leaf" }
+  in
+  (match Engine.stratify program with
+  | Ok strata -> Alcotest.(check int) "two strata" 2 (List.length strata)
+  | Error m -> Alcotest.fail m);
+  match Engine.query_nodes edb program with
+  | Error m -> Alcotest.fail m
+  | Ok leaves ->
+    let expected =
+      Seq.fold_left
+        (fun acc n -> if Tree.arity tree n = 0 then acc + 1 else acc)
+        0 (Tree.nodes tree)
+    in
+    Alcotest.(check int) "leaf count" expected (List.length leaves)
+
+let test_unstratifiable () =
+  let program =
+    { rules =
+        [ atom "p" [ v "X" ]
+          <-- [ Pos (atom "node" [ v "X" ]); Neg (atom "p" [ v "X" ]) ] ];
+      goal = "p" }
+  in
+  match Engine.run edb program with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "p :- not p must be rejected"
+
+let test_unsafe_rule () =
+  let program =
+    { rules = [ atom "p" [ v "X"; v "Y" ] <-- [ Pos (atom "root" [ v "X" ]) ] ];
+      goal = "p" }
+  in
+  (match Engine.run edb program with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound head variable must be rejected");
+  Alcotest.(check bool) "static safety check agrees" true
+    (Result.is_error
+       (check_safety (atom "p" [ v "X"; v "Y" ] <-- [ Pos (atom "root" [ v "X" ]) ])))
+
+let test_constants_and_goal () =
+  let program =
+    { rules =
+        [ atom "it" [ v "Y" ] <-- [ Pos (atom "key:a" [ c Tree.root; v "Y" ]) ] ];
+      goal = "it" }
+  in
+  match Engine.query_nodes edb program with
+  | Ok [ n ] ->
+    Alcotest.(check bool) "resolved the a child" true
+      (Tree.lookup tree Tree.root "a" = Some n)
+  | Ok other -> Alcotest.failf "%d results" (List.length other)
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Compilation (Proposition 1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nodes_by_direct f =
+  let ctx = Jlogic.Jnl_eval.context tree in
+  Jlogic.Bitset.elements (Jlogic.Jnl_eval.eval ctx f)
+
+let check_agreement name f =
+  match Compile.eval tree f with
+  | Error m -> Alcotest.failf "%s: %s" name m
+  | Ok via_datalog ->
+    Alcotest.(check (list int)) name (nodes_by_direct f) via_datalog
+
+let test_compile_basics () =
+  check_agreement "true" Jnl.True;
+  check_agreement "exists key" (Jnl.Exists (Jnl.Key "a"));
+  check_agreement "chain" (Jnl.Exists (Jnl.Seq (Jnl.Key "a", Jnl.Key "b")));
+  check_agreement "index" (Jnl.Exists (Jnl.Seq (Jnl.Key "d", Jnl.Idx 1)));
+  check_agreement "negative index" (Jnl.Exists (Jnl.Seq (Jnl.Key "d", Jnl.Idx (-1))));
+  check_agreement "negation" (Jnl.Not (Jnl.Exists (Jnl.Key "a")));
+  check_agreement "and/or"
+    (Jnl.Or
+       ( Jnl.And (Jnl.Exists (Jnl.Key "a"), Jnl.Exists (Jnl.Key "d")),
+         Jnl.Exists (Jnl.Key "zzz") ));
+  check_agreement "eq doc" (Jnl.Eq_doc (Jnl.Key "f", Value.Str "s"));
+  check_agreement "eq paths" (Jnl.Eq_paths (Jnl.Key "a", Jnl.Key "a"));
+  check_agreement "keys regex" (Jnl.Exists (Jnl.Keys (Rexp.Parse.parse_exn "a|f")));
+  check_agreement "range" (Jnl.Exists (Jnl.Seq (Jnl.Key "d", Jnl.Range (0, None))));
+  check_agreement "test in path"
+    (Jnl.Exists (Jnl.Seq (Jnl.Key "a", Jnl.Test (Jnl.Exists (Jnl.Key "b")))));
+  check_agreement "star"
+    (Jnl.Exists (Jnl.Seq (Jnl.Star (Jquery.Jsonpath.any_child), Jnl.Key "e")))
+
+let test_fragment_classes () =
+  (* deterministic JNL lands in non-recursive monadic datalog *)
+  let det = Jnl.parse_exn {|eq(.a.b.c, 1) & !<.zzz>|} in
+  let p = Compile.jnl (Edb.of_tree tree) det in
+  Alcotest.(check bool) "monadic" true (is_monadic p);
+  Alcotest.(check bool) "non-recursive" false (is_recursive p);
+  (* Star leaves the class through a recursive binary predicate *)
+  let star = Jnl.Exists (Jnl.Star (Jnl.Key "a")) in
+  let p2 = Compile.jnl (Edb.of_tree tree) star in
+  Alcotest.(check bool) "recursive" true (is_recursive p2)
+
+let gen_pair =
+  let open QCheck.Gen in
+  let gen st =
+    let seed = int_range 0 1_000_000 |> fun g -> g st in
+    let rng = Jworkload.Prng.create seed in
+    let doc = Jworkload.Gen_json.sized rng 40 in
+    let cfg =
+      { Jworkload.Gen_formula.default with
+        Jworkload.Gen_formula.allow_nondet = true;
+        allow_star = true;
+        allow_eq_paths = true;
+        size = 8 }
+    in
+    (doc, Jworkload.Gen_formula.jnl rng cfg)
+  in
+  QCheck.make
+    ~print:(fun (d, f) -> Value.to_string d ^ " |= " ^ Jnl.to_string f)
+    gen
+
+let prop_datalog_agrees =
+  QCheck.Test.make ~name:"datalog evaluation = direct evaluation" ~count:200
+    gen_pair (fun (doc, f) ->
+      let tr = Tree.of_value doc in
+      match Compile.eval tr f with
+      | Error m -> QCheck.Test.fail_reportf "compile/run error: %s" m
+      | Ok via_datalog ->
+        let ctx = Jlogic.Jnl_eval.context tr in
+        via_datalog = Jlogic.Bitset.elements (Jlogic.Jnl_eval.eval ctx f))
+
+let () =
+  Alcotest.run "datalog"
+    [ ("edb",
+       [ Alcotest.test_case "relations" `Quick test_edb_relations;
+         Alcotest.test_case "externals" `Quick test_edb_externals;
+         Alcotest.test_case "interned relations" `Quick test_edb_interned_relations ]);
+      ("engine",
+       [ Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+         Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+         Alcotest.test_case "unstratifiable" `Quick test_unstratifiable;
+         Alcotest.test_case "unsafe rules" `Quick test_unsafe_rule;
+         Alcotest.test_case "constants" `Quick test_constants_and_goal ]);
+      ("compile",
+       [ Alcotest.test_case "agreement cases" `Quick test_compile_basics;
+         Alcotest.test_case "fragment classes" `Quick test_fragment_classes ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_datalog_agrees ]) ]

@@ -1,0 +1,624 @@
+(* Tests for the JSON substrate: values, lexer/parser, printer, the
+   formal tree model of §3.1 and navigation instructions of §2. *)
+
+open Jsont
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let parse s = Parser.parse_exn s
+let parse_err s =
+  match Parser.parse s with
+  | Ok _ -> Alcotest.failf "expected parse error on %S" s
+  | Error e -> Format.asprintf "%a" Parser.pp_error e
+
+(* the document of Figure 1 *)
+let figure1 =
+  {|{
+      "name": { "first": "John", "last": "Doe" },
+      "age": 32,
+      "hobbies": ["fishing", "yoga"]
+    }|}
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_smart_constructors () =
+  Alcotest.check_raises "negative number rejected" (Value.Invalid "Value.num: -1 is not a natural number")
+    (fun () -> ignore (Value.num (-1)));
+  Alcotest.(check bool) "duplicate keys rejected" true
+    (match Value.obj [ ("a", Value.num 1); ("a", Value.num 2) ] with
+    | exception Value.Invalid _ -> true
+    | _ -> false);
+  Alcotest.check value "obj builds" (Value.Obj [ ("a", Value.Num 1) ])
+    (Value.obj [ ("a", Value.num 1) ])
+
+let test_value_equality_unordered () =
+  let v1 = parse {|{"a":1,"b":{"x":[1,2],"y":"s"}}|} in
+  let v2 = parse {|{"b":{"y":"s","x":[1,2]},"a":1}|} in
+  Alcotest.check value "object order irrelevant" v1 v2;
+  Alcotest.(check int) "hash agrees" (Value.hash v1) (Value.hash v2);
+  let v3 = parse {|{"a":1,"b":{"x":[2,1],"y":"s"}}|} in
+  Alcotest.(check bool) "array order relevant" false (Value.equal v1 v3)
+
+let test_value_accessors () =
+  let v = parse figure1 in
+  Alcotest.(check (option value)) "member" (Some (Value.Num 32))
+    (Value.member "age" v);
+  Alcotest.(check (option value)) "missing member" None (Value.member "zzz" v);
+  let hobbies = Option.get (Value.member "hobbies" v) in
+  Alcotest.(check (option value)) "nth 1" (Some (Value.Str "yoga"))
+    (Value.nth 1 hobbies);
+  Alcotest.(check (option value)) "nth -1" (Some (Value.Str "yoga"))
+    (Value.nth (-1) hobbies);
+  Alcotest.(check (option value)) "nth -2" (Some (Value.Str "fishing"))
+    (Value.nth (-2) hobbies);
+  Alcotest.(check (option value)) "nth out of range" None (Value.nth 2 hobbies);
+  Alcotest.(check (option value)) "nth on object" None (Value.nth 0 v)
+
+let test_value_sizes () =
+  let v = parse figure1 in
+  (* 5 values in the name/age example + hobbies array + 2 strings = the
+     whole doc, name obj, first, last, age, hobbies, fishing, yoga = 8 *)
+  Alcotest.(check int) "size" 8 (Value.size v);
+  Alcotest.(check int) "height" 2 (Value.height v);
+  Alcotest.(check int) "atom size" 1 (Value.size (Value.Num 3));
+  Alcotest.(check int) "atom height" 0 (Value.height (Value.Str "x"));
+  Alcotest.(check int) "empty object height" 0 (Value.height Value.empty_obj)
+
+let test_value_check () =
+  let bad = Value.Obj [ ("a", Value.Num 1); ("a", Value.Num 2) ] in
+  Alcotest.(check bool) "invalid detected" false (Value.is_valid bad);
+  Alcotest.(check bool) "deep negative detected" false
+    (Value.is_valid (Value.Arr [ Value.Num (-3) ]));
+  Alcotest.(check bool) "valid" true (Value.is_valid (parse figure1))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / Parser                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_atoms () =
+  Alcotest.check value "number" (Value.Num 42) (parse "42");
+  Alcotest.check value "zero" (Value.Num 0) (parse "0");
+  Alcotest.check value "string" (Value.Str "hi") (parse {|"hi"|});
+  Alcotest.check value "empty obj" (Value.Obj []) (parse "{}");
+  Alcotest.check value "empty arr" (Value.Arr []) (parse "[]")
+
+let test_parse_escapes () =
+  Alcotest.check value "basic escapes" (Value.Str "a\"b\\c/d\n")
+    (parse {|"a\"b\\c\/d\n"|});
+  Alcotest.check value "unicode bmp" (Value.Str "\xc3\xa9") (parse {|"é"|});
+  Alcotest.check value "unicode astral" (Value.Str "\xf0\x9d\x84\x9e")
+    (parse {|"𝄞"|});
+  Alcotest.check value "control escape" (Value.Str "\x01") (parse {|"\u0001"|})
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [ "";
+      "{";
+      "[1,";
+      "[1 2]";
+      {|{"a" 1}|};
+      {|{"a":1,}|};
+      {|{1:2}|};
+      "tru";
+      {|"unterminated|};
+      {|"bad \q escape"|};
+      {|"lone surrogate \ud834"|};
+      "01";
+      "1.5e";
+      "[1] trailing";
+      {|{"dup":1,"dup":2}|}
+    ]
+
+let test_parse_model_restriction () =
+  ignore (parse_err "true");
+  ignore (parse_err "null");
+  ignore (parse_err "-5");
+  ignore (parse_err "1.5");
+  (* lenient mode *)
+  let lenient s = Parser.parse_exn ~mode:`Lenient s in
+  Alcotest.check value "lenient true" (Value.Str "true") (lenient "true");
+  Alcotest.check value "lenient null" (Value.Str "null") (lenient "null");
+  Alcotest.check value "lenient whole float" (Value.Num 3) (lenient "3.0")
+
+let test_parse_depth_limit () =
+  let deep = String.concat "" (List.init 200 (fun _ -> "[")) in
+  let deep = deep ^ "1" ^ String.concat "" (List.init 200 (fun _ -> "]")) in
+  (match Parser.parse ~max_depth:100 deep with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth limit not enforced");
+  match Parser.parse ~max_depth:1000 deep with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deep doc rejected: %a" Parser.pp_error e
+
+let test_parse_many () =
+  match Parser.parse_many {| {"a":1} [2] "three" |} with
+  | Ok [ _; _; _ ] -> ()
+  | Ok vs -> Alcotest.failf "expected 3 docs, got %d" (List.length vs)
+  | Error e -> Alcotest.failf "parse_many failed: %a" Parser.pp_error e
+
+let test_error_positions () =
+  match Parser.parse "{\n  \"a\": bad\n}" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+    Alcotest.(check int) "line" 2 e.Parser.position.Lexer.line;
+    Alcotest.(check bool) "column plausible" true (e.Parser.position.Lexer.col >= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Printer round trips                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_print_parse_roundtrip () =
+  let docs =
+    [ figure1;
+      {|{"empty":{},"earr":[],"nested":[[[1]]],"s":"\u0001\"\\"}|};
+      "12345";
+      {|"just a string"|}
+    ]
+  in
+  List.iter
+    (fun doc ->
+      let v = parse doc in
+      Alcotest.check value "compact roundtrip" v (parse (Printer.compact v));
+      Alcotest.check value "pretty roundtrip" v (parse (Printer.pretty v)))
+    docs
+
+(* ------------------------------------------------------------------ *)
+(* Tree model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tree_of s = Tree.of_value (parse s)
+
+let test_tree_basic () =
+  let t = tree_of figure1 in
+  Alcotest.(check int) "node count = value size" 8 (Tree.node_count t);
+  Alcotest.(check int) "height" 2 (Tree.height t);
+  Alcotest.check value "to_value roundtrip" (parse figure1) (Tree.to_value t);
+  Alcotest.(check bool) "root is object" true (Tree.is_obj t Tree.root)
+
+let test_tree_navigation () =
+  let t = tree_of figure1 in
+  let name = Option.get (Tree.lookup t Tree.root "name") in
+  Alcotest.(check bool) "name is object" true (Tree.is_obj t name);
+  let first = Option.get (Tree.lookup t name "first") in
+  Alcotest.(check (option string)) "first value" (Some "John")
+    (Tree.str_value t first);
+  let age = Option.get (Tree.lookup t Tree.root "age") in
+  Alcotest.(check (option int)) "age value" (Some 32) (Tree.int_value t age);
+  let hobbies = Option.get (Tree.lookup t Tree.root "hobbies") in
+  Alcotest.(check bool) "hobbies is array" true (Tree.is_arr t hobbies);
+  let yoga = Option.get (Tree.nth t hobbies 1) in
+  Alcotest.(check (option string)) "hobbies[1]" (Some "yoga")
+    (Tree.str_value t yoga);
+  let yoga' = Option.get (Tree.nth t hobbies (-1)) in
+  Alcotest.(check bool) "negative index = last" true (yoga = yoga');
+  Alcotest.(check (option int)) "lookup on array is None" None
+    (Option.map (fun _ -> 0) (Tree.lookup t hobbies "x"));
+  Alcotest.(check (option int)) "nth on object is None" None
+    (Option.map (fun _ -> 0) (Tree.nth t Tree.root 0))
+
+let test_tree_formal_conditions () =
+  (* Check the five conditions of the formal definition on a sample. *)
+  let t = tree_of {|{"a":{"b":[{"c":1},"s",[2,3]],"d":2},"e":[]}|} in
+  Seq.iter
+    (fun n ->
+      match Tree.kind t n with
+      | Tree.Kobj ->
+        (* condition 2: keys pairwise distinct *)
+        let keys = List.map fst (Tree.obj_children t n) in
+        Alcotest.(check int) "distinct keys" (List.length keys)
+          (List.length (List.sort_uniq String.compare keys))
+      | Tree.Karr ->
+        (* condition 3: the i-th child is reached through edge i *)
+        Array.iteri
+          (fun i c ->
+            match Tree.edge_from_parent t c with
+            | Tree.Pos j -> Alcotest.(check int) "array edge label" i j
+            | _ -> Alcotest.fail "array child without Pos edge")
+          (Tree.arr_children t n)
+      | Tree.Kstr _ | Tree.Kint _ ->
+        (* condition 4: atoms are leaves *)
+        Alcotest.(check int) "atom has no children" 0 (Tree.arity t n))
+    (Tree.nodes t)
+
+let test_tree_addresses_prefix_closed () =
+  let t = tree_of {|{"a":[10,{"b":"x"}],"c":2}|} in
+  let addresses = Seq.fold_left (fun acc n -> Tree.address t n :: acc) [] (Tree.nodes t) in
+  (* prefix closure *)
+  List.iter
+    (fun addr ->
+      match List.rev addr with
+      | [] -> ()
+      | _ :: parent_rev ->
+        let parent = List.rev parent_rev in
+        Alcotest.(check bool)
+          (Printf.sprintf "prefix of /%s present"
+             (String.concat "/" (List.map string_of_int addr)))
+          true
+          (List.mem parent addresses))
+    addresses;
+  (* sibling closure: n·i present implies n·j for j < i *)
+  List.iter
+    (fun addr ->
+      match List.rev addr with
+      | [] -> ()
+      | i :: parent_rev ->
+        let parent = List.rev parent_rev in
+        for j = 0 to i - 1 do
+          Alcotest.(check bool) "younger sibling present" true
+            (List.mem (parent @ [ j ]) addresses)
+        done)
+    addresses
+
+let test_tree_subtree_equality () =
+  let t = tree_of {|{"x":{"p":[1,{"q":"v"}]},"y":{"p":[1,{"q":"v"}]},"z":{"p":[1,{"q":"w"}]}}|} in
+  let x = Option.get (Tree.lookup t Tree.root "x") in
+  let y = Option.get (Tree.lookup t Tree.root "y") in
+  let z = Option.get (Tree.lookup t Tree.root "z") in
+  Alcotest.(check bool) "x = y" true (Tree.equal_subtrees t x y);
+  Alcotest.(check bool) "x <> z" false (Tree.equal_subtrees t x z);
+  Alcotest.(check bool) "x = x" true (Tree.equal_subtrees t x x);
+  Alcotest.(check bool) "hash equal" true
+    (Tree.subtree_hash t x = Tree.subtree_hash t y);
+  Alcotest.(check bool) "equal to value" true
+    (Tree.equal_to_value t x (parse {|{"p":[1,{"q":"v"}]}|}));
+  Alcotest.(check bool) "not equal to other value" false
+    (Tree.equal_to_value t x (parse {|{"p":[1,{"q":"v"},2]}|}))
+
+let test_tree_key_order_insensitive_equality () =
+  let t = tree_of {|{"x":{"a":1,"b":2},"y":{"b":2,"a":1}}|} in
+  let x = Option.get (Tree.lookup t Tree.root "x") in
+  let y = Option.get (Tree.lookup t Tree.root "y") in
+  Alcotest.(check bool) "key order irrelevant" true (Tree.equal_subtrees t x y)
+
+let test_tree_sizes_heights () =
+  let t = tree_of {|{"a":[1,[2,[3]]],"b":0}|} in
+  Alcotest.(check int) "size root" (Tree.node_count t) (Tree.size t Tree.root);
+  let a = Option.get (Tree.lookup t Tree.root "a") in
+  Alcotest.(check int) "size a" 6 (Tree.size t a);
+  Alcotest.(check int) "height a" 3 (Tree.height_of t a);
+  Alcotest.(check int) "depth a" 1 (Tree.depth t a);
+  (* nodes_by_height partitions all nodes *)
+  let buckets = Tree.nodes_by_height t in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 buckets in
+  Alcotest.(check int) "buckets cover all nodes" (Tree.node_count t) total;
+  Array.iteri
+    (fun h bucket ->
+      List.iter
+        (fun n -> Alcotest.(check int) "bucket height" h (Tree.height_of t n))
+        bucket)
+    buckets
+
+let test_tree_parent_edges () =
+  let t = tree_of {|{"a":[5]}|} in
+  let a = Option.get (Tree.lookup t Tree.root "a") in
+  let five = Option.get (Tree.nth t a 0) in
+  Alcotest.(check bool) "root parent" true (Tree.parent t Tree.root = None);
+  Alcotest.(check bool) "a's parent is root" true (Tree.parent t a = Some Tree.root);
+  Alcotest.(check bool) "edge of a" true (Tree.edge_from_parent t a = Tree.Key "a");
+  Alcotest.(check bool) "edge of five" true (Tree.edge_from_parent t five = Tree.Pos 0);
+  Alcotest.(check bool) "value_at five" true
+    (Value.equal (Tree.value_at t five) (Value.Num 5))
+
+(* ------------------------------------------------------------------ *)
+(* Pointer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pointer_parse () =
+  let check_rt s expected =
+    match Pointer.of_string s with
+    | Error e -> Alcotest.failf "pointer %S: %s" s e
+    | Ok p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "steps of %S" s)
+        true (p = expected)
+  in
+  check_rt "name.first" [ Pointer.Key "name"; Pointer.Key "first" ];
+  check_rt "hobbies[1]" [ Pointer.Key "hobbies"; Pointer.Index 1 ];
+  check_rt "items[-1].id"
+    [ Pointer.Key "items"; Pointer.Index (-1); Pointer.Key "id" ];
+  check_rt {|["key with.dots"]|} [ Pointer.Key "key with.dots" ];
+  check_rt "$.a" [ Pointer.Key "a" ];
+  check_rt "" [];
+  check_rt "$" [];
+  check_rt "a.b[0][\"c\"]"
+    [ Pointer.Key "a"; Pointer.Key "b"; Pointer.Index 0; Pointer.Key "c" ];
+  (match Pointer.of_string "a..b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a..b should not parse");
+  match Pointer.of_string "a[" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a[ should not parse"
+
+let test_pointer_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = Pointer.of_string_exn s in
+      let p' = Pointer.of_string_exn (Pointer.to_string p) in
+      Alcotest.(check bool) ("roundtrip " ^ s) true (p = p'))
+    [ "name.first"; "hobbies[1]"; {|["weird key!"]|}; "a[0][-2].b" ]
+
+let test_pointer_get () =
+  let v = parse figure1 in
+  let get s = Pointer.get (Pointer.of_string_exn s) v in
+  Alcotest.(check (option value)) "name.first" (Some (Value.Str "John"))
+    (get "name.first");
+  Alcotest.(check (option value)) "hobbies[0]" (Some (Value.Str "fishing"))
+    (get "hobbies[0]");
+  Alcotest.(check (option value)) "hobbies[-1]" (Some (Value.Str "yoga"))
+    (get "hobbies[-1]");
+  Alcotest.(check (option value)) "missing" None (get "name.middle");
+  Alcotest.(check (option value)) "type mismatch" None (get "age[0]");
+  Alcotest.(check bool) "exists" true
+    (Pointer.exists (Pointer.of_string_exn "age") v);
+  (* same through the tree *)
+  let t = Tree.of_value v in
+  let n = Pointer.get_node (Pointer.of_string_exn "name.last") t Tree.root in
+  Alcotest.(check (option string)) "tree get" (Some "Doe")
+    (Option.bind n (Tree.str_value t))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_value =
+  let open QCheck.Gen in
+  let key = map (String.make 1) (char_range 'a' 'f') in
+  let key2 = map2 (fun a b -> Printf.sprintf "%c%c" a b) (char_range 'a' 'f') (char_range 'a' 'f') in
+  let atom =
+    oneof
+      [ map (fun n -> Value.Num (abs n mod 1000)) nat;
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 6)) ]
+  in
+  let rec value n =
+    if n <= 0 then atom
+    else
+      frequency
+        [ (2, atom);
+          (2, map (fun vs -> Value.Arr vs) (list_size (int_range 0 4) (value (n - 1))));
+          (3,
+           let pair = map2 (fun k v -> (k, v)) (oneof [ key; key2 ]) (value (n - 1)) in
+           map
+             (fun kvs ->
+               (* deduplicate keys, keeping the first occurrence *)
+               let seen = Hashtbl.create 8 in
+               let kvs =
+                 List.filter
+                   (fun (k, _) ->
+                     if Hashtbl.mem seen k then false
+                     else begin
+                       Hashtbl.add seen k ();
+                       true
+                     end)
+                   kvs
+               in
+               Value.Obj kvs)
+             (list_size (int_range 0 4) pair)) ]
+  in
+  value 4
+
+let arbitrary_value = QCheck.make ~print:Value.to_string gen_value
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arbitrary_value
+    (fun v -> Value.equal v (parse (Printer.compact v)))
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty/parse roundtrip" ~count:200 arbitrary_value
+    (fun v -> Value.equal v (parse (Printer.pretty v)))
+
+let prop_tree_roundtrip =
+  QCheck.Test.make ~name:"tree of_value/to_value roundtrip" ~count:300
+    arbitrary_value (fun v -> Value.equal v (Tree.to_value (Tree.of_value v)))
+
+let prop_tree_size =
+  QCheck.Test.make ~name:"tree node_count = value size" ~count:300
+    arbitrary_value (fun v -> Tree.node_count (Tree.of_value v) = Value.size v)
+
+let prop_tree_height =
+  QCheck.Test.make ~name:"tree height = value height" ~count:300
+    arbitrary_value (fun v -> Tree.height (Tree.of_value v) = Value.height v)
+
+let prop_subtree_equality_matches_value_equality =
+  QCheck.Test.make ~name:"equal_subtrees agrees with Value.equal" ~count:200
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (v1, v2) ->
+      let t = Tree.of_value (Value.Arr [ v1; v2 ]) in
+      let c1 = Option.get (Tree.nth t Tree.root 0) in
+      let c2 = Option.get (Tree.nth t Tree.root 1) in
+      Tree.equal_subtrees t c1 c2 = Value.equal v1 v2)
+
+let prop_value_at =
+  QCheck.Test.make ~name:"value_at root = identity" ~count:200 arbitrary_value
+    (fun v ->
+      let t = Tree.of_value v in
+      Value.equal (Tree.value_at t Tree.root) v)
+
+let prop_hash_sound =
+  QCheck.Test.make ~name:"Value.hash respects equality" ~count:200
+    arbitrary_value (fun v ->
+      Value.hash v = Value.hash (Value.sort_keys v))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"Value.compare antisymmetry" ~count:200
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (v1, v2) ->
+      let c1 = Value.compare v1 v2 and c2 = Value.compare v2 v1 in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_basics () =
+  let a = parse {|{"name":"John","age":32,"tags":[1,2,3]}|} in
+  let b = parse {|{"name":"Jane","age":32,"tags":[1,2],"new":0}|} in
+  let script = Diff.diff a b in
+  Alcotest.(check bool) "non-empty" true (Diff.size script > 0);
+  (match Diff.apply script a with
+  | Ok b' -> Alcotest.check value "apply reconstructs" b b'
+  | Error m -> Alcotest.fail m);
+  (match Diff.apply (Diff.invert script) b with
+  | Ok a' -> Alcotest.check value "inverse reconstructs" a a'
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "empty diff of equal values" 0
+    (Diff.size (Diff.diff a a));
+  (* object key order does not create edits *)
+  let shuffled = parse {|{"age":32,"tags":[1,2,3],"name":"John"}|} in
+  Alcotest.(check int) "order-insensitive" 0 (Diff.size (Diff.diff a shuffled))
+
+let test_diff_errors () =
+  let a = parse {|{"x":1}|} in
+  let bogus = [ Diff.Replace ([ Pointer.Key "x" ], Value.Num 9, Value.Num 2) ] in
+  match Diff.apply bogus a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale replace must fail"
+
+let prop_diff_roundtrip =
+  QCheck.Test.make ~name:"apply (diff a b) a = b" ~count:300
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (a, b) ->
+      match Diff.apply (Diff.diff a b) a with
+      | Ok b' -> Value.equal b b'
+      | Error m -> QCheck.Test.fail_reportf "apply failed: %s" m)
+
+let prop_diff_invert =
+  QCheck.Test.make ~name:"apply (invert (diff a b)) b = a" ~count:300
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (a, b) ->
+      match Diff.apply (Diff.invert (Diff.diff a b)) b with
+      | Ok a' -> Value.equal a a'
+      | Error m -> QCheck.Test.fail_reportf "inverse failed: %s" m)
+
+
+(* ------------------------------------------------------------------ *)
+(* XML coding (§3.2)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_xml_coding () =
+  let v = parse figure1 in
+  let x = Xml_coding.encode v in
+  (match Xml_coding.decode x with
+  | Ok v' -> Alcotest.check value "roundtrip" v v'
+  | Error m -> Alcotest.fail m);
+  (* J[name][first] through the coding *)
+  let name = Option.get (Xml_coding.lookup_key x "name") in
+  let first = Option.get (Xml_coding.lookup_key name "first") in
+  Alcotest.(check (option string)) "lookup" (Some "John") first.Xml_coding.text;
+  Alcotest.(check bool) "missing key" true (Xml_coding.lookup_key x "zzz" = None);
+  let hobbies = Option.get (Xml_coding.lookup_key x "hobbies") in
+  let yoga = Option.get (Xml_coding.nth hobbies 1) in
+  Alcotest.(check (option string)) "nth" (Some "yoga") yoga.Xml_coding.text;
+  Alcotest.(check bool) "nth out of range" true (Xml_coding.nth hobbies 9 = None);
+  (* the coding inflates the tree: one extra pair node per member *)
+  Alcotest.(check bool) "coded tree larger" true (Xml_coding.size x > Value.size v)
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"XML coding roundtrip" ~count:300 arbitrary_value
+    (fun v ->
+      match Xml_coding.decode (Xml_coding.encode v) with
+      | Ok v' -> Value.equal v v'
+      | Error _ -> false)
+
+let prop_xml_lookup_agrees =
+  QCheck.Test.make ~name:"coded lookup = native member" ~count:300
+    arbitrary_value (fun v ->
+      let x = Xml_coding.encode v in
+      List.for_all
+        (fun k ->
+          let native = Value.member k v in
+          let coded = Option.map Xml_coding.decode (Xml_coding.lookup_key x k) in
+          match (native, coded) with
+          | None, None -> true
+          | Some nv, Some (Ok cv) -> Value.equal nv cv
+          | _ -> false)
+        [ "a"; "b"; "ab"; "zz" ])
+
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: parsers are total on arbitrary input                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_garbage =
+  QCheck.Gen.(
+    oneof
+      [ string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40);
+        (* JSON-flavoured garbage: plausible tokens in random order *)
+        map (String.concat "")
+          (list_size (int_range 0 14)
+             (oneofl
+                [ "{"; "}"; "["; "]"; ","; ":"; "\""; "1"; "true"; "nul";
+                  "\"a\""; " "; "\\u12"; "-"; "3.5e"; "{}"; "[]" ])) ])
+
+let arbitrary_garbage = QCheck.make ~print:String.escaped gen_garbage
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"Parser.parse never raises" ~count:500
+    arbitrary_garbage (fun s ->
+      match Jsont.Parser.parse s with Ok _ | Error _ -> true)
+
+let prop_parser_lenient_total =
+  QCheck.Test.make ~name:"lenient Parser.parse never raises" ~count:300
+    arbitrary_garbage (fun s ->
+      match Jsont.Parser.parse ~mode:`Lenient s with Ok _ | Error _ -> true)
+
+let prop_pointer_total =
+  QCheck.Test.make ~name:"Pointer.of_string never raises" ~count:500
+    arbitrary_garbage (fun s ->
+      match Jsont.Pointer.of_string s with Ok _ | Error _ -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_print_parse_roundtrip;
+      prop_pretty_parse_roundtrip;
+      prop_tree_roundtrip;
+      prop_tree_size;
+      prop_tree_height;
+      prop_subtree_equality_matches_value_equality;
+      prop_value_at;
+      prop_hash_sound;
+      prop_compare_total_order;
+      prop_diff_roundtrip;
+      prop_diff_invert;
+      prop_xml_roundtrip;
+      prop_xml_lookup_agrees;
+      prop_parser_total;
+      prop_parser_lenient_total;
+      prop_pointer_total ]
+
+let () =
+  Alcotest.run "jsont"
+    [ ("value",
+       [ Alcotest.test_case "smart constructors" `Quick test_value_smart_constructors;
+         Alcotest.test_case "unordered equality" `Quick test_value_equality_unordered;
+         Alcotest.test_case "accessors" `Quick test_value_accessors;
+         Alcotest.test_case "sizes" `Quick test_value_sizes;
+         Alcotest.test_case "check" `Quick test_value_check ]);
+      ("parser",
+       [ Alcotest.test_case "atoms" `Quick test_parse_atoms;
+         Alcotest.test_case "escapes" `Quick test_parse_escapes;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "model restriction" `Quick test_parse_model_restriction;
+         Alcotest.test_case "depth limit" `Quick test_parse_depth_limit;
+         Alcotest.test_case "parse_many" `Quick test_parse_many;
+         Alcotest.test_case "error positions" `Quick test_error_positions ]);
+      ("printer",
+       [ Alcotest.test_case "roundtrips" `Quick test_print_parse_roundtrip ]);
+      ("tree",
+       [ Alcotest.test_case "basic" `Quick test_tree_basic;
+         Alcotest.test_case "navigation" `Quick test_tree_navigation;
+         Alcotest.test_case "formal conditions" `Quick test_tree_formal_conditions;
+         Alcotest.test_case "tree domain closure" `Quick test_tree_addresses_prefix_closed;
+         Alcotest.test_case "subtree equality" `Quick test_tree_subtree_equality;
+         Alcotest.test_case "key order insensitive" `Quick test_tree_key_order_insensitive_equality;
+         Alcotest.test_case "sizes and heights" `Quick test_tree_sizes_heights;
+         Alcotest.test_case "parents and edges" `Quick test_tree_parent_edges ]);
+      ("xml coding",
+       [ Alcotest.test_case "basics" `Quick test_xml_coding ]);
+      ("diff",
+       [ Alcotest.test_case "basics" `Quick test_diff_basics;
+         Alcotest.test_case "errors" `Quick test_diff_errors ]);
+      ("pointer",
+       [ Alcotest.test_case "parse" `Quick test_pointer_parse;
+         Alcotest.test_case "roundtrip" `Quick test_pointer_roundtrip;
+         Alcotest.test_case "get" `Quick test_pointer_get ]);
+      ("properties", qcheck_tests) ]

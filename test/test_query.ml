@@ -1,0 +1,208 @@
+(* Tests for the query front ends: MongoDB-style find and JSONPath. *)
+
+module Value = Jsont.Value
+
+let parse_doc = Jsont.Parser.parse_exn
+
+(* a small people collection, echoing Example 1 of the paper *)
+let people =
+  List.map parse_doc
+    [ {|{"name":"Sue","age":28,"hobbies":["yoga","chess"],"address":{"city":"Santiago"}}|};
+      {|{"name":"John","age":32,"hobbies":["fishing","yoga"],"address":{"city":"Lille"}}|};
+      {|{"name":"Ana","age":17,"hobbies":[],"address":{"city":"Santiago"}}|};
+      {|{"name":"Li","age":45,"orders":[{"total":99},{"total":10}]}|} ]
+
+let names docs =
+  List.filter_map (fun d -> Option.map Value.to_string (Value.member "name" d)) docs
+
+let find_names filter_text =
+  names (Jquery.Mongo.find (Jquery.Mongo.parse_string_exn filter_text) people)
+
+let check_names label expected filter_text =
+  Alcotest.(check (list string)) label expected (find_names filter_text)
+
+let test_example1 () =
+  (* db.collection.find({name: {$eq: "Sue"}}, {}) *)
+  check_names "find Sue" [ {|"Sue"|} ] {|{"name": {"$eq": "Sue"}}|};
+  check_names "implicit eq" [ {|"Sue"|} ] {|{"name": "Sue"}|}
+
+let test_operators () =
+  check_names "gt" [ {|"John"|}; {|"Li"|} ] {|{"age": {"$gt": 28}}|};
+  check_names "gte" [ {|"Sue"|}; {|"John"|}; {|"Li"|} ] {|{"age": {"$gte": 28}}|};
+  check_names "lt" [ {|"Ana"|} ] {|{"age": {"$lt": 28}}|};
+  check_names "lte 28" [ {|"Sue"|}; {|"Ana"|} ] {|{"age": {"$lte": 28}}|};
+  check_names "ne" [ {|"John"|}; {|"Ana"|}; {|"Li"|} ] {|{"name": {"$ne": "Sue"}}|};
+  check_names "exists" [ {|"Li"|} ] {|{"orders": {"$exists": true}}|};
+  check_names "not exists" [ {|"Sue"|}; {|"John"|}; {|"Ana"|} ]
+    {|{"orders": {"$exists": false}}|};
+  check_names "type" [ {|"Li"|} ] {|{"orders": {"$type": "array"}}|};
+  check_names "size" [ {|"Sue"|}; {|"John"|} ] {|{"hobbies": {"$size": 2}}|};
+  check_names "regex" [ {|"Sue"|}; {|"John"|} ] {|{"name": {"$regex": "o|u"}}|};
+  check_names "in" [ {|"Sue"|}; {|"Ana"|} ] {|{"name": {"$in": ["Sue","Ana"]}}|};
+  check_names "nin" [ {|"John"|}; {|"Li"|} ] {|{"name": {"$nin": ["Sue","Ana"]}}|};
+  check_names "dotted path" [ {|"Sue"|}; {|"Ana"|} ] {|{"address.city": "Santiago"}|};
+  check_names "array index path" [ {|"John"|} ] {|{"hobbies.0": "fishing"}|};
+  check_names "all" [ {|"Sue"|} ] {|{"hobbies": {"$all": ["yoga", "chess"]}}|};
+  check_names "all missing element" [] {|{"hobbies": {"$all": ["yoga", "golf"]}}|};
+  check_names "elemMatch" [ {|"Li"|} ]
+    {|{"orders": {"$elemMatch": {"total": {"$gt": 50}}}}|};
+  check_names "and" [ {|"Sue"|} ]
+    {|{"$and": [{"age": {"$gt": 20}}, {"address.city": "Santiago"}]}|};
+  check_names "or" [ {|"Sue"|}; {|"Ana"|}; {|"Li"|} ]
+    {|{"$or": [{"address.city": "Santiago"}, {"age": {"$gt": 40}}]}|};
+  check_names "nor" [ {|"John"|} ]
+    {|{"$nor": [{"address.city": "Santiago"}, {"age": {"$gt": 40}}]}|};
+  check_names "not" [ {|"Ana"|} ] {|{"age": {"$not": {"$gte": 28}}}|};
+  check_names "not includes missing" [ {|"Sue"|}; {|"John"|}; {|"Ana"|} ]
+    {|{"orders": {"$not": {"$exists": true}}}|}
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Jquery.Mongo.parse_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected filter error on %s" s)
+    [ {|{"a": {"$frobnicate": 1}}|};
+      {|{"$and": 3}|};
+      {|{"a": {"$gt": "high"}}|};
+      {|{"a": {"$regex": "("}}|};
+      "[1]" ]
+
+let test_to_jnl () =
+  (* the equality fragment reaches pure JNL through Theorem 2 *)
+  let f = Jquery.Mongo.parse_string_exn {|{"name": "Sue", "address.city": "Santiago"}|} in
+  (match Jquery.Mongo.to_jnl f with
+  | Error m -> Alcotest.failf "to_jnl failed: %s" m
+  | Ok jnl ->
+    let selected = List.filter (fun d -> Jlogic.Jnl_eval.satisfies d jnl) people in
+    Alcotest.(check (list string)) "JNL agrees with find" [ {|"Sue"|} ] (names selected));
+  (* $gt is outside the ~(A) fragment *)
+  match Jquery.Mongo.to_jnl (Jquery.Mongo.parse_string_exn {|{"age": {"$gt": 3}}|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "$gt should not reach pure JNL"
+
+let test_projection () =
+  let doc = parse_doc {|{"name":"Sue","age":28,"address":{"city":"Santiago","zip":1}}|} in
+  let proj s = Jquery.Mongo.parse_projection (parse_doc s) in
+  (match proj {|{"name":1,"address.city":1}|} with
+  | Ok p ->
+    Alcotest.(check string) "include"
+      {|{"name":"Sue","address":{"city":"Santiago"}}|}
+      (Value.to_string (Jquery.Mongo.project p doc))
+  | Error m -> Alcotest.fail m);
+  (match proj {|{"age":0,"address.zip":0}|} with
+  | Ok p ->
+    Alcotest.(check string) "exclude"
+      {|{"name":"Sue","address":{"city":"Santiago"}}|}
+      (Value.to_string (Jquery.Mongo.project p doc))
+  | Error m -> Alcotest.fail m);
+  (match proj {|{"a":1,"b":0}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mixed projection must be rejected");
+  match proj {|{}|} with
+  | Ok p ->
+    Alcotest.(check string) "empty projection keeps all"
+      (Value.to_string doc)
+      (Value.to_string (Jquery.Mongo.project p doc))
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* JSONPath                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Gössner's classic store document, trimmed to the model *)
+let store =
+  parse_doc
+    {|{ "store": {
+        "book": [
+          { "category": "reference", "author": "Nigel Rees", "title": "Sayings", "price": 8 },
+          { "category": "fiction", "author": "Evelyn Waugh", "title": "Sword", "price": 12 },
+          { "category": "fiction", "author": "Herman Melville", "title": "Moby Dick", "price": 9 },
+          { "category": "fiction", "author": "J. R. R. Tolkien", "title": "LotR", "price": 22 }
+        ],
+        "bicycle": { "color": "red", "price": 19 }
+      } }|}
+
+let sel path = List.map Value.to_string (Jquery.Jsonpath.select_exn store path)
+
+let test_jsonpath_basics () =
+  Alcotest.(check (list string)) "authors"
+    [ {|"Nigel Rees"|}; {|"Evelyn Waugh"|}; {|"Herman Melville"|}; {|"J. R. R. Tolkien"|} ]
+    (sel "$.store.book[*].author");
+  Alcotest.(check (list string)) "first book title" [ {|"Sayings"|} ]
+    (sel "$.store.book[0].title");
+  Alcotest.(check (list string)) "last book title" [ {|"LotR"|} ]
+    (sel "$.store.book[-1].title");
+  Alcotest.(check (list string)) "slice" [ {|"Sayings"|}; {|"Sword"|} ]
+    (sel "$.store.book[0:2].title");
+  Alcotest.(check (list string)) "open slice" [ {|"Moby Dick"|}; {|"LotR"|} ]
+    (sel "$.store.book[2:].title");
+  Alcotest.(check int) "all prices (recursive descent)" 5
+    (List.length (sel "$..price"));
+  Alcotest.(check (list string)) "bracket name" [ {|"red"|} ]
+    (sel "$.store.bicycle['color']");
+  Alcotest.(check int) "wildcard children of store" 2 (List.length (sel "$.store.*"));
+  Alcotest.(check (list string)) "union of indices"
+    [ {|"Sayings"|}; {|"Moby Dick"|} ]
+    (sel "$.store.book[0,2].title");
+  Alcotest.(check int) "everything" 1 (List.length (sel "$"))
+
+let test_jsonpath_filter () =
+  (* books cheaper than 10: filter with a JNL formula *)
+  Alcotest.(check (list string)) "filtered titles"
+    [ {|"Sayings"|}; {|"Moby Dick"|} ]
+    (sel "$.store.book[*][?(eq(.price, 8) | eq(.price, 9))].title");
+  Alcotest.(check (list string)) "filter on category"
+    [ {|"Sayings"|} ]
+    (sel {|$.store.book[*][?(eq(.category, "reference"))].title|})
+
+let test_jsonpath_errors () =
+  List.iter
+    (fun p ->
+      match Jquery.Jsonpath.parse p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected jsonpath error on %s" p)
+    [ "$."; "$.store["; "$.store[1:1]"; "$x%"; "$..[" ]
+
+let test_jsonpath_compiles_to_jnl () =
+  (* the embedding claim: selection equals JNL path evaluation *)
+  let p = Jquery.Jsonpath.parse_exn "$..book[0].author" in
+  let frag = Jlogic.Jnl.classify_path p in
+  Alcotest.(check bool) "recursive descent uses Star" true frag.Jlogic.Jnl.recursive;
+  let tree = Jsont.Tree.of_value store in
+  let nodes = Jquery.Jsonpath.select_nodes tree p in
+  Alcotest.(check int) "one author" 1 (List.length nodes)
+
+
+let test_jsonpath_paths () =
+  match Jquery.Jsonpath.select_with_paths store "$..price" with
+  | Error m -> Alcotest.fail m
+  | Ok hits ->
+    Alcotest.(check int) "five prices" 5 (List.length hits);
+    List.iter
+      (fun (ptr, v) ->
+        (* the returned pointer resolves back to the returned value *)
+        match Jsont.Pointer.get ptr store with
+        | Some v' -> Alcotest.(check bool) "pointer resolves" true (Value.equal v v')
+        | None -> Alcotest.failf "dangling pointer %s" (Jsont.Pointer.to_string ptr))
+      hits;
+    let rendered = List.map (fun (p, _) -> Jsont.Pointer.to_string p) hits in
+    Alcotest.(check bool) "first path" true
+      (List.mem "store.book[0].price" rendered);
+    Alcotest.(check bool) "bicycle path" true
+      (List.mem "store.bicycle.price" rendered)
+
+let () =
+  Alcotest.run "query"
+    [ ("mongo",
+       [ Alcotest.test_case "Example 1" `Quick test_example1;
+         Alcotest.test_case "operators" `Quick test_operators;
+         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+         Alcotest.test_case "to JNL (Theorem 2)" `Quick test_to_jnl;
+         Alcotest.test_case "projection (§6)" `Quick test_projection ]);
+      ("jsonpath",
+       [ Alcotest.test_case "basics" `Quick test_jsonpath_basics;
+         Alcotest.test_case "filters" `Quick test_jsonpath_filter;
+         Alcotest.test_case "errors" `Quick test_jsonpath_errors;
+         Alcotest.test_case "compiles to JNL" `Quick test_jsonpath_compiles_to_jnl;
+         Alcotest.test_case "result paths" `Quick test_jsonpath_paths ]) ]

@@ -1,0 +1,176 @@
+(* Tests for the streaming validator (the §6 conjecture). *)
+
+open Jlogic
+module Value = Jsont.Value
+
+let re = Rexp.Parse.parse_exn
+
+let stream_validates text f =
+  match Stream.validate text f with
+  | Ok b -> b
+  | Error m -> Alcotest.failf "stream error on %s: %s" text m
+
+let test_supported () =
+  (match Stream.supported (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int)) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Stream.supported (Jsl.Test Jsl.Unique) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "Unique must be unsupported");
+  (match Stream.supported (Jsl.Dia_keys (re "a|b", Jsl.True)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "regex modality must be unsupported");
+  (match Stream.supported (Jsl.Dia_range (0, None, Jsl.True)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unbounded range must be unsupported");
+  (* ~(A) is fine: compiled away *)
+  match Stream.supported (Jsl.Test (Jsl.Eq_doc (Jsont.Parser.parse_exn {|{"a":[1]}|}))) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_expand_eq () =
+  let v = Jsont.Parser.parse_exn {|{"a":[1,"x"],"b":{}}|} in
+  let f = Stream.expand_eq (Jsl.Test (Jsl.Eq_doc v)) in
+  Alcotest.(check bool) "expanded formula deterministic" true (Jsl.is_deterministic f);
+  (* semantics preserved *)
+  List.iter
+    (fun (expected, d) ->
+      Alcotest.(check bool) d expected (Jsl.validates (Jsont.Parser.parse_exn d) f))
+    [ (true, {|{"a":[1,"x"],"b":{}}|});
+      (true, {|{"b":{},"a":[1,"x"]}|});
+      (false, {|{"a":[1,"x"]}|});
+      (false, {|{"a":[1,"y"],"b":{}}|});
+      (false, {|{"a":[1,"x",2],"b":{}}|});
+      (false, {|{"a":[1,"x"],"b":{},"c":0}|});
+      (false, {|5|}) ]
+
+let test_stream_basics () =
+  let phi =
+    Jsl.conj
+      [ Jsl.Test Jsl.Is_obj;
+        Jsl.dia_key "name" (Jsl.Test Jsl.Is_str);
+        Jsl.dia_key "age" (Jsl.And (Jsl.Test (Jsl.Min 0), Jsl.Test (Jsl.Max 150)));
+        Jsl.box_key "nick" (Jsl.Test Jsl.Is_str) ]
+  in
+  Alcotest.(check bool) "valid person" true
+    (stream_validates {|{"name":"Sue","age":28}|} phi);
+  Alcotest.(check bool) "with nick" true
+    (stream_validates {|{"name":"Sue","age":28,"nick":"S"}|} phi);
+  Alcotest.(check bool) "bad nick" false
+    (stream_validates {|{"name":"Sue","age":28,"nick":7}|} phi);
+  Alcotest.(check bool) "missing name" false (stream_validates {|{"age":28}|} phi);
+  Alcotest.(check bool) "age too big" false
+    (stream_validates {|{"name":"Sue","age":200}|} phi);
+  Alcotest.(check bool) "not an object" false (stream_validates {|[1,2]|} phi)
+
+let test_stream_malformed () =
+  let phi = Jsl.Test Jsl.Is_obj in
+  List.iter
+    (fun text ->
+      match Stream.validate text phi with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected stream error on %s" text)
+    [ "{"; "{\"a\":}"; "{\"a\":1,}"; "[1,]"; "true"; "{\"a\":1} trailing";
+      {|{"dup":1,"dup":2}|} ]
+
+let gen_det_pair =
+  let open QCheck.Gen in
+  let gen st =
+    let seed = int_range 0 1_000_000 |> fun g -> g st in
+    let rng = Jworkload.Prng.create seed in
+    let doc = Jworkload.Gen_json.sized rng 60 in
+    let cfg = { Jworkload.Gen_formula.default with Jworkload.Gen_formula.size = 10 } in
+    let formula = Jworkload.Gen_formula.jsl rng cfg in
+    (doc, formula)
+  in
+  QCheck.make
+    ~print:(fun (d, f) -> Value.to_string d ^ " |= " ^ Jsl.to_string f)
+    gen
+
+let prop_stream_agrees_with_tree =
+  QCheck.Test.make ~name:"streaming = tree-based evaluation" ~count:400 gen_det_pair
+    (fun (doc, formula) ->
+      match Stream.supported formula with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let text = Value.to_string doc in
+        (match Stream.validate text formula with
+        | Ok b -> b = Jsl.validates doc formula
+        | Error m -> QCheck.Test.fail_reportf "stream error: %s" m))
+
+let test_constant_memory () =
+  (* peak obligations must not grow with document size *)
+  let phi = Jsl.dia_key "id" (Jsl.Test Jsl.Is_int) in
+  let peaks =
+    List.map
+      (fun n ->
+        let rng = Jworkload.Prng.create 42 in
+        let doc =
+          Value.Obj
+            [ ("id", Value.Num 1); ("payload", Jworkload.Gen_json.sized rng n) ]
+        in
+        match Stream.validate_with_stats (Value.to_string doc) phi with
+        | Ok (true, stats) -> stats.Stream.peak_obligations
+        | Ok (false, _) -> Alcotest.fail "should validate"
+        | Error m -> Alcotest.fail m)
+      [ 100; 1_000; 10_000 ]
+  in
+  match peaks with
+  | [ p1; p2; p3 ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "peaks stay flat (%d, %d, %d)" p1 p2 p3)
+      true
+      (p1 = p2 && p2 = p3)
+  | _ -> assert false
+
+let test_tokens_counted () =
+  let phi = Jsl.Test Jsl.Is_obj in
+  match Stream.validate_with_stats {|{"a":1,"b":[2,3]}|} phi with
+  | Ok (true, stats) ->
+    Alcotest.(check bool) "tokens counted" true (stats.Stream.tokens >= 10)
+  | Ok (false, _) -> Alcotest.fail "should validate"
+  | Error m -> Alcotest.fail m
+
+
+let test_validate_jnl () =
+  let phi = Jnl.parse_exn {|eq(.name.first, "John") & !<.archived>|} in
+  let doc = {|{"name":{"first":"John"},"age":32}|} in
+  (match Stream.validate_jnl doc phi with
+  | Ok b -> Alcotest.(check bool) "det JNL streams" true b
+  | Error m -> Alcotest.fail m);
+  (match Stream.validate_jnl {|{"name":{"first":"Jane"}}|} phi with
+  | Ok b -> Alcotest.(check bool) "mismatch detected" false b
+  | Error m -> Alcotest.fail m);
+  (* non-deterministic / recursive formulas are rejected *)
+  (match Stream.validate_jnl doc (Jnl.Exists (Jnl.Star (Jnl.Key "a"))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "recursive formula must be rejected");
+  match Stream.validate_jnl doc (Jnl.Eq_paths (Jnl.Key "a", Jnl.Key "b")) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "EQ(α,β) must be rejected"
+
+let prop_validate_jnl_agrees =
+  QCheck.Test.make ~name:"JNL streaming = tree evaluation" ~count:300
+    gen_det_pair (fun (doc, _) ->
+      let rng = Jworkload.Prng.create 23 in
+      let cfg = { Jworkload.Gen_formula.default with Jworkload.Gen_formula.size = 8 } in
+      let phi = Jworkload.Gen_formula.jnl rng cfg in
+      match Stream.validate_jnl (Value.to_string doc) phi with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok b -> b = Jlogic.Jnl_eval.satisfies doc phi)
+
+let () =
+  Alcotest.run "stream"
+    [ ("fragment",
+       [ Alcotest.test_case "supported" `Quick test_supported;
+         Alcotest.test_case "expand_eq" `Quick test_expand_eq ]);
+      ("validation",
+       [ Alcotest.test_case "basics" `Quick test_stream_basics;
+         Alcotest.test_case "malformed input" `Quick test_stream_malformed;
+         Alcotest.test_case "constant memory" `Quick test_constant_memory;
+         Alcotest.test_case "token stats" `Quick test_tokens_counted ]);
+      ("jnl",
+       [ Alcotest.test_case "validate_jnl" `Quick test_validate_jnl;
+         QCheck_alcotest.to_alcotest prop_validate_jnl_agrees ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_stream_agrees_with_tree ]) ]

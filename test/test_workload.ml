@@ -1,0 +1,111 @@
+(* Tests for the workload substrate: PRNG determinism and generator
+   contracts. *)
+
+module Value = Jsont.Value
+open Jworkload
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Prng.next a = Prng.next b)
+  done;
+  let c = Prng.create 8 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Prng.next (Prng.create 7) <> Prng.next c)
+
+let test_prng_ranges () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let w = Prng.in_range rng 5 9 in
+    Alcotest.(check bool) "in_range inclusive" true (w >= 5 && w <= 9);
+    let f = Prng.float rng in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_weighted () =
+  let rng = Prng.create 2 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let x = Prng.choose_weighted rng [ (1, "a"); (2, "b"); (7, "c") ] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "c dominates" true (get "c" > get "b" && get "b" > get "a")
+
+let test_gen_json_valid_and_sized () =
+  let rng = Prng.create 3 in
+  List.iter
+    (fun n ->
+      let v = Gen_json.sized rng n in
+      Alcotest.(check bool) "valid" true (Value.is_valid v);
+      let size = Value.size v in
+      (* soft target: committed fanouts can overshoot the budget a bit *)
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d close to target %d" size n)
+        true
+        (size <= n + (n / 4) + 16 && size >= max 1 (n / 4)))
+    [ 10; 100; 1000; 10_000 ]
+
+let test_gen_json_deterministic () =
+  let v1 = Gen_json.sized (Prng.create 11) 200 in
+  let v2 = Gen_json.sized (Prng.create 11) 200 in
+  Alcotest.(check bool) "same seed, same document" true (Value.equal v1 v2)
+
+let test_shapes () =
+  Alcotest.(check int) "deep chain height" 50 (Value.height (Gen_json.deep_chain 50));
+  Alcotest.(check int) "wide object size" 101 (Value.size (Gen_json.wide_object 100));
+  Alcotest.(check int) "wide array size" 101 (Value.size (Gen_json.wide_array 100));
+  let dup = Gen_json.duplicated_array 10 in
+  Alcotest.(check bool) "duplicated array violates Unique" false
+    (Jlogic.Jsl.validates dup (Jlogic.Jsl.Test Jlogic.Jsl.Unique));
+  Alcotest.(check bool) "wide array satisfies Unique" true
+    (Jlogic.Jsl.validates (Gen_json.wide_array 10) (Jlogic.Jsl.Test Jlogic.Jsl.Unique))
+
+let test_api_record () =
+  let rng = Prng.create 5 in
+  let v = Gen_json.api_record rng 5 in
+  Alcotest.(check bool) "valid" true (Value.is_valid v);
+  Alcotest.(check bool) "has orders" true
+    (match Value.member "orders" v with
+    | Some (Value.Arr l) -> List.length l = 5
+    | _ -> false);
+  Alcotest.(check bool) "has name.first" true
+    (Jsont.Pointer.exists (Jsont.Pointer.of_string_exn "name.first") v)
+
+let test_gen_formula_fragments () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 50 do
+    let det = Gen_formula.jnl rng Gen_formula.default in
+    let frag = Jlogic.Jnl.classify det in
+    Alcotest.(check bool) "default config is deterministic" true
+      frag.Jlogic.Jnl.deterministic;
+    let jsl = Gen_formula.jsl rng Gen_formula.default in
+    Alcotest.(check (list string)) "non-recursive JSL has no vars" []
+      (Jlogic.Jsl.free_vars jsl)
+  done
+
+let test_gen_jsl_rec_well_formed () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 50 do
+    let delta = Gen_formula.jsl_rec rng Gen_formula.default ~n_defs:3 in
+    match Jlogic.Jsl_rec.well_formed delta with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "generated ill-formed recursive JSL: %s" m
+  done
+
+let () =
+  Alcotest.run "workload"
+    [ ("prng",
+       [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+         Alcotest.test_case "ranges" `Quick test_prng_ranges;
+         Alcotest.test_case "weighted choice" `Quick test_prng_weighted ]);
+      ("gen_json",
+       [ Alcotest.test_case "valid and sized" `Quick test_gen_json_valid_and_sized;
+         Alcotest.test_case "deterministic" `Quick test_gen_json_deterministic;
+         Alcotest.test_case "special shapes" `Quick test_shapes;
+         Alcotest.test_case "api record" `Quick test_api_record ]);
+      ("gen_formula",
+       [ Alcotest.test_case "fragments" `Quick test_gen_formula_fragments;
+         Alcotest.test_case "recursive well-formed" `Quick test_gen_jsl_rec_well_formed ]) ]
