@@ -18,8 +18,11 @@ open Jlogic
 
 (* ---- measurement helpers -------------------------------------------------- *)
 
-(* per-run estimate in nanoseconds via bechamel's OLS *)
-let measure_ns ?(quota = 0.3) f =
+(* Per-run estimate in nanoseconds via bechamel's OLS.  Every estimate
+   is also recorded under [name] in the Obs.Metrics registry, so the
+   numbers EXPERIMENTS.md quotes flow through the same instrumentation
+   layer the CLI exposes. *)
+let measure_ns ?name ?(quota = 0.3) f =
   let test = Test.make ~name:"t" (Staged.stage f) in
   let elt = List.hd (Test.elements test) in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
@@ -28,15 +31,25 @@ let measure_ns ?(quota = 0.3) f =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let est = Analyze.one ols Instance.monotonic_clock b in
-  match Analyze.OLS.estimates est with
-  | Some (t :: _) -> t
-  | _ -> Float.nan
+  let ns =
+    match Analyze.OLS.estimates est with
+    | Some (t :: _) -> t
+    | _ -> Float.nan
+  in
+  (match name with
+  | Some n when Float.is_finite ns -> Obs.Metrics.observe_ns n ns
+  | _ -> ());
+  ns
 
 (* one-shot wall-clock for long operations (satisfiability searches) *)
-let wall_ms f =
+let wall_ms ?name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  (result, (Unix.gettimeofday () -. t0) *. 1000.)
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (match name with
+  | Some n -> Obs.Metrics.observe_ns n (ms *. 1e6)
+  | None -> ());
+  (result, ms)
 
 (* least-squares slope of log(y) against log(x): the measured exponent *)
 let fitted_exponent points =
@@ -180,7 +193,7 @@ let p1 () =
         let tree = Tree.of_value doc in
         let nodes = Tree.node_count tree in
         let ns =
-          measure_ns (fun () ->
+          measure_ns ~name:"bench.p1.jnl_eval" (fun () ->
               let ctx = Jnl_eval.context tree in
               ignore (Jnl_eval.eval ctx phi))
         in
@@ -200,7 +213,7 @@ let p1 () =
       (fun d ->
         let phi = det_formula d in
         let ns =
-          measure_ns (fun () ->
+          measure_ns ~name:"bench.p1.jnl_eval" (fun () ->
               let ctx = Jnl_eval.context tree in
               ignore (Jnl_eval.eval ctx phi))
         in
@@ -230,12 +243,12 @@ let p3 () =
       let tree = Tree.of_value doc in
       let nodes = float_of_int (Tree.node_count tree) in
       let ns_a =
-        measure_ns (fun () ->
+        measure_ns ~name:"bench.p3.no_eq" (fun () ->
             let ctx = Jnl_eval.context tree in
             ignore (Jnl_eval.eval ctx no_eq))
       in
       let ns_b =
-        measure_ns ~quota:0.5 (fun () ->
+        measure_ns ~name:"bench.p3.with_eq" ~quota:0.5 (fun () ->
             let ctx = Jnl_eval.context tree in
             ignore (Jnl_eval.eval ctx with_eq))
       in
@@ -285,18 +298,19 @@ let p6 () =
       let doc = Value.Arr (List.init n elem) in
       let tree = Tree.of_value doc in
       let ns_a =
-        measure_ns (fun () ->
+        measure_ns ~name:"bench.p6.no_unique" (fun () ->
             let ctx = Jsl.context tree in
             ignore (Jsl.eval ctx without))
       in
       let ns_b =
-        measure_ns ~quota:0.5 (fun () ->
+        measure_ns ~name:"bench.p6.unique" ~quota:0.5 (fun () ->
             let ctx = Jsl.context tree in
             ignore (Jsl.eval ctx (Jsl.Test Jsl.Unique)))
       in
       let ns_c =
         if n <= 1_000 then
-          measure_ns ~quota:0.5 (fun () -> ignore (naive_unique tree Tree.root))
+          measure_ns ~name:"bench.p6.pairwise" ~quota:0.5 (fun () ->
+              ignore (naive_unique tree Tree.root))
         else Float.nan
       in
       pts_a := (float_of_int n, ns_a) :: !pts_a;
@@ -335,7 +349,8 @@ let p9 () =
       let nodes = float_of_int (Tree.node_count tree) in
       let result = ref false in
       let ns =
-        measure_ns (fun () -> result := Jsl_rec.holds_at tree even_paths Tree.root)
+        measure_ns ~name:"bench.p9.rec_eval" (fun () ->
+            result := Jsl_rec.holds_at tree even_paths Tree.root)
       in
       pts := (nodes, ns) :: !pts;
       row "%-12.0f %-16.3f %-10b\n" nodes (ns /. 1e6) !result)
@@ -367,7 +382,10 @@ let p9 () =
       let doc = Hardness.circuit_doc a in
       let expected = Hardness.circuit_eval circuit a in
       let got = ref false in
-      let ns = measure_ns (fun () -> got := Jsl_rec.validates doc delta) in
+      let ns =
+        measure_ns ~name:"bench.p9.circuit" (fun () ->
+            got := Jsl_rec.validates doc delta)
+      in
       row "%-12d %-16.3f %-12b\n" gates (ns /. 1e6) (!got = expected))
     [ 32; 128; 512 ]
 
@@ -388,7 +406,9 @@ let p2 () =
       in
       let expected = Hardness.dpll ~nvars cnf <> None in
       let formula = Hardness.cnf_to_jnl ~nvars cnf in
-      let outcome, ms = wall_ms (fun () -> Jnl_sat.satisfiable formula) in
+      let outcome, ms =
+        wall_ms ~name:"bench.p2.sat" (fun () -> Jnl_sat.satisfiable formula)
+      in
       let result, agree =
         match outcome with
         | Ok (Jautomaton.Sat _) -> ("sat", expected)
@@ -425,7 +445,9 @@ let p7 () =
     (fun (name, q) ->
       let expected = Hardness.qbf_eval q in
       let formula = Hardness.qbf_to_jsl q in
-      let outcome, ms = wall_ms (fun () -> Jsl_sat.satisfiable formula) in
+      let outcome, ms =
+        wall_ms ~name:"bench.p7.sat" (fun () -> Jsl_sat.satisfiable formula)
+      in
       let result, agree =
         match outcome with
         | Jautomaton.Sat _ -> ("sat", expected)
@@ -452,7 +474,10 @@ let p7 () =
     in
     let q = { Hardness.prefix; matrix } in
     let expected = Hardness.qbf_eval q in
-    let outcome, ms = wall_ms (fun () -> Jsl_sat.satisfiable (Hardness.qbf_to_jsl q)) in
+    let outcome, ms =
+      wall_ms ~name:"bench.p7.sat_random" (fun () ->
+          Jsl_sat.satisfiable (Hardness.qbf_to_jsl q))
+    in
     time := !time +. ms;
     incr total;
     match outcome with
@@ -487,7 +512,10 @@ let p4 () =
   | Some configs ->
     let doc = Hardness.cm_run_doc configs in
     let ok = ref false in
-    let ns = measure_ns (fun () -> ok := Jnl_eval.satisfies doc formula) in
+    let ns =
+      measure_ns ~name:"bench.p4.check" (fun () ->
+          ok := Jnl_eval.satisfies doc formula)
+    in
     row "%-14d %-12d %-16.3f %-12b\n" (List.length configs) (Value.size doc)
       (ns /. 1e6) !ok;
     let corrupt =
@@ -531,7 +559,7 @@ let p5 () =
   List.iter
     (fun (name, f) ->
       let outcome, ms =
-        wall_ms (fun () ->
+        wall_ms ~name:"bench.p5.sat" (fun () ->
             match f with
             | `Plain f -> Jsl_sat.satisfiable f
             | `Rec r -> Jsl_sat.satisfiable_rec r)
@@ -625,8 +653,14 @@ let strm () =
             ("payload", payload) ]
       in
       let text = Value.to_string doc in
-      let ns_tree = measure_ns (fun () -> ignore (Jsl.validates doc phi)) in
-      let ns_stream = measure_ns (fun () -> ignore (Stream.validate text phi)) in
+      let ns_tree =
+        measure_ns ~name:"bench.strm.tree" (fun () ->
+            ignore (Jsl.validates doc phi))
+      in
+      let ns_stream =
+        measure_ns ~name:"bench.strm.stream" (fun () ->
+            ignore (Stream.validate text phi))
+      in
       match Stream.validate_with_stats text phi with
       | Ok (_, stats) ->
         row "%-12d %-14d %-16.3f %-16.3f %-12d\n" (Value.size doc)
@@ -652,14 +686,14 @@ let dlog () =
       let tr = Tree.of_value doc in
       let nodes = float_of_int (Tree.node_count tr) in
       let ns_a =
-        measure_ns (fun () ->
+        measure_ns ~name:"bench.dlog.direct" (fun () ->
             let ctx = Jnl_eval.context tr in
             ignore (Jnl_eval.eval ctx phi))
       in
       (* the datalog pipeline: EDB encoding + compilation + evaluation,
          all per run (the proof's end-to-end algorithm) *)
       let ns_b =
-        measure_ns ~quota:0.5 (fun () ->
+        measure_ns ~name:"bench.dlog.datalog" ~quota:0.5 (fun () ->
             ignore (Jdatalog.Compile.eval tr phi))
       in
       let agree =
@@ -698,9 +732,13 @@ let xml () =
       (* hit the last key: the coding's worst case, the native model's
          average case is flat anyway *)
       let key = "k" ^ string_of_int (n - 1) in
-      let ns_a = measure_ns (fun () -> ignore (Tree.lookup tree Tree.root key)) in
+      let ns_a =
+        measure_ns ~name:"bench.xml.native" (fun () ->
+            ignore (Tree.lookup tree Tree.root key))
+      in
       let ns_b =
-        measure_ns (fun () -> ignore (Jsont.Xml_coding.lookup_key coded key))
+        measure_ns ~name:"bench.xml.coded" (fun () ->
+            ignore (Jsont.Xml_coding.lookup_key coded key))
       in
       pts_a := (float_of_int n, ns_a) :: !pts_a;
       pts_b := (float_of_int n, ns_b) :: !pts_b;
@@ -727,15 +765,16 @@ let simp () =
   let raw = List.init 20 (fun _ -> Jworkload.Gen_formula.jsl rng cfg) in
   let simplified = List.map Simplify.jsl raw in
   let size_of fs = List.fold_left (fun acc f -> acc + Jsl.size f) 0 fs in
-  let eval_all fs =
-    measure_ns ~quota:0.5 (fun () ->
+  let eval_all name fs =
+    measure_ns ~name ~quota:0.5 (fun () ->
         List.iter
           (fun f ->
             let ctx = Jsl.context tree in
             ignore (Jsl.eval ctx f))
           fs)
   in
-  let ns_raw = eval_all raw and ns_simplified = eval_all simplified in
+  let ns_raw = eval_all "bench.simp.raw" raw
+  and ns_simplified = eval_all "bench.simp.simplified" simplified in
   row "formulas: 20 random JSL, total size %d -> %d after Simplify.jsl\n"
     (size_of raw) (size_of simplified);
   row "evaluation over a %d-node tree: %.2f ms raw, %.2f ms simplified (%.1fx)\n"
@@ -759,6 +798,7 @@ let experiments =
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp) ]
 
 let () =
+  Obs.Metrics.set_enabled true;
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
@@ -771,4 +811,9 @@ let () =
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  (* every number above was recorded through lib/obs; the dump doubles
+     as a machine-readable summary of the run *)
+  print_newline ();
+  print_string "== obs metrics ==\n";
+  print_string (Obs.Metrics.dump_text ())

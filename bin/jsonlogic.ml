@@ -15,16 +15,57 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_bin path In_channel.input_all
 
-let parse_doc_exn text =
-  match Jsont.Parser.parse text with
-  | Ok v -> v
-  | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+(* ---- resource budgets and metrics (shared flags) --------------------------- *)
+
+type obs_opts = { budget : Obs.Budget.t; metrics : bool }
+
+let obs_term =
+  let max_depth =
+    Arg.(value & opt int Obs.Budget.default_max_depth
+         & info [ "max-depth" ] ~docv:"N"
+             ~doc:"Recursion/nesting depth ceiling; deeper input or formulas \
+                   fail with a budget error instead of a stack overflow.")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Total work allowance in node visits; when spent, the \
+                   command stops with a budget error.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Wall-clock deadline in milliseconds, checked while work is \
+                   performed.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Record per-phase timings and per-construct counters and \
+                   print them to stderr on exit.")
+  in
+  let make max_depth fuel timeout_ms metrics =
+    if metrics then begin
+      Obs.Metrics.set_enabled true;
+      (* commands may [exit] from several places; dump on whichever *)
+      at_exit (fun () -> prerr_string (Obs.Metrics.dump_text ()))
+    end;
+    { budget = Obs.Budget.create ?fuel ~max_depth ?timeout_ms (); metrics }
+  in
+  Term.(const make $ max_depth $ fuel $ timeout_ms $ metrics)
+
+let parse_doc_exn ?budget text =
+  Obs.Metrics.span "phase.parse" (fun () ->
+      match Jsont.Parser.parse ?budget text with
+      | Ok v -> v
+      | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e))
 
 (* documents: a single JSON value, or a stream of them (JSON lines) *)
-let parse_docs_exn text =
-  match Jsont.Parser.parse_many text with
-  | Ok vs -> vs
-  | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+let parse_docs_exn ?budget text =
+  Obs.Metrics.span "phase.parse" (fun () ->
+      match Jsont.Parser.parse_many ?budget text with
+      | Ok vs -> vs
+      | Error e -> failwith (Format.asprintf "%a" Jsont.Parser.pp_error e))
 
 let input_arg =
   let doc = "Input file ('-' for stdin)." in
@@ -32,9 +73,15 @@ let input_arg =
 
 let last_input args = match List.rev args with [] -> "-" | x :: _ -> x
 
-let wrap f = try f () with Failure m | Invalid_argument m ->
-  prerr_endline ("error: " ^ m);
-  exit 1
+let wrap f =
+  let fail m =
+    prerr_endline ("error: " ^ m);
+    exit 1
+  in
+  match f () with
+  | () -> ()
+  | exception (Failure m | Invalid_argument m) -> fail m
+  | exception Obs.Budget.Exhausted r -> fail (Obs.Budget.describe r)
 
 (* ---- parse ----------------------------------------------------------------- *)
 
@@ -42,16 +89,16 @@ let parse_cmd =
   let compact =
     Arg.(value & flag & info [ "c"; "compact" ] ~doc:"Compact output.")
   in
-  let run compact files =
+  let run obs compact files =
     wrap (fun () ->
         let text = read_input (last_input files) in
-        let v = parse_doc_exn text in
+        let v = parse_doc_exn ~budget:obs.budget text in
         print_endline
           (if compact then Jsont.Printer.compact v else Jsont.Printer.pretty v))
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and pretty-print a JSON document")
-    Term.(const run $ compact $ input_arg)
+    Term.(const run $ obs_term $ compact $ input_arg)
 
 (* ---- eval ------------------------------------------------------------------ *)
 
@@ -60,24 +107,25 @@ let formula_pos =
          ~doc:"A JNL formula, e.g. 'eq(.name.first, \"John\")'.")
 
 let eval_cmd =
-  let run formula files =
+  let run obs formula files =
     wrap (fun () ->
         let phi =
           match Jlogic.Jnl.parse formula with
           | Ok f -> f
           | Error m -> failwith ("bad formula: " ^ m)
         in
-        let docs = parse_docs_exn (read_input (last_input files)) in
+        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
         List.iter
           (fun doc ->
             Printf.printf "%b\t%s\n"
-              (Jlogic.Jnl_eval.satisfies doc phi)
+              (Obs.Metrics.span "phase.eval" (fun () ->
+                   Jlogic.Jnl_eval.satisfies ~budget:obs.budget doc phi))
               (Jsont.Printer.compact doc))
           docs)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a JNL formula at the root of each document")
-    Term.(const run $ formula_pos $ input_arg)
+    Term.(const run $ obs_term $ formula_pos $ input_arg)
 
 (* ---- select ----------------------------------------------------------------- *)
 
@@ -86,16 +134,19 @@ let select_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"JSONPATH"
            ~doc:"A JSONPath expression, e.g. '\\$.store.book[*].author'.")
   in
-  let run path files =
+  let run obs path files =
     wrap (fun () ->
-        let doc = parse_doc_exn (read_input (last_input files)) in
-        match Jquery.Jsonpath.select doc path with
+        let doc = parse_doc_exn ~budget:obs.budget (read_input (last_input files)) in
+        match
+          Obs.Metrics.span "phase.eval" (fun () ->
+              Jquery.Jsonpath.select doc path)
+        with
         | Ok hits -> List.iter (fun v -> print_endline (Jsont.Printer.compact v)) hits
         | Error m -> failwith ("bad path: " ^ m))
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Select subdocuments with a JSONPath expression")
-    Term.(const run $ path_pos $ input_arg)
+    Term.(const run $ obs_term $ path_pos $ input_arg)
 
 (* ---- find ------------------------------------------------------------------- *)
 
@@ -108,19 +159,21 @@ let find_cmd =
     Arg.(value & opt (some string) None & info [ "p"; "project" ] ~docv:"PROJ"
            ~doc:"Projection document, e.g. '{\"name\": 1}'.")
   in
-  let run filter project files =
+  let run obs filter project files =
     wrap (fun () ->
         let f =
           match Jquery.Mongo.parse_string filter with
           | Ok f -> f
           | Error m -> failwith ("bad filter: " ^ m)
         in
-        let docs = parse_docs_exn (read_input (last_input files)) in
+        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
         (* accept either a top-level array or a stream of documents *)
         let docs =
           match docs with [ Jsont.Value.Arr vs ] -> vs | other -> other
         in
-        let hits = Jquery.Mongo.find f docs in
+        let hits =
+          Obs.Metrics.span "phase.eval" (fun () -> Jquery.Mongo.find f docs)
+        in
         let hits =
           match project with
           | None -> hits
@@ -133,7 +186,7 @@ let find_cmd =
   in
   Cmd.v
     (Cmd.info "find" ~doc:"Filter a collection with a MongoDB-style filter")
-    Term.(const run $ filter_pos $ project $ input_arg)
+    Term.(const run $ obs_term $ filter_pos $ project $ input_arg)
 
 (* ---- validate ----------------------------------------------------------------- *)
 
@@ -147,21 +200,28 @@ let validate_cmd =
            ~doc:"Validate through the Theorem 1 JSL translation instead of the \
                  direct validator.")
   in
-  let run schema_file via_jsl files =
+  let run obs schema_file via_jsl files =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
           | Ok s -> s
           | Error m -> failwith ("bad schema: " ^ m)
         in
-        let docs = parse_docs_exn (read_input (last_input files)) in
-        let jsl = lazy (Jschema.To_jsl.document schema) in
+        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
+        let jsl =
+          lazy
+            (Obs.Metrics.span "phase.translate" (fun () ->
+                 Jschema.To_jsl.document schema))
+        in
         let failures = ref 0 in
         List.iter
           (fun doc ->
             let ok =
-              if via_jsl then Jlogic.Jsl_rec.validates doc (Lazy.force jsl)
-              else Jschema.Validate.validates schema doc
+              Obs.Metrics.span "phase.validate" (fun () ->
+                  if via_jsl then
+                    Jlogic.Jsl_rec.validates ~budget:obs.budget doc
+                      (Lazy.force jsl)
+                  else Jschema.Validate.validates schema doc)
             in
             if not ok then incr failures;
             Printf.printf "%s\t%s\n"
@@ -172,19 +232,19 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
-    Term.(const run $ schema_arg $ via_jsl $ input_arg)
+    Term.(const run $ obs_term $ schema_arg $ via_jsl $ input_arg)
 
 (* ---- sat --------------------------------------------------------------------- *)
 
 let sat_cmd =
-  let run formula =
+  let run obs formula =
     wrap (fun () ->
         let phi =
           match Jlogic.Jnl.parse formula with
           | Ok f -> f
           | Error m -> failwith ("bad formula: " ^ m)
         in
-        match Jlogic.Jnl_sat.satisfiable phi with
+        match Jlogic.Jnl_sat.satisfiable ~budget:obs.budget phi with
         | Error m -> failwith ("undecidable fragment: " ^ m)
         | Ok (Jlogic.Jautomaton.Sat witness) ->
           Printf.printf "satisfiable\n%s\n" (Jsont.Printer.pretty witness)
@@ -196,7 +256,7 @@ let sat_cmd =
   Cmd.v
     (Cmd.info "sat"
        ~doc:"Decide satisfiability of a JNL formula, printing a witness document")
-    Term.(const run $ formula_pos)
+    Term.(const run $ obs_term $ formula_pos)
 
 (* ---- compat ------------------------------------------------------------------ *)
 
@@ -207,7 +267,7 @@ let compat_cmd =
   let new_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"New schema file.")
   in
-  let run old_file new_file =
+  let run _obs old_file new_file =
     wrap (fun () ->
         let load f =
           match Jschema.Parse.of_string (read_input f) with
@@ -236,7 +296,7 @@ let compat_cmd =
     (Cmd.info "compat"
        ~doc:"Detect breaking changes between two JSON Schemas (satisfiability of \
              OLD ∧ ¬NEW)")
-    Term.(const run $ old_arg $ new_arg)
+    Term.(const run $ obs_term $ old_arg $ new_arg)
 
 (* ---- examples ----------------------------------------------------------------- *)
 
@@ -249,7 +309,7 @@ let examples_cmd =
     Arg.(value & opt int 3 & info [ "n" ] ~docv:"N"
            ~doc:"How many example documents to generate.")
   in
-  let run schema_file n =
+  let run obs schema_file n =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
@@ -258,7 +318,10 @@ let examples_cmd =
         in
         if schema.Jlogic.Jsl_rec.defs <> [] then
           failwith "examples only supports non-recursive schemas";
-        let ms = Jlogic.Jsl_sat.models ~limit:n schema.Jlogic.Jsl_rec.base in
+        let ms =
+          Jlogic.Jsl_sat.models ~limit:n ~budget:obs.budget
+            schema.Jlogic.Jsl_rec.base
+        in
         if ms = [] then begin
           print_endline "no example found (schema unsatisfiable or search exhausted)";
           exit 1
@@ -268,7 +331,7 @@ let examples_cmd =
   Cmd.v
     (Cmd.info "examples"
        ~doc:"Generate distinct example documents validating against a schema")
-    Term.(const run $ schema_arg $ count_arg)
+    Term.(const run $ obs_term $ schema_arg $ count_arg)
 
 (* ---- infer -------------------------------------------------------------------- *)
 
@@ -277,9 +340,9 @@ let infer_cmd =
     Arg.(value & flag & info [ "strict" ]
            ~doc:"Close objects and bound numbers to the observed values.")
   in
-  let run strict files =
+  let run obs strict files =
     wrap (fun () ->
-        let docs = parse_docs_exn (read_input (last_input files)) in
+        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
         let docs =
           match docs with [ Jsont.Value.Arr vs ] -> vs | other -> other
         in
@@ -291,7 +354,7 @@ let infer_cmd =
   Cmd.v
     (Cmd.info "infer"
        ~doc:"Infer a JSON Schema from example documents (JSON lines or an array)")
-    Term.(const run $ strict $ input_arg)
+    Term.(const run $ obs_term $ strict $ input_arg)
 
 let () =
   let doc = "JSON data model, query logics and schema tools (Bourhis et al., PODS'17)" in

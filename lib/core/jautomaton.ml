@@ -436,10 +436,12 @@ let debugf fmt =
   else Printf.ifprintf stderr fmt
 
 let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
-    ?(max_width = 3) aut =
+    ?(max_width = 3) ?(budget = Obs.Budget.unlimited) aut =
   let h = harvest aut in
   let profile_of_value v =
-    let tree = Tree.of_value v in
+    let tree = Tree.of_value ~budget v in
+    (* a full run costs one rule evaluation per (node, state) pair *)
+    Obs.Budget.burn budget (Tree.node_count tree * states aut);
     let r = compute_run aut tree in
     r.sat.(Tree.root)
   in
@@ -466,6 +468,7 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
   let winner = ref None in
   let truncated_ever = ref false in
   let consider (e : entry) =
+    Obs.Metrics.incr "sat.candidates";
     match !winner with
     | Some _ -> ()
     | None ->
@@ -501,7 +504,6 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
     @ [ Value.Obj []; Value.Arr [] ]
     @ h.docs
   in
-  List.iter consider_value leaves;
   let keys =
     (* one witness per ∃/∀-key expression comes first — dropping one of
        those can turn a satisfiable formula into a false Unsat — then
@@ -612,12 +614,15 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
       List.map (fun k -> (k, quotient (key_states k) reps)) keys
     in
     let by_pos = Array.init arr_width (fun p -> quotient (pos_states p) reps) in
-    let budget = ref candidates_per_round in
+    let cand_budget = ref candidates_per_round in
     let truncated = ref false in
     let emit shape =
-      if !budget <= 0 then truncated := true
+      if !cand_budget <= 0 then truncated := true
       else begin
-        decr budget;
+        decr cand_budget;
+        (* compositional profile evaluation costs one rule evaluation
+           per state *)
+        Obs.Budget.burn budget (states aut);
         let value =
           lazy
             (match shape with
@@ -632,7 +637,7 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
     (* arrays: tuples with per-position candidate lists, lengths
        1 .. arr_width *)
     let rec arrays prefix pos =
-      if !winner = None && !budget > 0 && pos < arr_width then
+      if !winner = None && !cand_budget > 0 && pos < arr_width then
         List.iter
           (fun e ->
             let tuple = e :: prefix in
@@ -643,7 +648,7 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
     arrays [] 0;
     (* objects: key subsets with per-key candidate lists *)
     let rec objects chosen remaining width =
-      if !winner = None && !budget > 0 then
+      if !winner = None && !cand_budget > 0 then
         match remaining with
         | [] -> ()
         | (k, candidates) :: rest ->
@@ -661,7 +666,7 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
     if !truncated then truncated_ever := true;
     debugf
       "[jautomaton] round: reps=%d stored %d -> %d budget_left=%d truncated=%b\n"
-      (List.length reps) added_before !stored !budget !truncated;
+      (List.length reps) added_before !stored !cand_budget !truncated;
     if Lazy.force debug_enabled then
       List.iter
         (fun (k, cands) -> debugf "  key %s: %d candidates\n" k (List.length cands))
@@ -674,10 +679,19 @@ let find_model ?(max_rounds = 24) ?(candidates_per_round = 400_000)
     | None ->
       if rounds = 0 then
         Unknown (Printf.sprintf "no saturation within %d rounds" max_rounds)
-      else if round () then loop (rounds - 1)
-      else if !winner <> None then Sat (Option.get !winner)
-      else if !truncated_ever then
-        Unknown "profile saturation reached only under truncated enumeration"
-      else Unsat
+      else begin
+        Obs.Metrics.incr "sat.rounds";
+        if round () then loop (rounds - 1)
+        else if !winner <> None then Sat (Option.get !winner)
+        else if !truncated_ever then
+          Unknown "profile saturation reached only under truncated enumeration"
+        else Unsat
+      end
   in
-  loop max_rounds
+  match
+    (* round 0 seeding burns fuel too: keep it under the handler *)
+    List.iter consider_value leaves;
+    loop max_rounds
+  with
+  | outcome -> outcome
+  | exception Obs.Budget.Exhausted r -> Unknown (Obs.Budget.describe r)

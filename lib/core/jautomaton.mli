@@ -67,10 +67,15 @@ type outcome =
   | Unknown of string  (** search budget exhausted; reason given *)
 
 val find_model :
-  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int -> t
-  -> outcome
+  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int
+  -> ?budget:Obs.Budget.t -> t -> outcome
 (** Emptiness via profile saturation.  [max_rounds] bounds tree height
     explored (default 24), [candidates_per_round] bounds how many
     composite documents are tried per round (default 400_000),
     [max_width] caps the number of children of constructed nodes beyond
-    what the automaton's constraints demand (default 3). *)
+    what the automaton's constraints demand (default 3).
+
+    [budget] (default {!Obs.Budget.unlimited}) additionally bounds
+    total work across rounds — one fuel unit per (candidate, state)
+    rule evaluation plus the wall-clock deadline; exhaustion yields
+    [Unknown (Obs.Budget.describe reason)] rather than an exception. *)

@@ -2,11 +2,14 @@ module Tree = Jsont.Tree
 
 type ctx = {
   t : Tree.t;
+  budget : Obs.Budget.t;
   memo : (Jnl.form, Bitset.t) Hashtbl.t;
   langs : (Rexp.Syntax.t, Rexp.Lang.t) Hashtbl.t;
 }
 
-let context t = { t; memo = Hashtbl.create 16; langs = Hashtbl.create 8 }
+let context ?(budget = Obs.Budget.unlimited) t =
+  { t; budget; memo = Hashtbl.create 16; langs = Hashtbl.create 8 }
+
 let tree ctx = ctx.t
 
 let lang ctx e =
@@ -49,8 +52,16 @@ let edge_matches_keys ctx child l =
 
 (* ---- set-at-a-time evaluation ------------------------------------------ *)
 
-(* [pre_exists ctx α target] = { n | ∃n' . (n,n') ∈ ⟦α⟧ ∧ n' ∈ target } *)
-let rec pre_exists ctx (p : Jnl.path) target =
+(* Budget accounting: every formula/path constructor sweeps the node
+   set once, so each costs [n_nodes] fuel; the recursion depth into the
+   formula is checked against the budget's ceiling so adversarially
+   deep formulas raise {!Obs.Budget.Exhausted} instead of
+   [Stack_overflow]. *)
+
+(* [pre_exists ctx d α target] = { n | ∃n' . (n,n') ∈ ⟦α⟧ ∧ n' ∈ target } *)
+let rec pre_exists ctx depth (p : Jnl.path) target =
+  Obs.Budget.check_depth ctx.budget depth;
+  Obs.Budget.burn ctx.budget (n_nodes ctx);
   match p with
   | Jnl.Self -> target
   | Jnl.Key w ->
@@ -94,10 +105,13 @@ let rec pre_exists ctx (p : Jnl.path) target =
           | None -> ())
       target;
     out
-  | Jnl.Seq (a, b) -> pre_exists ctx a (pre_exists ctx b target)
+  | Jnl.Seq (a, b) ->
+    pre_exists ctx (depth + 1) a (pre_exists ctx (depth + 1) b target)
   | Jnl.Alt (a, b) ->
-    Bitset.union (pre_exists ctx a target) (pre_exists ctx b target)
-  | Jnl.Test f -> Bitset.inter target (eval ctx f)
+    Bitset.union
+      (pre_exists ctx (depth + 1) a target)
+      (pre_exists ctx (depth + 1) b target)
+  | Jnl.Test f -> Bitset.inter target (eval_at ctx (depth + 1) f)
   | Jnl.Star a ->
     (* least fixpoint S ⊇ target with pre(a, S) ⊆ S; converges within
        height(J) iterations because ⟦a⟧ only relates ancestors to
@@ -105,27 +119,35 @@ let rec pre_exists ctx (p : Jnl.path) target =
     let s = Bitset.copy target in
     let continue = ref true in
     while !continue do
-      let s' = pre_exists ctx a s in
+      let s' = pre_exists ctx (depth + 1) a s in
       continue := Bitset.union_into s' ~into:s
     done;
     s
 
-and eval ctx (f : Jnl.form) =
+and eval_at ctx depth (f : Jnl.form) =
   match Hashtbl.find_opt ctx.memo f with
   | Some s -> s
   | None ->
+    Obs.Budget.check_depth ctx.budget depth;
+    Obs.Budget.burn ctx.budget (n_nodes ctx);
     let result =
       match f with
       | Jnl.True -> Bitset.full (n_nodes ctx)
-      | Jnl.Not g -> Bitset.complement (eval ctx g)
-      | Jnl.And (a, b) -> Bitset.inter (eval ctx a) (eval ctx b)
-      | Jnl.Or (a, b) -> Bitset.union (eval ctx a) (eval ctx b)
-      | Jnl.Exists p -> pre_exists ctx p (Bitset.full (n_nodes ctx))
-      | Jnl.Eq_doc (p, v) -> pre_exists ctx p (nodes_equal_to ctx v)
+      | Jnl.Not g -> Bitset.complement (eval_at ctx (depth + 1) g)
+      | Jnl.And (a, b) ->
+        Bitset.inter (eval_at ctx (depth + 1) a) (eval_at ctx (depth + 1) b)
+      | Jnl.Or (a, b) ->
+        Bitset.union (eval_at ctx (depth + 1) a) (eval_at ctx (depth + 1) b)
+      | Jnl.Exists p ->
+        pre_exists ctx (depth + 1) p (Bitset.full (n_nodes ctx))
+      | Jnl.Eq_doc (p, v) ->
+        Obs.Metrics.incr "jnl.eq_doc";
+        pre_exists ctx (depth + 1) p (nodes_equal_to ctx v)
       | Jnl.Eq_paths (a, b) ->
+        Obs.Metrics.incr "jnl.eq_paths";
         let out = Bitset.create (n_nodes ctx) in
         Seq.iter
-          (fun n -> if eq_paths_at ctx n a b then Bitset.add out n)
+          (fun n -> if eq_paths_at ctx depth n a b then Bitset.add out n)
           (Tree.nodes ctx.t);
         out
     in
@@ -135,7 +157,7 @@ and eval ctx (f : Jnl.form) =
 (* nodes whose subtree equals the constant document [v] *)
 and nodes_equal_to ctx v =
   let out = Bitset.create (n_nodes ctx) in
-  let vt = Tree.of_value v in
+  let vt = Tree.of_value ~budget:ctx.budget v in
   let h = Tree.subtree_hash vt Tree.root in
   Seq.iter
     (fun n ->
@@ -144,8 +166,8 @@ and nodes_equal_to ctx v =
     (Tree.nodes ctx.t);
   out
 
-and eq_paths_at ctx n a b =
-  let sa = succs ctx a n in
+and eq_paths_at ctx depth n a b =
+  let sa = succs_at ctx (depth + 1) a n in
   match sa with
   | [] -> false
   | _ ->
@@ -158,11 +180,13 @@ and eq_paths_at ctx n a b =
         List.exists
           (fun m' -> Tree.equal_subtrees ctx.t m m')
           (Hashtbl.find_all by_hash (Tree.subtree_hash ctx.t m)))
-      (succs ctx b n)
+      (succs_at ctx (depth + 1) b n)
 
 (* ---- successor enumeration --------------------------------------------- *)
 
-and succs ctx (p : Jnl.path) n =
+and succs_at ctx depth (p : Jnl.path) n =
+  Obs.Budget.check_depth ctx.budget depth;
+  Obs.Budget.burn ctx.budget 1;
   match p with
   | Jnl.Self -> [ n ]
   | Jnl.Key w -> Option.to_list (Tree.lookup ctx.t n w)
@@ -183,13 +207,17 @@ and succs ctx (p : Jnl.path) n =
     if hi < lo then []
     else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
   | Jnl.Seq (a, b) ->
-    let out = List.concat_map (succs ctx b) (succs ctx a n) in
+    let out =
+      List.concat_map (succs_at ctx (depth + 1) b) (succs_at ctx (depth + 1) a n)
+    in
     List.sort_uniq Int.compare out
   | Jnl.Alt (a, b) ->
-    List.sort_uniq Int.compare (succs ctx a n @ succs ctx b n)
-  | Jnl.Test f -> if holds ctx n f then [ n ] else []
+    List.sort_uniq Int.compare
+      (succs_at ctx (depth + 1) a n @ succs_at ctx (depth + 1) b n)
+  | Jnl.Test f -> if Bitset.mem (eval_at ctx (depth + 1) f) n then [ n ] else []
   | Jnl.Star a ->
-    (* BFS closure *)
+    (* BFS closure; each node enters [seen] once, so fuel is burnt at
+       most [n_nodes] times by the inner [succs_at] calls *)
     let seen = Hashtbl.create 16 in
     let rec visit acc = function
       | [] -> acc
@@ -197,18 +225,23 @@ and succs ctx (p : Jnl.path) n =
         if Hashtbl.mem seen m then visit acc rest
         else begin
           Hashtbl.add seen m ();
-          visit (m :: acc) (succs ctx a m @ rest)
+          visit (m :: acc) (succs_at ctx (depth + 1) a m @ rest)
         end
     in
     List.sort Int.compare (visit [] [ n ])
 
-and holds ctx n f = Bitset.mem (eval ctx f) n
+let eval ctx f = eval_at ctx 0 f
+let holds ctx n f = Bitset.mem (eval ctx f) n
+let succs ctx p n = succs_at ctx 0 p n
 
 (* ---- single-node, short-circuiting check -------------------------------- *)
 
-(* [find_succ ctx α n pred] — is there an α-successor of n satisfying
-   [pred]?  CPS style so Seq short-circuits. *)
-let rec find_succ ctx (p : Jnl.path) n pred =
+(* [find_succ ctx d α n pred] — is there an α-successor of n satisfying
+   [pred]?  CPS style so Seq short-circuits.  One fuel unit per visit;
+   [Star] visits each node at most once ([seen]). *)
+let rec find_succ ctx depth (p : Jnl.path) n pred =
+  Obs.Budget.check_depth ctx.budget depth;
+  Obs.Budget.burn ctx.budget 1;
   match p with
   | Jnl.Self -> pred n
   | Jnl.Key w -> (
@@ -230,30 +263,41 @@ let rec find_succ ctx (p : Jnl.path) n pred =
     let lo = max 0 i in
     let rec go k = k <= hi && (pred kids.(k) || go (k + 1)) in
     go lo
-  | Jnl.Seq (a, b) -> find_succ ctx a n (fun m -> find_succ ctx b m pred)
-  | Jnl.Alt (a, b) -> find_succ ctx a n pred || find_succ ctx b n pred
-  | Jnl.Test f -> check_at ctx n f && pred n
+  | Jnl.Seq (a, b) ->
+    find_succ ctx (depth + 1) a n (fun m -> find_succ ctx (depth + 1) b m pred)
+  | Jnl.Alt (a, b) ->
+    find_succ ctx (depth + 1) a n pred || find_succ ctx (depth + 1) b n pred
+  | Jnl.Test f -> check_at_d ctx depth n f && pred n
   | Jnl.Star a ->
     let seen = Hashtbl.create 16 in
     let rec visit m =
       if Hashtbl.mem seen m then false
       else begin
         Hashtbl.add seen m ();
-        pred m || find_succ ctx a m visit
+        pred m || find_succ ctx (depth + 1) a m visit
       end
     in
     visit n
 
-and check_at ctx n (f : Jnl.form) =
+and check_at_d ctx depth n (f : Jnl.form) =
+  Obs.Budget.check_depth ctx.budget depth;
+  Obs.Budget.burn ctx.budget 1;
   match f with
   | Jnl.True -> true
-  | Jnl.Not g -> not (check_at ctx n g)
-  | Jnl.And (a, b) -> check_at ctx n a && check_at ctx n b
-  | Jnl.Or (a, b) -> check_at ctx n a || check_at ctx n b
-  | Jnl.Exists p -> find_succ ctx p n (fun _ -> true)
+  | Jnl.Not g -> not (check_at_d ctx (depth + 1) n g)
+  | Jnl.And (a, b) ->
+    check_at_d ctx (depth + 1) n a && check_at_d ctx (depth + 1) n b
+  | Jnl.Or (a, b) ->
+    check_at_d ctx (depth + 1) n a || check_at_d ctx (depth + 1) n b
+  | Jnl.Exists p -> find_succ ctx (depth + 1) p n (fun _ -> true)
   | Jnl.Eq_doc (p, v) ->
-    find_succ ctx p n (fun m -> Tree.equal_to_value ctx.t m v)
-  | Jnl.Eq_paths (a, b) -> eq_paths_at ctx n a b
+    Obs.Metrics.incr "jnl.eq_doc";
+    find_succ ctx (depth + 1) p n (fun m -> Tree.equal_to_value ctx.t m v)
+  | Jnl.Eq_paths (a, b) ->
+    Obs.Metrics.incr "jnl.eq_paths";
+    eq_paths_at ctx depth n a b
+
+let check_at ctx n f = check_at_d ctx 0 n f
 
 let eval_pairs ctx p =
   Seq.fold_left
@@ -262,11 +306,16 @@ let eval_pairs ctx p =
     [] (Tree.nodes ctx.t)
   |> List.rev
 
-let select v p =
-  let t = Tree.of_value v in
-  let ctx = context t in
+let select ?budget v p =
+  let t = Tree.of_value ?budget v in
+  let ctx = context ?budget t in
   List.map (Tree.value_at t) (succs ctx p Tree.root)
 
-let satisfies v f =
-  let ctx = context (Tree.of_value v) in
+let satisfies ?budget v f =
+  let ctx = context ?budget (Tree.of_value ?budget v) in
   check_at ctx Tree.root f
+
+let satisfies_bounded ?budget v f =
+  match satisfies ?budget v f with
+  | b -> Ok b
+  | exception Obs.Budget.Exhausted r -> Error (Obs.Budget.describe r)

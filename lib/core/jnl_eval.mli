@@ -20,9 +20,17 @@
 
 type ctx
 (** Evaluation context: the tree plus memo tables (per-subformula
-    satisfaction sets, compiled regular expressions). *)
+    satisfaction sets, compiled regular expressions) and a resource
+    budget. *)
 
-val context : Jsont.Tree.t -> ctx
+val context : ?budget:Obs.Budget.t -> Jsont.Tree.t -> ctx
+(** [budget] (default {!Obs.Budget.unlimited}) bounds the work: the
+    set-at-a-time evaluator burns [node_count] fuel per formula/path
+    constructor, the per-node checker one unit per visit, and formula
+    recursion depth is checked against the budget's ceiling.
+    Exhaustion raises {!Obs.Budget.Exhausted} from any evaluation
+    entry point. *)
+
 val tree : ctx -> Jsont.Tree.t
 
 val eval : ctx -> Jnl.form -> Bitset.t
@@ -41,10 +49,16 @@ val eval_pairs : ctx -> Jnl.path -> (Jsont.Tree.node * Jsont.Tree.node) list
 (** The full binary relation [⟦α⟧_J] — O(|J|²) worst case; intended for
     tests and small documents. *)
 
-val select : Jsont.Value.t -> Jnl.path -> Jsont.Value.t list
+val select : ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.path -> Jsont.Value.t list
 (** Convenience: the subdocuments reachable from the root through [α] —
     the "subdocument selecting" use case of §4.1. *)
 
-val satisfies : Jsont.Value.t -> Jnl.form -> bool
+val satisfies : ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.form -> bool
 (** Convenience: does the root of the document satisfy [ϕ]?  (The
-    filter semantics of MongoDB's find, Example 1.) *)
+    filter semantics of MongoDB's find, Example 1.)
+    @raise Obs.Budget.Exhausted when [budget] runs out. *)
+
+val satisfies_bounded :
+  ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.form -> (bool, string) result
+(** Like {!satisfies} but budget exhaustion is returned as
+    [Error (Obs.Budget.describe reason)] instead of raising. *)

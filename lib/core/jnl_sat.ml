@@ -1,9 +1,11 @@
-let satisfiable ?max_rounds ?candidates_per_round ?max_width f =
-  match Translate.jnl_to_jsl f with
+let satisfiable ?max_rounds ?candidates_per_round ?max_width ?budget f =
+  match Obs.Metrics.span "phase.translate" (fun () -> Translate.jnl_to_jsl f)
+  with
   | Error _ as e -> e
   | Ok jsl ->
     let outcome =
-      Jsl_sat.satisfiable ?max_rounds ?candidates_per_round ?max_width jsl
+      Jsl_sat.satisfiable ?max_rounds ?candidates_per_round ?max_width ?budget
+        jsl
     in
     Ok
       (match outcome with
@@ -14,7 +16,7 @@ let satisfiable ?max_rounds ?candidates_per_round ?max_width f =
             "internal error: witness failed JNL re-validation (please report)"
       | Jautomaton.Unsat | Jautomaton.Unknown _ -> outcome)
 
-let satisfiable_exn ?max_rounds ?candidates_per_round ?max_width f =
-  match satisfiable ?max_rounds ?candidates_per_round ?max_width f with
+let satisfiable_exn ?max_rounds ?candidates_per_round ?max_width ?budget f =
+  match satisfiable ?max_rounds ?candidates_per_round ?max_width ?budget f with
   | Ok o -> o
   | Error m -> invalid_arg ("Jnl_sat.satisfiable_exn: " ^ m)

@@ -156,13 +156,15 @@ let to_string f = Format.asprintf "%a" pp f
 
 type ctx = {
   t : Tree.t;
+  budget : Obs.Budget.t;
   memo : (t, Bitset.t) Hashtbl.t;
   langs : (Rexp.Syntax.t, Rexp.Lang.t) Hashtbl.t;
   unique_memo : (Tree.node, bool) Hashtbl.t;
 }
 
-let context t =
+let context ?(budget = Obs.Budget.unlimited) t =
   { t;
+    budget;
     memo = Hashtbl.create 16;
     langs = Hashtbl.create 8;
     unique_memo = Hashtbl.create 16 }
@@ -202,6 +204,7 @@ let holds_test ctx n = function
   | Is_str -> Tree.is_str ctx.t n
   | Is_int -> Tree.is_int ctx.t n
   | Unique -> (
+    Obs.Metrics.incr "jsl.test.unique";
     match Hashtbl.find_opt ctx.unique_memo n with
     | Some b -> b
     | None ->
@@ -220,7 +223,9 @@ let holds_test ctx n = function
     | None -> false)
   | Min_ch i -> Tree.arity ctx.t n >= i
   | Max_ch i -> Tree.arity ctx.t n <= i
-  | Eq_doc v -> Tree.equal_to_value ctx.t n v
+  | Eq_doc v ->
+    Obs.Metrics.incr "jsl.test.eq_doc";
+    Tree.equal_to_value ctx.t n v
 
 let n_nodes ctx = Tree.node_count ctx.t
 
@@ -241,10 +246,16 @@ let selected_by_range ctx i j n =
   if hi < lo then []
   else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
 
-let rec eval ctx (f : t) =
+(* Set-at-a-time evaluation: one fuel burn of [n_nodes] per formula
+   node (each sweeps the whole node set), depth checked against the
+   budget so adversarially deep formulas cannot overflow the stack. *)
+let rec eval_at ctx depth (f : t) =
   match Hashtbl.find_opt ctx.memo f with
   | Some s -> s
   | None ->
+    Obs.Budget.check_depth ctx.budget depth;
+    Obs.Budget.burn ctx.budget (n_nodes ctx);
+    let eval ctx g = eval_at ctx (depth + 1) g in
     let result =
       match f with
       | True -> Bitset.full (n_nodes ctx)
@@ -303,30 +314,43 @@ let rec eval ctx (f : t) =
     Hashtbl.replace ctx.memo f result;
     result
 
+let eval ctx f = eval_at ctx 0 f
 let holds ctx n f = Bitset.mem (eval ctx f) n
 
-let rec node_eval ctx ~env n (f : t) =
+(* Per-node evaluation: one fuel unit per (node, formula-node) visit,
+   depth follows the simultaneous descent into formula and tree. *)
+let rec node_eval_at ctx ~env depth n (f : t) =
+  Obs.Budget.check_depth ctx.budget depth;
+  Obs.Budget.burn ctx.budget 1;
+  let node_eval c g = node_eval_at ctx ~env (depth + 1) c g in
   match f with
   | True -> true
-  | Not g -> not (node_eval ctx ~env n g)
-  | And (a, b) -> node_eval ctx ~env n a && node_eval ctx ~env n b
-  | Or (a, b) -> node_eval ctx ~env n a || node_eval ctx ~env n b
+  | Not g -> not (node_eval n g)
+  | And (a, b) -> node_eval n a && node_eval n b
+  | Or (a, b) -> node_eval n a || node_eval n b
   | Test nt -> holds_test ctx n nt
   | Var v -> env v n
   | Dia_keys (e, g) ->
-    List.exists (fun c -> node_eval ctx ~env c g)
+    List.exists (fun c -> node_eval c g)
       (selected_by_keys ctx (lang ctx e) n)
   | Box_keys (e, g) ->
-    List.for_all (fun c -> node_eval ctx ~env c g)
+    List.for_all (fun c -> node_eval c g)
       (selected_by_keys ctx (lang ctx e) n)
   | Dia_range (i, j, g) ->
-    List.exists (fun c -> node_eval ctx ~env c g) (selected_by_range ctx i j n)
+    List.exists (fun c -> node_eval c g) (selected_by_range ctx i j n)
   | Box_range (i, j, g) ->
-    List.for_all (fun c -> node_eval ctx ~env c g) (selected_by_range ctx i j n)
+    List.for_all (fun c -> node_eval c g) (selected_by_range ctx i j n)
 
-let validates v f =
-  let ctx = context (Tree.of_value v) in
+let node_eval ctx ~env n f = node_eval_at ctx ~env 0 n f
+
+let validates ?budget v f =
+  let ctx = context ?budget (Tree.of_value ?budget v) in
   holds ctx Tree.root f
+
+let validates_bounded ?budget v f =
+  match validates ?budget v f with
+  | b -> Ok b
+  | exception Obs.Budget.Exhausted r -> Error (Obs.Budget.describe r)
 
 (* ---- parser (inverse of pp) ---------------------------------------------- *)
 

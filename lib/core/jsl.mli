@@ -98,17 +98,30 @@ val parse_exn : string -> t
     child comparisons that give the O(|J|²·|ϕ|) bound. *)
 
 type ctx
-val context : Jsont.Tree.t -> ctx
+
+val context : ?budget:Obs.Budget.t -> Jsont.Tree.t -> ctx
+(** Evaluation context.  [budget] (default {!Obs.Budget.unlimited})
+    bounds the work: set-at-a-time evaluation burns [node_count] fuel
+    per formula node, per-node evaluation burns one unit per visit, and
+    formula recursion depth is checked against the budget's ceiling.
+    Exhaustion raises {!Obs.Budget.Exhausted}. *)
 
 val eval : ctx -> t -> Bitset.t
 (** Satisfaction set over all nodes.  @raise Invalid_argument on free
-    [Var]s. *)
+    [Var]s.  @raise Obs.Budget.Exhausted when the context budget runs
+    out. *)
 
 val holds : ctx -> Jsont.Tree.node -> t -> bool
 
-val validates : Jsont.Value.t -> t -> bool
+val validates : ?budget:Obs.Budget.t -> Jsont.Value.t -> t -> bool
 (** [J ⊨ ψ]: satisfaction at the root, the schema-validation
-    relation. *)
+    relation.  @raise Obs.Budget.Exhausted when [budget] runs out
+    (during tree construction or evaluation). *)
+
+val validates_bounded :
+  ?budget:Obs.Budget.t -> Jsont.Value.t -> t -> (bool, string) result
+(** Like {!validates} but budget exhaustion is returned as
+    [Error (Obs.Budget.describe reason)] instead of raising. *)
 
 val check_unique : Jsont.Tree.t -> Jsont.Tree.node -> bool
 (** The [Unique] node test in isolation (shared with {!Jsl_rec} and the

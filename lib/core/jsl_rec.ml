@@ -114,8 +114,8 @@ let unfold t ~height =
   expand budget0 t.base
 
 (* Bottom-up evaluation by height (Proposition 9). *)
-let build_table tree t =
-  let ctx = Jsl.context tree in
+let build_table ?budget tree t =
+  let ctx = Jsl.context ?budget tree in
   let n = Tree.node_count tree in
   let table = Hashtbl.create (List.length t.defs) in
   List.iter (fun (v, _) -> Hashtbl.add table v (Bitset.create n)) t.defs;
@@ -134,15 +134,16 @@ let build_table tree t =
     (Tree.nodes_by_height tree);
   (ctx, env, table)
 
-let sat_table tree t =
-  let _, _, table = build_table tree t in
+let sat_table ?budget tree t =
+  let _, _, table = build_table ?budget tree t in
   List.map (fun (v, _) -> (v, Hashtbl.find table v)) t.defs
 
-let holds_at tree t node =
-  let ctx, env, _ = build_table tree t in
+let holds_at ?budget tree t node =
+  let ctx, env, _ = build_table ?budget tree t in
   Jsl.node_eval ctx ~env node t.base
 
-let validates v t = holds_at (Tree.of_value v) t Tree.root
+let validates ?budget v t =
+  holds_at ?budget (Jsont.Tree.of_value ?budget v) t Tree.root
 
 let validates_by_unfolding v t =
   let tree = Tree.of_value v in

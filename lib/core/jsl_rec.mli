@@ -37,18 +37,22 @@ val unfold : t -> height:int -> Jsl.t
     stragglers by ⊥.  Exponential in general — the specification
     semantics, kept for conformance testing. *)
 
-val validates : Jsont.Value.t -> t -> bool
-(** [J ⊨ Δ] by the bottom-up PTIME algorithm of Proposition 9. *)
+val validates : ?budget:Obs.Budget.t -> Jsont.Value.t -> t -> bool
+(** [J ⊨ Δ] by the bottom-up PTIME algorithm of Proposition 9.
+    [budget] bounds tree construction and per-node evaluation
+    ({!Jsl.context}); exhaustion raises {!Obs.Budget.Exhausted}. *)
 
 val validates_by_unfolding : Jsont.Value.t -> t -> bool
 (** [J ⊨ unfold_J(ψ)] — the reference semantics. *)
 
-val sat_table : Jsont.Tree.t -> t -> (string * Bitset.t) list
+val sat_table :
+  ?budget:Obs.Budget.t -> Jsont.Tree.t -> t -> (string * Bitset.t) list
 (** For each definition symbol γ, the set of nodes whose subtree
     satisfies γ (the union over heights of the sets [S_k^J(γ)] from the
     proof of Proposition 9). *)
 
-val holds_at : Jsont.Tree.t -> t -> Jsont.Tree.node -> bool
+val holds_at :
+  ?budget:Obs.Budget.t -> Jsont.Tree.t -> t -> Jsont.Tree.node -> bool
 (** Satisfaction of the base expression at an arbitrary node. *)
 
 val pp : Format.formatter -> t -> unit

@@ -7,21 +7,25 @@ let certify check outcome =
         "internal error: witness failed re-validation (please report)"
   | Jautomaton.Unsat | Jautomaton.Unknown _ -> outcome
 
-let satisfiable ?max_rounds ?candidates_per_round ?max_width f =
+let satisfiable ?max_rounds ?candidates_per_round ?max_width ?budget f =
   let aut = Jautomaton.of_jsl f in
-  Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width aut
+  Obs.Metrics.span "phase.sat" (fun () ->
+      Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width
+        ?budget aut)
   |> certify (fun v -> Jsl.validates v f)
 
-let satisfiable_rec ?max_rounds ?candidates_per_round ?max_width r =
+let satisfiable_rec ?max_rounds ?candidates_per_round ?max_width ?budget r =
   let aut = Jautomaton.of_jsl_rec r in
-  Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width aut
+  Obs.Metrics.span "phase.sat" (fun () ->
+      Jautomaton.find_model ?max_rounds ?candidates_per_round ?max_width
+        ?budget aut)
   |> certify (fun v -> Jsl_rec.validates v r)
 
-let models ?(limit = 5) ?max_rounds ?candidates_per_round f =
+let models ?(limit = 5) ?max_rounds ?candidates_per_round ?budget f =
   let rec go acc current k =
     if k = 0 then List.rev acc
     else
-      match satisfiable ?max_rounds ?candidates_per_round current with
+      match satisfiable ?max_rounds ?candidates_per_round ?budget current with
       | Jautomaton.Sat w ->
         go (w :: acc)
           (Jsl.And (current, Jsl.Not (Jsl.Test (Jsl.Eq_doc w))))

@@ -8,18 +8,20 @@
     search saturated without truncation. *)
 
 val satisfiable :
-  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int -> Jsl.t
-  -> Jautomaton.outcome
-(** Non-recursive JSL (Proposition 7 setting). *)
+  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int
+  -> ?budget:Obs.Budget.t -> Jsl.t -> Jautomaton.outcome
+(** Non-recursive JSL (Proposition 7 setting).  [budget] is passed to
+    {!Jautomaton.find_model}; exhaustion yields [Unknown].  The search
+    runs under the [phase.sat] timing span. *)
 
 val satisfiable_rec :
-  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int -> Jsl_rec.t
-  -> Jautomaton.outcome
+  ?max_rounds:int -> ?candidates_per_round:int -> ?max_width:int
+  -> ?budget:Obs.Budget.t -> Jsl_rec.t -> Jautomaton.outcome
 (** Well-formed recursive JSL (Proposition 10 setting). *)
 
 val models :
-  ?limit:int -> ?max_rounds:int -> ?candidates_per_round:int -> Jsl.t
-  -> Jsont.Value.t list
+  ?limit:int -> ?max_rounds:int -> ?candidates_per_round:int
+  -> ?budget:Obs.Budget.t -> Jsl.t -> Jsont.Value.t list
 (** Up to [limit] (default 5) pairwise-distinct documents satisfying
     the formula, by iterated witness exclusion: after finding [w], the
     search continues on [ϕ ∧ ¬~(w)].  Useful for generating example

@@ -68,6 +68,7 @@ exception Stream_error of string
 
 type engine = {
   lx : Lexer.t;
+  budget : Obs.Budget.t;
   mutable tokens : int;
   mutable live : int;
   mutable peak : int;
@@ -75,20 +76,26 @@ type engine = {
 
 let next eng =
   eng.tokens <- eng.tokens + 1;
+  Obs.Budget.burn eng.budget 1;
   Lexer.next eng.lx
 
 let peek eng = Lexer.peek eng.lx
 
 let bad fmt = Format.kasprintf (fun s -> raise (Stream_error s)) fmt
 
-(* consume one complete value without building it; O(1) memory *)
-let skip_value eng =
+(* consume one complete value without building it; O(1) memory.
+   [base] is the nesting depth at which the skipped value starts, so
+   the budget's depth ceiling applies to skipped subtrees exactly as it
+   does to evaluated ones. *)
+let skip_value eng base =
   let depth = ref 0 in
   let continue = ref true in
   while !continue do
     let _, tok = next eng in
     (match tok with
-    | Lexer.Lbrace | Lexer.Lbracket -> incr depth
+    | Lexer.Lbrace | Lexer.Lbracket ->
+      incr depth;
+      Obs.Budget.check_depth eng.budget (base + !depth)
     | Lexer.Rbrace | Lexer.Rbracket -> decr depth
     | Lexer.String _ | Lexer.Nat _ | Lexer.Colon | Lexer.Comma -> ()
     | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False | Lexer.Null ->
@@ -104,7 +111,8 @@ type node_kind =
   | At_arr
 
 (* one node's worth of evaluation state *)
-let rec eval_value eng (obls : Jsl.t list) : bool list =
+let rec eval_value eng depth (obls : Jsl.t list) : bool list =
+  Obs.Budget.check_depth eng.budget depth;
   eng.live <- eng.live + List.length obls;
   if eng.live > eng.peak then eng.peak <- eng.live;
   (* collect the distinct child obligations: key/index -> operand list *)
@@ -157,11 +165,11 @@ let rec eval_value eng (obls : Jsl.t list) : bool list =
           if colon <> Lexer.Colon then bad "expected ':'";
           (match Hashtbl.find_opt key_obls k with
           | Some gs ->
-            let results = eval_value eng !gs in
+            let results = eval_value eng (depth + 1) !gs in
             List.iter2
               (fun g r -> Hashtbl.replace key_results (k, g) r)
               !gs results
-          | None -> skip_value eng);
+          | None -> skip_value eng depth);
           let _, sep = next eng in
           (match sep with
           | Lexer.Comma -> members false
@@ -179,11 +187,11 @@ let rec eval_value eng (obls : Jsl.t list) : bool list =
           incr arity;
           (match Hashtbl.find_opt idx_obls i with
           | Some gs ->
-            let results = eval_value eng !gs in
+            let results = eval_value eng (depth + 1) !gs in
             List.iter2
               (fun g r -> Hashtbl.replace idx_results (i, g) r)
               !gs results
-          | None -> skip_value eng);
+          | None -> skip_value eng depth);
           let _, sep = next eng in
           match sep with
           | Lexer.Comma -> elements (i + 1)
@@ -258,29 +266,40 @@ let rec eval_value eng (obls : Jsl.t list) : bool list =
   eng.live <- eng.live - List.length obls;
   results
 
-let validate_with_stats input f =
+let validate_with_stats ?budget input f =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Obs.Budget.depth_limited Obs.Budget.default_max_depth
+  in
   match supported f with
   | Error m -> Error m
   | Ok () -> (
     let f = expand_eq f in
-    let eng = { lx = Lexer.create input; tokens = 0; live = 0; peak = 0 } in
-    match
-      let results = eval_value eng [ f ] in
-      let _, tok = next eng in
-      if tok <> Lexer.Eof then bad "trailing content after the document";
-      results
-    with
-    | [ r ] -> Ok (r, { tokens = eng.tokens; peak_obligations = eng.peak })
-    | _ -> Error "internal error"
-    | exception Stream_error m -> Error m
-    | exception Lexer.Error (_, m) -> Error m)
+    let eng = { lx = Lexer.create input; budget; tokens = 0; live = 0; peak = 0 } in
+    let outcome =
+      match
+        let results = eval_value eng 0 [ f ] in
+        let _, tok = next eng in
+        if tok <> Lexer.Eof then bad "trailing content after the document";
+        results
+      with
+      | [ r ] -> Ok (r, { tokens = eng.tokens; peak_obligations = eng.peak })
+      | _ -> Error "internal error"
+      | exception Stream_error m -> Error m
+      | exception Lexer.Error (_, m) -> Error m
+      | exception Obs.Budget.Exhausted r -> Error (Obs.Budget.describe r)
+    in
+    Obs.Metrics.add "stream.tokens" eng.tokens;
+    outcome)
 
-let validate input f = Result.map fst (validate_with_stats input f)
+let validate ?budget input f =
+  Result.map fst (validate_with_stats ?budget input f)
 
-let validate_jnl input f =
+let validate_jnl ?budget input f =
   match Translate.jnl_to_jsl f with
   | Error m -> Error ("not streamable: " ^ m)
   | Ok jsl -> (
     match supported jsl with
     | Error m -> Error ("not streamable: " ^ m)
-    | Ok () -> validate input jsl)
+    | Ok () -> validate ?budget input jsl)

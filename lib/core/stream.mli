@@ -35,13 +35,23 @@ type stats = {
           the memory bound, independent of document size *)
 }
 
-val validate : string -> Jsl.t -> (bool, string) result
+val validate : ?budget:Obs.Budget.t -> string -> Jsl.t -> (bool, string) result
 (** [validate input ϕ]: does the JSON document in [input] satisfy ϕ at
-    its root?  Single pass, no tree construction. *)
+    its root?  Single pass, no tree construction.
 
-val validate_with_stats : string -> Jsl.t -> (bool * stats, string) result
+    [budget] (default
+    [Obs.Budget.depth_limited Obs.Budget.default_max_depth]) bounds the
+    run: one fuel unit per token, nesting depth — including inside
+    skipped sub-documents — against the budget's depth ceiling.
+    Exhaustion is reported as [Error (Obs.Budget.describe reason)], so
+    adversarially deep inputs yield a clean error rather than
+    unbounded work. *)
 
-val validate_jnl : string -> Jnl.form -> (bool, string) result
+val validate_with_stats :
+  ?budget:Obs.Budget.t -> string -> Jsl.t -> (bool * stats, string) result
+
+val validate_jnl :
+  ?budget:Obs.Budget.t -> string -> Jnl.form -> (bool, string) result
 (** Deterministic JNL streaming (the §6 conjecture covers both logics):
     the formula is taken through the Theorem 2 translation into
     deterministic JSL and then streamed.  [Error] when the formula is

@@ -189,6 +189,9 @@ let read_number lx =
   if !is_float then Float (float_of_string text)
   else
     match int_of_string_opt text with
+    (* [-0] is signed, not a natural: classify by the written sign, so
+       the model layer (naturals only) rejects it like any negative *)
+    | Some 0 when text.[0] = '-' -> Neg_int 0
     | Some n when n >= 0 -> Nat n
     | Some n -> Neg_int n
     | None -> error lx "integer literal %s out of range" text

@@ -21,7 +21,11 @@ type token =
   | Comma  (** [,] *)
   | String of string  (** a decoded string literal *)
   | Nat of int  (** a non-negative integer literal *)
-  | Neg_int of int  (** a negative integer literal (outside the model) *)
+  | Neg_int of int
+      (** a negatively-signed integer literal (outside the model).
+          [-0] lexes as [Neg_int 0]: the sign is classified as written,
+          so the natural-number model rejects it uniformly (lenient
+          parsing narrows it to the natural [0]). *)
   | Float of float  (** a literal with fraction or exponent *)
   | True
   | False

@@ -22,6 +22,8 @@ let literal mode pos (tok : Lexer.token) : Value.t =
   | Lexer.Null, `Lenient -> Value.Str "null"
   | Lexer.Float f, `Lenient when Float.is_integer f && f >= 0. ->
     Value.Num (int_of_float f)
+  (* [-0] normalizes to the natural 0, like [-0.0] above *)
+  | Lexer.Neg_int 0, `Lenient -> Value.Num 0
   | Lexer.True, `Strict | Lexer.False, `Strict ->
     fail pos "boolean literals are outside the model (use `Lenient mode)"
   | Lexer.Null, `Strict ->
@@ -32,12 +34,24 @@ let literal mode pos (tok : Lexer.token) : Value.t =
     fail pos "negative numbers are outside the model"
   | _, _ -> assert false
 
-let parse_value mode max_depth lx =
+(* One budget check per parsed value: depth against the ceiling, one
+   unit of fuel, and (periodically) the wall-clock deadline.  Budget
+   exhaustion is reported as a positioned parse error. *)
+let guard budget pos depth =
+  match
+    Obs.Budget.check_depth budget depth;
+    Obs.Budget.burn budget 1
+  with
+  | () -> ()
+  | exception Obs.Budget.Exhausted Obs.Budget.Depth ->
+    fail pos "maximum nesting depth %d exceeded" (Obs.Budget.max_depth budget)
+  | exception Obs.Budget.Exhausted r -> fail pos "%s" (Obs.Budget.describe r)
+
+let parse_value mode budget lx =
   let rec value depth =
-    if depth > max_depth then begin
-      let pos, _ = Lexer.peek lx in
-      fail pos "maximum nesting depth %d exceeded" max_depth
-    end;
+    let pos, _ = Lexer.peek lx in
+    guard budget pos depth;
+    Obs.Metrics.incr "parse.values";
     let pos, tok = Lexer.next lx in
     match tok with
     | Lexer.Lbrace -> obj depth pos
@@ -95,9 +109,17 @@ let parse_value mode max_depth lx =
   in
   value 0
 
-let parse_exn ?(mode = `Strict) ?(max_depth = 10_000) input =
+let budget_of budget max_depth =
+  match budget with
+  | Some b -> b
+  | None ->
+    Obs.Budget.depth_limited
+      (Option.value ~default:Obs.Budget.default_max_depth max_depth)
+
+let parse_exn ?(mode = `Strict) ?max_depth ?budget input =
+  let budget = budget_of budget max_depth in
   let lx = Lexer.create input in
-  let v = parse_value mode max_depth lx in
+  let v = parse_value mode budget lx in
   let pos, tok = Lexer.next lx in
   if tok <> Lexer.Eof then unexpected pos tok "end of input";
   v
@@ -108,22 +130,26 @@ let wrap f =
   | exception Parse_error e -> Error e
   | exception Lexer.Error (position, message) -> Error { position; message }
 
-let parse ?mode ?max_depth input =
-  wrap (fun () -> parse_exn ?mode ?max_depth input)
+let parse ?mode ?max_depth ?budget input =
+  wrap (fun () -> parse_exn ?mode ?max_depth ?budget input)
 
-let parse_prefix ?(mode = `Strict) input start =
+let parse_prefix ?(mode = `Strict) ?budget input start =
   wrap (fun () ->
+      let budget = budget_of budget None in
       let tail = String.sub input start (String.length input - start) in
       let lx = Lexer.create tail in
-      let v = parse_value mode 10_000 lx in
+      let v = parse_value mode budget lx in
       (v, start + Lexer.offset lx))
 
-let parse_many ?(mode = `Strict) input =
+let parse_many ?(mode = `Strict) ?budget input =
   wrap (fun () ->
+      (* one budget for the whole stream: fuel and deadline are shared
+         across documents, the depth ceiling applies to each *)
+      let budget = budget_of budget None in
       let lx = Lexer.create input in
       let rec go acc =
         let _, tok = Lexer.peek lx in
         if tok = Lexer.Eof then List.rev acc
-        else go (parse_value mode 10_000 lx :: acc)
+        else go (parse_value mode budget lx :: acc)
       in
       go [])

@@ -20,23 +20,30 @@ val pp_error : Format.formatter -> error -> unit
 
 exception Parse_error of error
 
-val parse : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int -> string
-  -> (Value.t, error) result
+val parse : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int
+  -> ?budget:Obs.Budget.t -> string -> (Value.t, error) result
 (** [parse input] parses a single JSON document followed only by
-    whitespace.  [max_depth] (default [10_000]) bounds nesting to keep
-    the parser total on adversarial inputs. *)
+    whitespace.  [max_depth] (default {!Obs.Budget.default_max_depth},
+    i.e. [10_000]) bounds nesting to keep the parser total on
+    adversarial inputs.  [budget], when given, takes precedence over
+    [max_depth] and additionally enforces its fuel allowance (one unit
+    per parsed value) and wall-clock deadline; exhaustion surfaces as a
+    positioned [Error], never as an exception escaping [parse]. *)
 
-val parse_exn : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int -> string
-  -> Value.t
-(** Like {!parse}.  @raise Parse_error on failure. *)
+val parse_exn : ?mode:[ `Strict | `Lenient ] -> ?max_depth:int
+  -> ?budget:Obs.Budget.t -> string -> Value.t
+(** Like {!parse}.  @raise Parse_error on failure (including budget
+    exhaustion). *)
 
-val parse_many : ?mode:[ `Strict | `Lenient ] -> string
-  -> (Value.t list, error) result
+val parse_many : ?mode:[ `Strict | `Lenient ] -> ?budget:Obs.Budget.t
+  -> string -> (Value.t list, error) result
 (** [parse_many input] parses a stream of whitespace-separated JSON
-    documents (as found in log files / JSON-lines collections). *)
+    documents (as found in log files / JSON-lines collections).  A
+    given [budget]'s fuel and deadline are shared across the whole
+    stream; the depth ceiling applies to each document. *)
 
-val parse_prefix : ?mode:[ `Strict | `Lenient ] -> string -> int
-  -> (Value.t * int, error) result
+val parse_prefix : ?mode:[ `Strict | `Lenient ] -> ?budget:Obs.Budget.t
+  -> string -> int -> (Value.t * int, error) result
 (** [parse_prefix input start] parses one JSON document beginning at
     byte offset [start] of [input] and returns it together with the
     offset of the first byte after it.  Lets other parsers (the JNL

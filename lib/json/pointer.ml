@@ -76,17 +76,28 @@ let of_string_exn_inner input =
     | _ -> fail "expected a quoted key"
     | exception Lexer.Error (_, m) -> fail "bad quoted key: %s" m
   in
+  (* whitespace is accepted uniformly inside brackets: spaces, tabs and
+     newlines, before and after the key or index *)
+  let skip_ws () =
+    while
+      !pos < n
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let close_bracket () =
+    skip_ws ();
+    if !pos >= n || input.[!pos] <> ']' then fail "expected ']'";
+    incr pos
+  in
   let bracket () =
     incr pos (* '[' *);
+    skip_ws ();
     match peek () with
     | Some '"' ->
       let k = quoted_key () in
-      (* skip whitespace *)
-      while !pos < n && input.[!pos] = ' ' do
-        incr pos
-      done;
-      if !pos >= n || input.[!pos] <> ']' then fail "expected ']'";
-      incr pos;
+      close_bracket ();
       Key k
     | Some ('-' | '0' .. '9') ->
       let start = !pos in
@@ -96,9 +107,14 @@ let of_string_exn_inner input =
       done;
       let text = String.sub input start (!pos - start) in
       if text = "-" then fail "expected digits after '-'";
-      if !pos >= n || input.[!pos] <> ']' then fail "expected ']'";
-      incr pos;
-      Index (int_of_string text)
+      let i = int_of_string text in
+      (* [-0] has no meaning in the paper's natural-number index model:
+         positions are naturals, and the negative form is only accepted
+         as the from-the-end convention, which needs a nonzero offset *)
+      if i = 0 && text.[0] = '-' then
+        fail "index -0 is not a natural number (use [0])";
+      close_bracket ();
+      Index i
     | _ -> fail "expected a quoted key or an index inside '[ ]'"
   in
   let steps = ref [] in

@@ -29,7 +29,7 @@ let root = 0
    to be internally consistent. *)
 let mix h x = (h * 0x01000193) lxor x land max_int
 
-let of_value v =
+let of_value ?(budget = Obs.Budget.unlimited) v =
   let n = Value.size v in
   let kinds = Array.make n Kobj in
   let child_nodes = Array.make n [||] in
@@ -49,6 +49,8 @@ let of_value v =
   in
   (* Returns (id, size, height, hash) of the built subtree. *)
   let rec build v parent edge depth =
+    Obs.Budget.check_depth budget depth;
+    Obs.Budget.burn budget 1;
     let id = fresh () in
     parents.(id) <- parent;
     edges.(id) <- edge;

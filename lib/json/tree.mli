@@ -36,8 +36,11 @@ type edge = Root | Key of string | Pos of int
     with keys (relation [O]), array edges with positions (relation
     [A]); the root has no incoming edge. *)
 
-val of_value : Value.t -> t
-(** Build the tree of a value.  @raise Value.Invalid on invalid values
+val of_value : ?budget:Obs.Budget.t -> Value.t -> t
+(** Build the tree of a value.  [budget] bounds the construction: one
+    fuel unit per node, recursion depth against the budget's ceiling —
+    so adversarially deep values raise {!Obs.Budget.Exhausted} instead
+    of [Stack_overflow].  @raise Value.Invalid on invalid values
     (duplicate keys / negative numbers). *)
 
 val to_value : t -> Value.t

@@ -1,0 +1,61 @@
+type reason = Fuel | Depth | Deadline
+
+exception Exhausted of reason
+
+type t = {
+  mutable fuel : int;  (* remaining units; meaningful only when [fueled] *)
+  fueled : bool;
+  max_depth : int;
+  deadline : float;  (* absolute gettimeofday seconds; [infinity] = none *)
+  mutable tick : int;  (* burns since the last wall-clock read *)
+}
+
+let default_max_depth = 10_000
+
+let unlimited =
+  { fuel = max_int; fueled = false; max_depth = max_int; deadline = infinity;
+    tick = 0 }
+
+let depth_limited d = { unlimited with max_depth = d }
+
+let create ?fuel ?(max_depth = default_max_depth) ?timeout_ms () =
+  let fueled, fuel =
+    match fuel with None -> (false, max_int) | Some f -> (true, f)
+  in
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+  in
+  { fuel; fueled; max_depth; deadline; tick = 0 }
+
+let max_depth t = t.max_depth
+
+let check_depth t d = if d > t.max_depth then raise (Exhausted Depth)
+
+let deadline_stride = 512
+
+let burn t cost =
+  if t.fueled then begin
+    t.fuel <- t.fuel - cost;
+    if t.fuel < 0 then raise (Exhausted Fuel)
+  end;
+  if t.deadline < infinity then begin
+    t.tick <- t.tick + 1;
+    if t.tick >= deadline_stride then begin
+      t.tick <- 0;
+      if Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+    end
+  end
+
+let string_of_reason = function
+  | Fuel -> "fuel"
+  | Depth -> "depth"
+  | Deadline -> "deadline"
+
+let pp_reason fmt r = Format.pp_print_string fmt (string_of_reason r)
+
+let describe = function
+  | Fuel -> "resource budget exhausted: node fuel spent"
+  | Depth -> "resource budget exhausted: recursion depth limit reached"
+  | Deadline -> "resource budget exhausted: wall-clock deadline passed"

@@ -1,0 +1,113 @@
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+type timing = {
+  mutable count : int;
+  mutable total_ns : float;
+  mutable min_ns : float;
+  mutable max_ns : float;
+}
+
+let timings : (string, timing) Hashtbl.t = Hashtbl.create 32
+
+let add name n =
+  if !on then
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counters name (ref n)
+
+let incr name = add name 1
+
+let observe_ns name ns =
+  if !on then
+    match Hashtbl.find_opt timings name with
+    | Some t ->
+      t.count <- t.count + 1;
+      t.total_ns <- t.total_ns +. ns;
+      if ns < t.min_ns then t.min_ns <- ns;
+      if ns > t.max_ns then t.max_ns <- ns
+    | None ->
+      Hashtbl.add timings name
+        { count = 1; total_ns = ns; min_ns = ns; max_ns = ns }
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let record () = observe_ns name ((Unix.gettimeofday () -. t0) *. 1e9) in
+    match f () with
+    | v ->
+      record ();
+      v
+    | exception e ->
+      record ();
+      raise e
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset timings
+
+let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let dump_text () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, r) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name !r))
+    (sorted counters);
+  List.iter
+    (fun (name, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s count=%d total=%.3fms mean=%.0fns min=%.0fns max=%.0fns\n"
+           name t.count (t.total_ns /. 1e6)
+           (t.total_ns /. float_of_int (max 1 t.count))
+           t.min_ns t.max_ns))
+    (sorted timings);
+  Buffer.contents buf
+
+(* Metric names are plain ASCII identifiers, but escape defensively so
+   the dump is always valid JSON. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let dump_json () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, r) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%s:%d" (json_string name) !r))
+    (sorted counters);
+  Buffer.add_string buf "},\"timings\":{";
+  List.iteri
+    (fun i (name, t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s:{\"count\":%d,\"total_ms\":%.3f,\"mean_ns\":%.0f,\"min_ns\":%.0f,\"max_ns\":%.0f}"
+           (json_string name) t.count (t.total_ns /. 1e6)
+           (t.total_ns /. float_of_int (max 1 t.count))
+           t.min_ns t.max_ns))
+    (sorted timings);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Named counters and timers with a structured dump.
+
+    A process-wide registry of
+
+    - {b counters}: monotonically increasing integers ({!incr}/{!add}),
+      used for per-construct evaluation counts ([jsl.test.unique],
+      [jnl.eq_paths], …) and volume counts ([parse.values],
+      [stream.tokens], …);
+    - {b timings}: accumulated duration samples with count/total/min/max
+      ({!span} for scoped wall-clock measurement, {!observe_ns} for
+      externally measured samples — the bench harness feeds its OLS
+      estimates through this).
+
+    Recording is {e disabled by default} so the evaluators' hot paths
+    pay a single mutable-bool read; {!set_enabled}[ true] (the CLI's
+    [--metrics] flag, the bench driver) turns it on.
+
+    The registry is not synchronized: confine recording to one domain. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val incr : string -> unit
+(** [incr name] adds 1 to counter [name] (no-op while disabled). *)
+
+val add : string -> int -> unit
+
+val observe_ns : string -> float -> unit
+(** Record one duration sample, in nanoseconds (no-op while disabled). *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and records its wall-clock duration under
+    timing [name].  The duration is recorded even when [f] raises.
+    While disabled, [f] is run directly. *)
+
+val counter_value : string -> int
+(** Current value of a counter; [0] if never touched. *)
+
+val reset : unit -> unit
+(** Drop all recorded counters and timings (leaves enablement alone). *)
+
+val dump_text : unit -> string
+(** Human-readable dump: one sorted [name value] line per counter, one
+    [name count total mean min max] line per timing. *)
+
+val dump_json : unit -> string
+(** The same data as one JSON object:
+    [{"counters": {name: int, ...},
+      "timings": {name: {"count": int, "total_ms": float,
+                         "mean_ns": float, "min_ns": float,
+                         "max_ns": float}, ...}}]. *)

@@ -1,0 +1,73 @@
+#!/bin/sh
+# CI entry point: build, full test suite, and the budget regression
+# gate, all under hard timeouts so a runaway search or an accidental
+# unbounded recursion fails the job instead of hanging it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+  # timeout(1) is in coreutils on the GitHub runners and in the dev
+  # container alike
+  secs=$1
+  shift
+  echo "+ timeout ${secs}s $*"
+  timeout "$secs" "$@"
+}
+
+run 600 dune build @all
+run 600 dune runtest
+
+# Budget regression gate, exercised through the shipped binary so the
+# CLI wiring is covered too.  A 100k-deep document must produce a
+# structured error (exit 1 with an error: line), never a crash (exit
+# 2+) or a hang — and the same input must pass when the ceiling is
+# lifted.
+JSONLOGIC=_build/default/bin/jsonlogic.exe
+deep=$(mktemp)
+trap 'rm -f "$deep"' EXIT
+awk 'BEGIN { for (i = 0; i < 100000; i++) printf "["; printf "1";
+             for (i = 0; i < 100000; i++) printf "]" }' > "$deep"
+
+status=0
+out=$(timeout 60 "$JSONLOGIC" parse "$deep" 2>&1) || status=$?
+if [ "$status" != 1 ]; then
+  echo "FAIL: 100k-deep parse: expected exit 1, got $status ($out)" >&2
+  exit 1
+fi
+case $out in
+  *"depth"*) ;;
+  *) echo "FAIL: 100k-deep parse error does not mention depth: $out" >&2
+     exit 1 ;;
+esac
+
+# the same input class passes once the ceiling is lifted (20k here:
+# above the 10k default; the parser is linear in depth, but the pretty
+# printer's indentation makes output quadratic, so stay modest)
+deep20=$(mktemp)
+awk 'BEGIN { for (i = 0; i < 20000; i++) printf "["; printf "1";
+             for (i = 0; i < 20000; i++) printf "]" }' > "$deep20"
+run 60 "$JSONLOGIC" parse --max-depth 30000 "$deep20" > /dev/null
+rm -f "$deep20"
+
+status=0
+out=$(timeout 60 "$JSONLOGIC" parse --fuel 3 "$deep" 2>&1) || status=$?
+if [ "$status" != 1 ]; then
+  echo "FAIL: fuel-3 parse: expected exit 1, got $status ($out)" >&2
+  exit 1
+fi
+case $out in
+  *"fuel"*) ;;
+  *) echo "FAIL: fuel-3 parse error does not mention fuel: $out" >&2
+     exit 1 ;;
+esac
+
+# --metrics must produce the per-phase dump (on stderr)
+metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
+case $metrics in
+  *"parse.values"*"phase.parse"*) ;;
+  *) echo "FAIL: --metrics dump missing expected entries: $metrics" >&2
+     exit 1 ;;
+esac
+
+echo "ci: all checks passed"

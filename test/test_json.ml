@@ -117,11 +117,19 @@ let test_parse_model_restriction () =
   ignore (parse_err "null");
   ignore (parse_err "-5");
   ignore (parse_err "1.5");
+  (* -0 is a negative literal, not a natural: it must not slip through
+     as 0 in strict mode *)
+  ignore (parse_err "-0");
+  ignore (parse_err "[-0]");
+  ignore (parse_err {|{"a":-0}|});
   (* lenient mode *)
   let lenient s = Parser.parse_exn ~mode:`Lenient s in
   Alcotest.check value "lenient true" (Value.Str "true") (lenient "true");
   Alcotest.check value "lenient null" (Value.Str "null") (lenient "null");
-  Alcotest.check value "lenient whole float" (Value.Num 3) (lenient "3.0")
+  Alcotest.check value "lenient whole float" (Value.Num 3) (lenient "3.0");
+  Alcotest.check value "lenient -0 narrows to 0" (Value.Num 0) (lenient "-0");
+  Alcotest.check value "lenient [-0]" (Value.Arr [ Value.Num 0 ])
+    (lenient "[-0]")
 
 let test_parse_depth_limit () =
   let deep = String.concat "" (List.init 200 (fun _ -> "[")) in
@@ -331,6 +339,75 @@ let test_pointer_parse () =
   match Pointer.of_string "a[" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a[ should not parse"
+
+let test_pointer_whitespace () =
+  (* whitespace is accepted uniformly inside brackets — spaces, tabs and
+     newlines, before and after the selector, for keys and indices alike *)
+  let check s expected =
+    match Pointer.of_string s with
+    | Error e -> Alcotest.failf "pointer %S: %s" s e
+    | Ok p ->
+      Alcotest.(check bool) (Printf.sprintf "steps of %S" s) true (p = expected)
+  in
+  check {|[ "a" ]|} [ Pointer.Key "a" ];
+  check "[ 0 ]" [ Pointer.Index 0 ];
+  check "[\t-1\t]" [ Pointer.Index (-1) ];
+  check "a[\n  \"b\"\n]" [ Pointer.Key "a"; Pointer.Key "b" ];
+  check "hobbies[ 1 ].x"
+    [ Pointer.Key "hobbies"; Pointer.Index 1; Pointer.Key "x" ];
+  check {|[  "k"  ][  2  ]|} [ Pointer.Key "k"; Pointer.Index 2 ];
+  (* whitespace outside brackets is still not path syntax *)
+  match Pointer.of_string "a .b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "\"a .b\" should not parse"
+
+let test_pointer_minus_zero () =
+  (* positions are naturals; the negative form is the from-the-end
+     convention and needs a nonzero offset, so [-0] means nothing *)
+  List.iter
+    (fun s ->
+      match Pointer.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" s)
+    [ "[-0]"; "a[-0].b"; "[ -0 ]" ];
+  match Pointer.of_string "[-00]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "[-00] must be rejected"
+
+let test_pointer_prng_roundtrip () =
+  (* of_string_exn ∘ to_string = id on randomly generated pointers,
+     including keys that need quoting and escaping *)
+  let rng = Jworkload.Prng.create 42 in
+  let alphabet = "abcz_09-.![ ]\"\\\n\xc3\xa9" in
+  let gen_key () =
+    let len = 1 + Jworkload.Prng.int rng 6 in
+    (* stay on UTF-8 boundaries: é is two bytes, keep or drop both *)
+    let raw =
+      String.init len (fun _ ->
+          alphabet.[Jworkload.Prng.int rng (String.length alphabet)])
+    in
+    String.concat ""
+      (List.filter_map
+         (fun c ->
+           if c = '\xc3' then Some "\xc3\xa9"
+           else if c = '\xa9' then None
+           else Some (String.make 1 c))
+         (List.init (String.length raw) (String.get raw)))
+  in
+  let gen_step () =
+    if Jworkload.Prng.bool rng then Pointer.Key (gen_key ())
+    else Pointer.Index (Jworkload.Prng.int rng 21 - 10)
+  in
+  for _ = 1 to 500 do
+    let p = List.init (Jworkload.Prng.int rng 6) (fun _ -> gen_step ()) in
+    let s = Pointer.to_string p in
+    match Pointer.of_string s with
+    | Error e -> Alcotest.failf "roundtrip of %S failed: %s" s e
+    | Ok p' ->
+      if p <> p' then
+        Alcotest.failf "roundtrip of %S changed the pointer (%S)" s
+          (Pointer.to_string p')
+  done
 
 let test_pointer_roundtrip () =
   List.iter
@@ -619,6 +696,9 @@ let () =
          Alcotest.test_case "errors" `Quick test_diff_errors ]);
       ("pointer",
        [ Alcotest.test_case "parse" `Quick test_pointer_parse;
+         Alcotest.test_case "bracket whitespace" `Quick test_pointer_whitespace;
+         Alcotest.test_case "minus zero index" `Quick test_pointer_minus_zero;
+         Alcotest.test_case "prng roundtrip" `Quick test_pointer_prng_roundtrip;
          Alcotest.test_case "roundtrip" `Quick test_pointer_roundtrip;
          Alcotest.test_case "get" `Quick test_pointer_get ]);
       ("properties", qcheck_tests) ]

@@ -1,0 +1,300 @@
+(* Tests for lib/obs: resource budgets, the metrics registry, and the
+   budget threading through the parser, the evaluators, the streaming
+   validator and the satisfiability search.  Includes the seeded
+   differential fuzz between Stream.validate and tree-based Jsl
+   evaluation. *)
+
+open Jlogic
+module Value = Jsont.Value
+module Parser = Jsont.Parser
+module Printer = Jsont.Printer
+module Tree = Jsont.Tree
+
+let contains needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Budget unit tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exhausts reason f =
+  match f () with
+  | _ -> Alcotest.failf "expected Exhausted %s" (Obs.Budget.string_of_reason reason)
+  | exception Obs.Budget.Exhausted r ->
+    Alcotest.(check string) "reason"
+      (Obs.Budget.string_of_reason reason)
+      (Obs.Budget.string_of_reason r)
+
+let test_budget_fuel () =
+  let b = Obs.Budget.create ~fuel:10 () in
+  Obs.Budget.burn b 5;
+  Obs.Budget.burn b 5;
+  (* allowance exactly spent: the next unit is the one that fails *)
+  exhausts Obs.Budget.Fuel (fun () -> Obs.Budget.burn b 1)
+
+let test_budget_depth () =
+  let b = Obs.Budget.depth_limited 100 in
+  Obs.Budget.check_depth b 0;
+  Obs.Budget.check_depth b 100;
+  exhausts Obs.Budget.Depth (fun () -> Obs.Budget.check_depth b 101);
+  Alcotest.(check int) "max_depth" 100 (Obs.Budget.max_depth b);
+  Alcotest.(check int) "default" 10_000 Obs.Budget.default_max_depth
+
+let test_budget_deadline () =
+  let b = Obs.Budget.create ~timeout_ms:0 () in
+  exhausts Obs.Budget.Deadline (fun () ->
+      (* the wall clock is only read every [deadline_stride] burns *)
+      for _ = 1 to (2 * Obs.Budget.deadline_stride) + 1 do
+        Obs.Budget.burn b 1
+      done)
+
+let test_budget_unlimited () =
+  Obs.Budget.check_depth Obs.Budget.unlimited 1_000_000;
+  for _ = 1 to 10_000 do
+    Obs.Budget.burn Obs.Budget.unlimited 1_000
+  done;
+  Alcotest.(check bool) "describe mentions depth" true
+    (String.length (Obs.Budget.describe Obs.Budget.Depth) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* the registry is process-global and alcotest runs everything in one
+   process: save and restore enablement around each test *)
+let with_metrics f =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was)
+    f
+
+let test_metrics_counters () =
+  with_metrics (fun () ->
+      Obs.Metrics.incr "t.a";
+      Obs.Metrics.incr "t.a";
+      Obs.Metrics.add "t.b" 40;
+      Alcotest.(check int) "incr" 2 (Obs.Metrics.counter_value "t.a");
+      Alcotest.(check int) "add" 40 (Obs.Metrics.counter_value "t.b");
+      Alcotest.(check int) "untouched" 0 (Obs.Metrics.counter_value "t.zzz");
+      let dump = Obs.Metrics.dump_text () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("dump_text has " ^ needle) true
+            (contains needle dump))
+        [ "t.a"; "t.b" ])
+
+let test_metrics_disabled_is_noop () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr "t.off";
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value "t.off");
+  Alcotest.(check int) "span still runs f" 9
+    (Obs.Metrics.span "t.span" (fun () -> 9));
+  Obs.Metrics.set_enabled was
+
+let test_metrics_span () =
+  with_metrics (fun () ->
+      Alcotest.(check int) "span result" 7 (Obs.Metrics.span "t.s" (fun () -> 7));
+      (* recorded even when f raises *)
+      (try Obs.Metrics.span "t.s" (fun () -> failwith "boom")
+       with Failure _ -> 0)
+      |> ignore;
+      let json = Obs.Metrics.dump_json () in
+      Alcotest.(check bool) "json has timing" true (contains "t.s" json);
+      Alcotest.(check bool) "json has counters key" true
+        (contains "counters" json))
+
+(* ------------------------------------------------------------------ *)
+(* Deep-nesting regressions: structured errors, not Stack_overflow      *)
+(* ------------------------------------------------------------------ *)
+
+let nested_array_text depth =
+  let buf = Buffer.create ((2 * depth) + 1) in
+  for _ = 1 to depth do Buffer.add_char buf '[' done;
+  Buffer.add_char buf '1';
+  for _ = 1 to depth do Buffer.add_char buf ']' done;
+  Buffer.contents buf
+
+let test_parser_100k_deep () =
+  (* at the documented default limit the parser must fail cleanly *)
+  (match Parser.parse (nested_array_text 100_000) with
+  | Ok _ -> Alcotest.fail "100k-deep input must be rejected by default"
+  | Error e ->
+    let msg = Format.asprintf "%a" Parser.pp_error e in
+    Alcotest.(check bool) ("mentions depth: " ^ msg) true (contains "depth" msg));
+  (* just under the default limit it must succeed *)
+  match Parser.parse (nested_array_text (Obs.Budget.default_max_depth - 1)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "just-under-limit input rejected: %a" Parser.pp_error e
+
+let test_parser_fuel () =
+  let b = Obs.Budget.create ~fuel:3 () in
+  (match Parser.parse ~budget:b {|{"a":[1,2,3],"b":"x"}|} with
+  | Ok _ -> Alcotest.fail "fuel 3 must not parse an 8-value document"
+  | Error _ -> ());
+  match Parser.parse ~budget:(Obs.Budget.create ~fuel:100 ()) {|{"a":[1,2,3]}|} with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fuel 100 rejected a small document: %a" Parser.pp_error e
+
+let test_stream_100k_deep () =
+  (* Stream.validate applies the same default depth budget *)
+  (match Stream.validate (nested_array_text 100_000) Jsl.True with
+  | Ok _ -> Alcotest.fail "100k-deep input must exhaust the default stream budget"
+  | Error m ->
+    Alcotest.(check bool) ("mentions depth: " ^ m) true (contains "depth" m));
+  (* a generous explicit budget lifts the ceiling: the engine itself is
+     iterative, so 100k of nesting is fine once allowed *)
+  match
+    Stream.validate ~budget:(Obs.Budget.depth_limited 200_000)
+      (nested_array_text 100_000) Jsl.True
+  with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "True must hold"
+  | Error m -> Alcotest.failf "generous budget still failed: %s" m
+
+let deep_value depth =
+  let rec build n acc = if n = 0 then acc else build (n - 1) (Value.Arr [ acc ]) in
+  build depth (Value.Num 1)
+
+let test_tree_of_value_budget () =
+  let v = deep_value 200 in
+  (match Tree.of_value ~budget:(Obs.Budget.depth_limited 50) v with
+  | _ -> Alcotest.fail "of_value must respect the depth budget"
+  | exception Obs.Budget.Exhausted Obs.Budget.Depth -> ());
+  ignore (Tree.of_value ~budget:(Obs.Budget.depth_limited 500) v)
+
+let test_jsl_validates_bounded () =
+  let v = deep_value 200 in
+  let f = Jsl.Test Jsl.Is_arr in
+  (match Jsl.validates_bounded ~budget:(Obs.Budget.depth_limited 50) v f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth 50 must not validate a 200-deep document");
+  (match Jsl.validates_bounded v f with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "Is_arr must hold"
+  | Error m -> Alcotest.failf "unbounded default failed: %s" m);
+  match
+    Jsl.validates_bounded ~budget:(Obs.Budget.create ~fuel:2 ())
+      (Parser.parse_exn {|{"a":[1,2,3]}|})
+      (Jsl.dia_key "a" (Jsl.Test Jsl.Is_arr))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fuel 2 must exhaust"
+
+let test_jnl_satisfies_bounded () =
+  let v = Parser.parse_exn {|{"a":1}|} in
+  let f = Jnl.Exists (Jnl.Key "a") in
+  (match Jnl_eval.satisfies_bounded v f with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "<a> must hold"
+  | Error m -> Alcotest.failf "unbounded default failed: %s" m);
+  match
+    Jnl_eval.satisfies_bounded ~budget:(Obs.Budget.create ~fuel:1 ())
+      (deep_value 50) f
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fuel 1 must exhaust"
+
+let test_sat_budget_unknown () =
+  let phi = Jsl.dia_key "a" (Jsl.Test Jsl.Is_int) in
+  match Jsl_sat.satisfiable ~budget:(Obs.Budget.create ~fuel:1 ()) phi with
+  | Jautomaton.Unknown _ -> ()
+  | Jautomaton.Sat _ -> Alcotest.fail "fuel 1 cannot certify Sat"
+  | Jautomaton.Unsat -> Alcotest.fail "fuel 1 cannot certify Unsat"
+
+(* ------------------------------------------------------------------ *)
+(* Construct counters flow through evaluation                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_construct_counters () =
+  with_metrics (fun () ->
+      let v = Parser.parse_exn {|{"a":[1,2,1]}|} in
+      ignore (Jsl.validates v (Jsl.dia_key "a" (Jsl.Test Jsl.Unique)));
+      Alcotest.(check bool) "jsl.test.unique counted" true
+        (Obs.Metrics.counter_value "jsl.test.unique" > 0);
+      ignore
+        (Jnl_eval.satisfies v
+           (Jnl.Eq_doc (Jnl.Self, Parser.parse_exn {|{"a":[1,2,1]}|})));
+      Alcotest.(check bool) "jnl.eq_doc counted" true
+        (Obs.Metrics.counter_value "jnl.eq_doc" > 0);
+      ignore (Stream.validate "[1,2]" Jsl.True);
+      Alcotest.(check bool) "stream.tokens counted" true
+        (Obs.Metrics.counter_value "stream.tokens" > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzz: streaming vs tree evaluation                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_stream_vs_tree () =
+  let rng = Jworkload.Prng.create 2026 in
+  let cfg = Jworkload.Gen_formula.default in
+  let checked = ref 0 in
+  for i = 1 to 500 do
+    let doc = Jworkload.Gen_json.sized rng (1 + Jworkload.Prng.int rng 120) in
+    let f = Jworkload.Gen_formula.jsl rng cfg in
+    match Stream.supported f with
+    | Error _ -> ()
+    | Ok () ->
+      incr checked;
+      let text = Printer.compact doc in
+      let via_tree = Jsl.validates doc f in
+      (match Stream.validate text f with
+      | Ok via_stream ->
+        if via_stream <> via_tree then
+          Alcotest.failf "pair %d: stream=%b tree=%b on %s" i via_stream
+            via_tree text
+      | Error m -> Alcotest.failf "pair %d: stream error %s on %s" i m text)
+  done;
+  (* the deterministic default config must stay streamable, otherwise
+     the differential loses its teeth silently *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough streamable pairs (%d/500)" !checked)
+    true
+    (!checked > 400)
+
+let test_differential_budget_exhaustion () =
+  (* when the budget is too small, both sides must report a structured
+     error — neither may crash or silently succeed *)
+  let doc = deep_value 200 in
+  let text = Printer.compact doc in
+  let f = Jsl.Test Jsl.Is_arr in
+  let tight () = Obs.Budget.depth_limited 50 in
+  (match Stream.validate ~budget:(tight ()) text f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stream must exhaust at depth 50");
+  match Jsl.validates_bounded ~budget:(tight ()) doc f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tree evaluation must exhaust at depth 50"
+
+let () =
+  Alcotest.run "obs"
+    [ ("budget",
+       [ Alcotest.test_case "fuel" `Quick test_budget_fuel;
+         Alcotest.test_case "depth" `Quick test_budget_depth;
+         Alcotest.test_case "deadline" `Quick test_budget_deadline;
+         Alcotest.test_case "unlimited" `Quick test_budget_unlimited ]);
+      ("metrics",
+       [ Alcotest.test_case "counters" `Quick test_metrics_counters;
+         Alcotest.test_case "disabled is no-op" `Quick test_metrics_disabled_is_noop;
+         Alcotest.test_case "span" `Quick test_metrics_span ]);
+      ("deep inputs",
+       [ Alcotest.test_case "parser at 100k" `Quick test_parser_100k_deep;
+         Alcotest.test_case "parser fuel" `Quick test_parser_fuel;
+         Alcotest.test_case "stream at 100k" `Quick test_stream_100k_deep;
+         Alcotest.test_case "tree of_value" `Quick test_tree_of_value_budget ]);
+      ("bounded evaluation",
+       [ Alcotest.test_case "jsl validates_bounded" `Quick test_jsl_validates_bounded;
+         Alcotest.test_case "jnl satisfies_bounded" `Quick test_jnl_satisfies_bounded;
+         Alcotest.test_case "sat returns Unknown" `Quick test_sat_budget_unknown;
+         Alcotest.test_case "construct counters" `Quick test_construct_counters ]);
+      ("differential",
+       [ Alcotest.test_case "stream vs tree, 500 pairs" `Quick
+           test_differential_stream_vs_tree;
+         Alcotest.test_case "budget exhaustion agreement" `Quick
+           test_differential_budget_exhaustion ]) ]
