@@ -17,7 +17,7 @@ let read_input = function
 
 (* ---- resource budgets and metrics (shared flags) --------------------------- *)
 
-type obs_opts = { budget : Obs.Budget.t; metrics : bool }
+type obs_opts = { budget : Obs.Budget.t; metrics : bool; use_index : bool }
 
 let obs_term =
   let max_depth =
@@ -44,15 +44,25 @@ let obs_term =
              ~doc:"Record per-phase timings and per-construct counters and \
                    print them to stderr on exit.")
   in
-  let make max_depth fuel timeout_ms metrics =
+  let no_index =
+    Arg.(value & flag
+         & info [ "no-index" ]
+             ~doc:"Disable the per-tree label index and evaluate navigation \
+                   steps by sweeping all nodes (the indexed and swept \
+                   strategies compute the same sets; this is the escape hatch \
+                   and comparison baseline).")
+  in
+  let make max_depth fuel timeout_ms metrics no_index =
     if metrics then begin
       Obs.Metrics.set_enabled true;
       (* commands may [exit] from several places; dump on whichever *)
       at_exit (fun () -> prerr_string (Obs.Metrics.dump_text ()))
     end;
-    { budget = Obs.Budget.create ?fuel ~max_depth ?timeout_ms (); metrics }
+    { budget = Obs.Budget.create ?fuel ~max_depth ?timeout_ms ();
+      metrics;
+      use_index = not no_index }
   in
-  Term.(const make $ max_depth $ fuel $ timeout_ms $ metrics)
+  Term.(const make $ max_depth $ fuel $ timeout_ms $ metrics $ no_index)
 
 let parse_doc_exn ?budget text =
   Obs.Metrics.span "phase.parse" (fun () ->
@@ -119,7 +129,8 @@ let eval_cmd =
           (fun doc ->
             Printf.printf "%b\t%s\n"
               (Obs.Metrics.span "phase.eval" (fun () ->
-                   Jlogic.Jnl_eval.satisfies ~budget:obs.budget doc phi))
+                   Jlogic.Jnl_eval.satisfies ~budget:obs.budget
+                     ~use_index:obs.use_index doc phi))
               (Jsont.Printer.compact doc))
           docs)
   in
@@ -139,7 +150,7 @@ let select_cmd =
         let doc = parse_doc_exn ~budget:obs.budget (read_input (last_input files)) in
         match
           Obs.Metrics.span "phase.eval" (fun () ->
-              Jquery.Jsonpath.select doc path)
+              Jquery.Jsonpath.select ~use_index:obs.use_index doc path)
         with
         | Ok hits -> List.iter (fun v -> print_endline (Jsont.Printer.compact v)) hits
         | Error m -> failwith ("bad path: " ^ m))

@@ -38,6 +38,17 @@ let union_into s ~into =
   done;
   !changed
 
+let inter_into s ~into =
+  let changed = ref false in
+  for w = 0 to Array.length s.words - 1 do
+    let v = into.words.(w) land s.words.(w) in
+    if v <> into.words.(w) then begin
+      changed := true;
+      into.words.(w) <- v
+    end
+  done;
+  !changed
+
 let map2 f a b =
   { a with words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
 

@@ -24,6 +24,12 @@ val union_into : t -> into:t -> bool
 (** [union_into s ~into] adds [s] to [into]; returns [true] when [into]
     changed (for fixpoint loops). *)
 
+val inter_into : t -> into:t -> bool
+(** [inter_into s ~into] restricts [into] to [into ∧ s] in place;
+    returns [true] when [into] changed.  Used by the label-indexed
+    evaluation core to intersect a precomputed per-label set with a
+    target set without allocating a third set. *)
+
 val inter : t -> t -> t
 val union : t -> t -> t
 val diff : t -> t -> t

@@ -119,17 +119,7 @@ let compute_run aut tree =
       (fun (k, c) -> if Rexp.Lang.matches l k then Some c else None)
       (Tree.obj_children tree node)
   in
-  let children_by_range node i j =
-    let kids = Tree.arr_children tree node in
-    let hi =
-      match j with
-      | None -> Array.length kids - 1
-      | Some j -> min j (Array.length kids - 1)
-    in
-    let lo = max 0 i in
-    if hi < lo then []
-    else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
-  in
+  let children_by_range node i j = Jnl_step.range_succs tree node i j in
   let eval_node node =
     let memo = Array.make q `Todo in
     let rec eval_state qid =

@@ -3,12 +3,21 @@ module Tree = Jsont.Tree
 type ctx = {
   t : Tree.t;
   budget : Obs.Budget.t;
+  use_index : bool;
   memo : (Jnl.form, Bitset.t) Hashtbl.t;
   langs : (Rexp.Syntax.t, Rexp.Lang.t) Hashtbl.t;
+  keys_sets : (Rexp.Syntax.t, Bitset.t) Hashtbl.t;
 }
 
-let context ?(budget = Obs.Budget.unlimited) t =
-  { t; budget; memo = Hashtbl.create 16; langs = Hashtbl.create 8 }
+let context ?(budget = Obs.Budget.unlimited) ?(use_index = true) t =
+  {
+    t;
+    budget;
+    use_index;
+    memo = Hashtbl.create 16;
+    langs = Hashtbl.create 8;
+    keys_sets = Hashtbl.create 8;
+  }
 
 let tree ctx = ctx.t
 
@@ -22,100 +31,176 @@ let lang ctx e =
 
 let n_nodes ctx = Tree.node_count ctx.t
 
-(* Does the incoming edge of [child] match one navigation step?  Array
-   steps may use negative indices (from the end). *)
-let edge_matches_idx ctx child i =
-  match Tree.edge_from_parent ctx.t child with
-  | Tree.Pos j ->
-    if i >= 0 then j = i
-    else begin
-      match Tree.parent ctx.t child with
-      | Some p -> j = Tree.arity ctx.t p + i
-      | None -> false
-    end
-  | Tree.Key _ | Tree.Root -> false
-
-let edge_matches_range ctx child i j =
-  match Tree.edge_from_parent ctx.t child with
-  | Tree.Pos p -> p >= i && (match j with None -> true | Some j -> p <= j)
-  | Tree.Key _ | Tree.Root -> false
-
-let edge_matches_key ctx child w =
-  match Tree.edge_from_parent ctx.t child with
-  | Tree.Key k -> String.equal k w
-  | Tree.Pos _ | Tree.Root -> false
-
-let edge_matches_keys ctx child l =
-  match Tree.edge_from_parent ctx.t child with
-  | Tree.Key k -> Rexp.Lang.matches l k
-  | Tree.Pos _ | Tree.Root -> false
-
 (* ---- set-at-a-time evaluation ------------------------------------------ *)
 
-(* Budget accounting: every formula/path constructor sweeps the node
-   set once, so each costs [n_nodes] fuel; the recursion depth into the
-   formula is checked against the budget's ceiling so adversarially
-   deep formulas raise {!Obs.Budget.Exhausted} instead of
-   [Stack_overflow]. *)
+(* Budget accounting: boolean connectives and fixpoints sweep the node
+   set once and cost [n_nodes] fuel; formula recursion depth is checked
+   against the budget's ceiling so adversarially deep formulas raise
+   {!Obs.Budget.Exhausted} instead of [Stack_overflow].  A navigation
+   step costs [n_nodes] on the sweep fallback but only [1 + touched] on
+   the label-indexed strategies, where [touched] is the number of edges
+   actually carrying the step's label — plus a one-off [n_nodes] the
+   first time the tree's label index is built. *)
+
+(* Sweep fallback: test every member of [target] against the step's
+   edge relation.  The only strategy available with [use_index:false],
+   and the baseline the index is benchmarked against. *)
+let sweep_pre ctx target matches =
+  Obs.Budget.burn ctx.budget (n_nodes ctx);
+  Obs.Metrics.incr "jnl.eval.sweep";
+  let out = Bitset.create (n_nodes ctx) in
+  Bitset.iter
+    (fun child ->
+      if matches child then
+        let par = Tree.parent_id ctx.t child in
+        if par >= 0 then Bitset.add out par)
+    target;
+  out
+
+(* [true] iff the indexed strategy should run; forces the (cached)
+   label index so the build is charged to this context's budget. *)
+let indexed ctx =
+  ctx.use_index
+  && begin
+       Tree.build_index ~budget:ctx.budget ctx.t;
+       Obs.Metrics.incr "jnl.index.hit";
+       true
+     end
+
+(* All nodes whose incoming edge key matches the expression — cached
+   per syntax, built from the key index (one budget unit per distinct
+   key, not per node). *)
+let keys_set ctx e =
+  match Hashtbl.find_opt ctx.keys_sets e with
+  | Some s -> s
+  | None ->
+    let l = lang ctx e in
+    let s = Bitset.create (n_nodes ctx) in
+    Tree.iter_key_index
+      (fun k bucket ->
+        Obs.Budget.burn ctx.budget 1;
+        if Rexp.Lang.matches l k then Array.iter (Bitset.add s) bucket)
+      ctx.t;
+    Hashtbl.add ctx.keys_sets e s;
+    s
 
 (* [pre_exists ctx d α target] = { n | ∃n' . (n,n') ∈ ⟦α⟧ ∧ n' ∈ target } *)
 let rec pre_exists ctx depth (p : Jnl.path) target =
   Obs.Budget.check_depth ctx.budget depth;
-  Obs.Budget.burn ctx.budget (n_nodes ctx);
   match p with
-  | Jnl.Self -> target
+  | Jnl.Self ->
+    Obs.Budget.burn ctx.budget 1;
+    target
   | Jnl.Key w ->
-    let out = Bitset.create (n_nodes ctx) in
-    Bitset.iter
-      (fun child ->
-        if edge_matches_key ctx child w then
-          match Tree.parent ctx.t child with
-          | Some par -> Bitset.add out par
-          | None -> ())
-      target;
-    out
+    if indexed ctx then begin
+      let bucket = Tree.key_index ctx.t w in
+      Obs.Budget.burn ctx.budget (1 + Array.length bucket);
+      let out = Bitset.create (n_nodes ctx) in
+      Array.iter
+        (fun child ->
+          if Bitset.mem target child then
+            Bitset.add out (Tree.parent_id ctx.t child))
+        bucket;
+      out
+    end
+    else sweep_pre ctx target (fun c -> Jnl_step.edge_matches_key ctx.t c w)
   | Jnl.Keys e ->
-    let l = lang ctx e in
-    let out = Bitset.create (n_nodes ctx) in
-    Bitset.iter
-      (fun child ->
-        if edge_matches_keys ctx child l then
-          match Tree.parent ctx.t child with
-          | Some par -> Bitset.add out par
-          | None -> ())
-      target;
-    out
+    if indexed ctx then begin
+      let out = Bitset.copy (keys_set ctx e) in
+      ignore (Bitset.inter_into target ~into:out);
+      Obs.Budget.burn ctx.budget (1 + Bitset.cardinal out);
+      let parents = Bitset.create (n_nodes ctx) in
+      Bitset.iter
+        (fun child -> Bitset.add parents (Tree.parent_id ctx.t child))
+        out;
+      parents
+    end
+    else
+      let l = lang ctx e in
+      sweep_pre ctx target (fun c -> Jnl_step.edge_matches_keys ctx.t c l)
   | Jnl.Idx i ->
-    let out = Bitset.create (n_nodes ctx) in
-    Bitset.iter
-      (fun child ->
-        if edge_matches_idx ctx child i then
-          match Tree.parent ctx.t child with
-          | Some par -> Bitset.add out par
-          | None -> ())
-      target;
-    out
+    if indexed ctx then begin
+      let out = Bitset.create (n_nodes ctx) in
+      (if i >= 0 then begin
+         (* non-negative index: exactly the [Pos i] bucket *)
+         let bucket = Tree.pos_index ctx.t i in
+         Obs.Budget.burn ctx.budget (1 + Array.length bucket);
+         Array.iter
+           (fun child ->
+             if Bitset.mem target child then
+               Bitset.add out (Tree.parent_id ctx.t child))
+           bucket
+       end
+       else begin
+         (* negative index resolves per parent arity: probe each array *)
+         let arrays = Tree.arr_index ctx.t in
+         Obs.Budget.burn ctx.budget (1 + Array.length arrays);
+         Array.iter
+           (fun par ->
+             match Jnl_step.idx_succ ctx.t par i with
+             | Some child -> if Bitset.mem target child then Bitset.add out par
+             | None -> ())
+           arrays
+       end);
+      out
+    end
+    else sweep_pre ctx target (fun c -> Jnl_step.edge_matches_idx ctx.t c i)
   | Jnl.Range (i, j) ->
-    let out = Bitset.create (n_nodes ctx) in
-    Bitset.iter
-      (fun child ->
-        if edge_matches_range ctx child i j then
-          match Tree.parent ctx.t child with
-          | Some par -> Bitset.add out par
-          | None -> ())
-      target;
-    out
+    if indexed ctx then begin
+      let out = Bitset.create (n_nodes ctx) in
+      let nonneg =
+        i >= 0 && (match j with None -> true | Some j -> j >= 0)
+      in
+      (if nonneg then begin
+         (* window of [Pos p] buckets, capped at the largest arity *)
+         let hi =
+           match j with
+           | None -> Tree.max_arity ctx.t - 1
+           | Some j -> min j (Tree.max_arity ctx.t - 1)
+         in
+         let touched = ref 1 in
+         for p = i to hi do
+           let bucket = Tree.pos_index ctx.t p in
+           touched := !touched + Array.length bucket;
+           Array.iter
+             (fun child ->
+               if Bitset.mem target child then
+                 Bitset.add out (Tree.parent_id ctx.t child))
+             bucket
+         done;
+         Obs.Budget.burn ctx.budget !touched
+       end
+       else begin
+         (* a negative bound resolves per parent arity: probe each array *)
+         let arrays = Tree.arr_index ctx.t in
+         Obs.Budget.burn ctx.budget (1 + Array.length arrays);
+         Array.iter
+           (fun par ->
+             if
+               Jnl_step.range_exists ctx.t par i j (fun child ->
+                   Bitset.mem target child)
+             then Bitset.add out par)
+           arrays
+       end);
+      out
+    end
+    else sweep_pre ctx target (fun c -> Jnl_step.edge_matches_range ctx.t c i j)
   | Jnl.Seq (a, b) ->
+    Obs.Budget.burn ctx.budget 1;
     pre_exists ctx (depth + 1) a (pre_exists ctx (depth + 1) b target)
   | Jnl.Alt (a, b) ->
+    Obs.Budget.burn ctx.budget (n_nodes ctx);
     Bitset.union
       (pre_exists ctx (depth + 1) a target)
       (pre_exists ctx (depth + 1) b target)
-  | Jnl.Test f -> Bitset.inter target (eval_at ctx (depth + 1) f)
+  | Jnl.Test f ->
+    Obs.Budget.burn ctx.budget (n_nodes ctx);
+    Bitset.inter target (eval_at ctx (depth + 1) f)
   | Jnl.Star a ->
     (* least fixpoint S ⊇ target with pre(a, S) ⊆ S; converges within
        height(J) iterations because ⟦a⟧ only relates ancestors to
        descendants *)
+    Obs.Budget.burn ctx.budget (n_nodes ctx);
     let s = Bitset.copy target in
     let continue = ref true in
     while !continue do
@@ -189,23 +274,10 @@ and succs_at ctx depth (p : Jnl.path) n =
   Obs.Budget.burn ctx.budget 1;
   match p with
   | Jnl.Self -> [ n ]
-  | Jnl.Key w -> Option.to_list (Tree.lookup ctx.t n w)
-  | Jnl.Idx i -> Option.to_list (Tree.nth ctx.t n i)
-  | Jnl.Keys e ->
-    let l = lang ctx e in
-    List.filter_map
-      (fun (k, c) -> if Rexp.Lang.matches l k then Some c else None)
-      (Tree.obj_children ctx.t n)
-  | Jnl.Range (i, j) ->
-    let kids = Tree.arr_children ctx.t n in
-    let hi =
-      match j with
-      | None -> Array.length kids - 1
-      | Some j -> min j (Array.length kids - 1)
-    in
-    let lo = max 0 i in
-    if hi < lo then []
-    else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
+  | Jnl.Key w -> Option.to_list (Jnl_step.key_succ ctx.t n w)
+  | Jnl.Idx i -> Option.to_list (Jnl_step.idx_succ ctx.t n i)
+  | Jnl.Keys e -> Jnl_step.keys_succs ctx.t n (lang ctx e)
+  | Jnl.Range (i, j) -> Jnl_step.range_succs ctx.t n i j
   | Jnl.Seq (a, b) ->
     let out =
       List.concat_map (succs_at ctx (depth + 1) b) (succs_at ctx (depth + 1) a n)
@@ -231,6 +303,7 @@ and succs_at ctx depth (p : Jnl.path) n =
     List.sort Int.compare (visit [] [ n ])
 
 let eval ctx f = eval_at ctx 0 f
+let pre ctx p target = pre_exists ctx 0 p target
 let holds ctx n f = Bitset.mem (eval ctx f) n
 let succs ctx p n = succs_at ctx 0 p n
 
@@ -245,24 +318,11 @@ let rec find_succ ctx depth (p : Jnl.path) n pred =
   match p with
   | Jnl.Self -> pred n
   | Jnl.Key w -> (
-    match Tree.lookup ctx.t n w with Some c -> pred c | None -> false)
+    match Jnl_step.key_succ ctx.t n w with Some c -> pred c | None -> false)
   | Jnl.Idx i -> (
-    match Tree.nth ctx.t n i with Some c -> pred c | None -> false)
-  | Jnl.Keys e ->
-    let l = lang ctx e in
-    List.exists
-      (fun (k, c) -> Rexp.Lang.matches l k && pred c)
-      (Tree.obj_children ctx.t n)
-  | Jnl.Range (i, j) ->
-    let kids = Tree.arr_children ctx.t n in
-    let hi =
-      match j with
-      | None -> Array.length kids - 1
-      | Some j -> min j (Array.length kids - 1)
-    in
-    let lo = max 0 i in
-    let rec go k = k <= hi && (pred kids.(k) || go (k + 1)) in
-    go lo
+    match Jnl_step.idx_succ ctx.t n i with Some c -> pred c | None -> false)
+  | Jnl.Keys e -> Jnl_step.keys_exists ctx.t n (lang ctx e) pred
+  | Jnl.Range (i, j) -> Jnl_step.range_exists ctx.t n i j pred
   | Jnl.Seq (a, b) ->
     find_succ ctx (depth + 1) a n (fun m -> find_succ ctx (depth + 1) b m pred)
   | Jnl.Alt (a, b) ->
@@ -306,16 +366,16 @@ let eval_pairs ctx p =
     [] (Tree.nodes ctx.t)
   |> List.rev
 
-let select ?budget v p =
+let select ?budget ?use_index v p =
   let t = Tree.of_value ?budget v in
-  let ctx = context ?budget t in
+  let ctx = context ?budget ?use_index t in
   List.map (Tree.value_at t) (succs ctx p Tree.root)
 
-let satisfies ?budget v f =
-  let ctx = context ?budget (Tree.of_value ?budget v) in
+let satisfies ?budget ?use_index v f =
+  let ctx = context ?budget ?use_index (Tree.of_value ?budget v) in
   check_at ctx Tree.root f
 
-let satisfies_bounded ?budget v f =
-  match satisfies ?budget v f with
+let satisfies_bounded ?budget ?use_index v f =
+  match satisfies ?budget ?use_index v f with
   | b -> Ok b
   | exception Obs.Budget.Exhausted r -> Error (Obs.Budget.describe r)

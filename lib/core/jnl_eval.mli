@@ -4,37 +4,55 @@
 
     - {!eval} computes the full satisfaction set [⟦ϕ⟧_J] bottom-up over
       the formula, with node sets as bitsets and path pre-images
-      computed set-at-a-time.  Boolean connectives and single navigation
-      steps cost O(|J|); [Star] adds a fixpoint bounded by the tree
-      height; [Eq_paths] falls back to per-node successor enumeration
-      with hash-indexed subtree comparison — matching the O(|J|·|ϕ|)
-      bound of Proposition 1 on the EQ(α,β)-free fragment and the
-      higher-degree polynomial of Proposition 3 with it.
+      computed set-at-a-time.  Boolean connectives cost O(|J|); single
+      navigation steps use the tree's {{!Jsont.Tree.build_index}label
+      index} and cost O(edges carrying the step's label) — the sweep
+      fallback ([use_index:false]) costs O(|J|); [Star] adds a fixpoint
+      bounded by the tree height; [Eq_paths] falls back to per-node
+      successor enumeration with hash-indexed subtree comparison —
+      matching the O(|J|·|ϕ|) bound of Proposition 1 on the
+      EQ(α,β)-free fragment and the higher-degree polynomial of
+      Proposition 3 with it.
 
     - {!check_at} decides [n ∈ ⟦ϕ⟧_J] top-down with short-circuiting
       and no global set computation — the lightweight engine behind the
       MongoDB-find and JSONPath front ends, which evaluate filters at
       one node at a time.
 
-    Both agree (property-tested). *)
+    Both engines take single-step semantics — key/regex matching and
+    the normalization of negative indices and ranges against array
+    arity — from {!Jnl_step}, so they agree by construction on
+    navigation (and are property-tested to agree overall). *)
 
 type ctx
 (** Evaluation context: the tree plus memo tables (per-subformula
-    satisfaction sets, compiled regular expressions) and a resource
-    budget. *)
+    satisfaction sets, compiled regular expressions, per-expression
+    key-edge sets) and a resource budget. *)
 
-val context : ?budget:Obs.Budget.t -> Jsont.Tree.t -> ctx
+val context : ?budget:Obs.Budget.t -> ?use_index:bool -> Jsont.Tree.t -> ctx
 (** [budget] (default {!Obs.Budget.unlimited}) bounds the work: the
-    set-at-a-time evaluator burns [node_count] fuel per formula/path
-    constructor, the per-node checker one unit per visit, and formula
-    recursion depth is checked against the budget's ceiling.
-    Exhaustion raises {!Obs.Budget.Exhausted} from any evaluation
-    entry point. *)
+    set-at-a-time evaluator burns [node_count] fuel per boolean
+    connective, [1 + touched edges] per label-indexed navigation step
+    ([node_count] on the sweep fallback), the per-node checker one unit
+    per visit, and formula recursion depth is checked against the
+    budget's ceiling.  Exhaustion raises {!Obs.Budget.Exhausted} from
+    any evaluation entry point.
+
+    [use_index] (default [true]) selects the label-indexed pre-image
+    strategies; the first indexed step builds the tree's label index
+    (charged [node_count] fuel, once per tree).  [false] forces the
+    full-sweep strategies — the escape hatch behind the CLI's
+    [--no-index], and the baseline of the [index] benchmark. *)
 
 val tree : ctx -> Jsont.Tree.t
 
 val eval : ctx -> Jnl.form -> Bitset.t
 (** [⟦ϕ⟧_J] as a set of nodes.  Memoized per context. *)
+
+val pre : ctx -> Jnl.path -> Bitset.t -> Bitset.t
+(** [pre ctx α S] = [{ n | ∃n' ∈ S. (n,n') ∈ ⟦α⟧_J }], one pre-image
+    step — the primitive the set-at-a-time evaluator iterates, exposed
+    for benchmarks and direct callers. *)
 
 val holds : ctx -> Jsont.Tree.node -> Jnl.form -> bool
 (** [holds ctx n ϕ] iff [n ∈ ⟦ϕ⟧_J], via {!eval}. *)
@@ -49,16 +67,20 @@ val eval_pairs : ctx -> Jnl.path -> (Jsont.Tree.node * Jsont.Tree.node) list
 (** The full binary relation [⟦α⟧_J] — O(|J|²) worst case; intended for
     tests and small documents. *)
 
-val select : ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.path -> Jsont.Value.t list
+val select :
+  ?budget:Obs.Budget.t -> ?use_index:bool -> Jsont.Value.t -> Jnl.path ->
+  Jsont.Value.t list
 (** Convenience: the subdocuments reachable from the root through [α] —
     the "subdocument selecting" use case of §4.1. *)
 
-val satisfies : ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.form -> bool
+val satisfies :
+  ?budget:Obs.Budget.t -> ?use_index:bool -> Jsont.Value.t -> Jnl.form -> bool
 (** Convenience: does the root of the document satisfy [ϕ]?  (The
     filter semantics of MongoDB's find, Example 1.)
     @raise Obs.Budget.Exhausted when [budget] runs out. *)
 
 val satisfies_bounded :
-  ?budget:Obs.Budget.t -> Jsont.Value.t -> Jnl.form -> (bool, string) result
+  ?budget:Obs.Budget.t -> ?use_index:bool -> Jsont.Value.t -> Jnl.form ->
+  (bool, string) result
 (** Like {!satisfies} but budget exhaustion is returned as
     [Error (Obs.Budget.describe reason)] instead of raising. *)

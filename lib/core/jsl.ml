@@ -229,22 +229,14 @@ let holds_test ctx n = function
 
 let n_nodes ctx = Tree.node_count ctx.t
 
-(* Children of [n] selected by a key expression / range. *)
+(* Children of [n] selected by a key expression / range — range
+   semantics shared with the JNL engines through {!Jnl_step}. *)
 let selected_by_keys ctx l n =
   List.filter_map
     (fun (k, c) -> if Rexp.Lang.matches l k then Some c else None)
     (Tree.obj_children ctx.t n)
 
-let selected_by_range ctx i j n =
-  let kids = Tree.arr_children ctx.t n in
-  let hi =
-    match j with
-    | None -> Array.length kids - 1
-    | Some j -> min j (Array.length kids - 1)
-  in
-  let lo = max 0 i in
-  if hi < lo then []
-  else List.init (hi - lo + 1) (fun k -> kids.(lo + k))
+let selected_by_range ctx i j n = Jnl_step.range_succs ctx.t n i j
 
 (* Set-at-a-time evaluation: one fuel burn of [n_nodes] per formula
    node (each sweeps the whole node set), depth checked against the

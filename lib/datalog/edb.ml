@@ -1,5 +1,6 @@
 module Tree = Jsont.Tree
 module Value = Jsont.Value
+module Jnl_step = Jlogic.Jnl_step
 
 type t = {
   tr : Tree.t;
@@ -83,11 +84,13 @@ let intern_idx_range t i j =
     Hashtbl.add t.stored name (ref []);
     Seq.iter
       (fun n ->
+        let kids = Tree.arr_children t.tr n in
+        let len = Array.length kids in
         Array.iteri
           (fun p ch ->
-            if p >= i && (match j with None -> true | Some j -> p <= j) then
+            if Jnl_step.range_matches ~len ~pos:p i j then
               add_fact t name [ n; ch ])
-          (Tree.arr_children t.tr n))
+          kids)
       (Tree.nodes t.tr)
   end;
   name
@@ -99,8 +102,9 @@ let intern_idx_neg t i =
     Seq.iter
       (fun n ->
         let kids = Tree.arr_children t.tr n in
-        let p = Array.length kids + i in
-        if p >= 0 && p < Array.length kids then add_fact t name [ n; kids.(p) ])
+        match Jnl_step.norm_idx ~len:(Array.length kids) i with
+        | Some p -> add_fact t name [ n; kids.(p) ]
+        | None -> ())
       (Tree.nodes t.tr)
   end;
   name

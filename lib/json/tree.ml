@@ -8,6 +8,19 @@ type kind =
 
 type edge = Root | Key of string | Pos of int
 
+(* Label index: the edge relations [O] and [A] grouped by label, so
+   that backward (pre-image) navigation over one step touches only the
+   edges carrying that label instead of sweeping all nodes.  Built
+   lazily on first use; every bucket lists nodes in preorder. *)
+type label_index = {
+  by_key : (string, node array) Hashtbl.t;
+      (* key w -> nodes whose incoming edge is [Key w] *)
+  by_pos : node array array;
+      (* position p -> nodes whose incoming edge is [Pos p];
+         length = maximum arity over the tree *)
+  arrays : node array;  (* all array nodes *)
+}
+
 type t = {
   kinds : kind array;
   child_nodes : node array array;  (* children in document order *)
@@ -19,6 +32,7 @@ type t = {
   depths : int array;
   hashes : int array;
   by_key : (node * string, node) Hashtbl.t;  (* O(1) key lookup *)
+  mutable index : label_index option;  (* built lazily *)
 }
 
 let root = 0
@@ -117,7 +131,7 @@ let of_value ?(budget = Obs.Budget.unlimited) v =
   in
   let _ = build v (-1) Root 0 in
   { kinds; child_nodes; child_keys; parents; edges; sizes; heights; depths;
-    hashes; by_key }
+    hashes; by_key; index = None }
 
 let node_count t = Array.length t.kinds
 let kind t n = t.kinds.(n)
@@ -158,7 +172,73 @@ let nth t n i =
   | Kobj | Kstr _ | Kint _ -> None
 
 let parent t n = if t.parents.(n) < 0 then None else Some t.parents.(n)
+let parent_id t n = t.parents.(n)
 let edge_from_parent t n = t.edges.(n)
+
+(* ---- label index -------------------------------------------------------- *)
+
+let build_index ?(budget = Obs.Budget.unlimited) t =
+  match t.index with
+  | Some _ -> ()
+  | None ->
+    Obs.Metrics.span "tree.index.build" (fun () ->
+        let n = Array.length t.kinds in
+        (* one fuel unit per node: a single bucketing pass *)
+        Obs.Budget.burn budget n;
+        Obs.Metrics.incr "tree.index.builds";
+        let key_buckets : (string, node list) Hashtbl.t = Hashtbl.create 64 in
+        let max_ar =
+          Array.fold_left
+            (fun m kids -> max m (Array.length kids))
+            0 t.child_nodes
+        in
+        let pos_buckets = Array.make max_ar [] in
+        let arrays = ref [] in
+        (* descending pass so each (consed) bucket ends up in preorder *)
+        for nd = n - 1 downto 0 do
+          (match t.kinds.(nd) with
+          | Karr -> arrays := nd :: !arrays
+          | Kobj | Kstr _ | Kint _ -> ());
+          match t.edges.(nd) with
+          | Root -> ()
+          | Key k ->
+            let prev =
+              match Hashtbl.find_opt key_buckets k with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace key_buckets k (nd :: prev)
+          | Pos p -> pos_buckets.(p) <- nd :: pos_buckets.(p)
+        done;
+        let by_key = Hashtbl.create (max 16 (Hashtbl.length key_buckets)) in
+        Hashtbl.iter
+          (fun k l -> Hashtbl.replace by_key k (Array.of_list l))
+          key_buckets;
+        t.index <-
+          Some
+            { by_key;
+              by_pos = Array.map Array.of_list pos_buckets;
+              arrays = Array.of_list !arrays })
+
+let index t =
+  match t.index with
+  | Some i -> i
+  | None ->
+    build_index t;
+    (match t.index with Some i -> i | None -> assert false)
+
+let key_index t k =
+  match Hashtbl.find_opt (index t).by_key k with
+  | Some a -> a
+  | None -> [||]
+
+let pos_index t p =
+  let i = index t in
+  if p < 0 || p >= Array.length i.by_pos then [||] else i.by_pos.(p)
+
+let max_arity t = Array.length (index t).by_pos
+let arr_index t = (index t).arrays
+let iter_key_index f t = Hashtbl.iter f (index t).by_key
 let size t n = t.sizes.(n)
 let height_of t n = t.heights.(n)
 let height t = t.heights.(root)

@@ -94,8 +94,46 @@ val nth : t -> node -> int -> node option
 val parent : t -> node -> node option
 (** [None] only for the root. *)
 
+val parent_id : t -> node -> node
+(** Allocation-free {!parent}: [-1] for the root.  For hot pre-image
+    loops. *)
+
 val edge_from_parent : t -> node -> edge
 (** The incoming edge label. *)
+
+(** {1 Label index}
+
+    The edge relations [O] (key-labelled) and [A] (position-labelled)
+    grouped by label, so a backward navigation step can touch only the
+    edges carrying its label instead of sweeping all [|D|] nodes.
+    Built lazily — the first accessor call pays one O(|D|) bucketing
+    pass ([tree.index.build] span, [tree.index.builds] counter) — and
+    cached on the tree thereafter. *)
+
+val build_index : ?budget:Obs.Budget.t -> t -> unit
+(** Force construction of the label index.  [budget] is charged one
+    fuel unit per node; the accessors below build with an unlimited
+    budget when the index is absent, so call this first to account the
+    work. *)
+
+val key_index : t -> string -> node array
+(** [key_index t w] lists the nodes whose incoming edge is [Key w], in
+    preorder ([[||]] when the key occurs nowhere). *)
+
+val pos_index : t -> int -> node array
+(** [pos_index t p] lists the nodes whose incoming edge is [Pos p]
+    ([[||]] for [p < 0] or [p >= max_arity t]). *)
+
+val max_arity : t -> int
+(** Maximum arity over the whole tree — one past the largest position
+    label present. *)
+
+val arr_index : t -> node array
+(** All array nodes, in preorder. *)
+
+val iter_key_index : (string -> node array -> unit) -> t -> unit
+(** Iterate over all distinct object keys and their edge buckets (order
+    unspecified). *)
 
 val size : t -> node -> int
 (** Number of nodes of the subtree rooted at [n]. *)

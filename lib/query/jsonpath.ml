@@ -30,22 +30,84 @@ let bare_name st =
   if st.pos = start then bad st "expected a name";
   String.sub st.input start (st.pos - start)
 
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> bad st "invalid hex digit %C in \\u escape" c
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek st with
+    | Some c ->
+      v := (!v * 16) + hex_digit st c;
+      advance st
+    | None -> bad st "truncated \\u escape"
+  done;
+  !v
+
+(* RFC 9535 name-selector strings: the escapables are the quotes,
+   backslash, slash, b f n r t, and \uXXXX (with surrogate pairs);
+   anything else after a backslash is an error. *)
 let quoted_name st =
   let quote = Option.get (peek st) in
   advance st;
   let buf = Buffer.create 8 in
+  let unicode_escape () =
+    let u = hex4 st in
+    if u >= 0xD800 && u <= 0xDBFF then begin
+      (* high surrogate: a \u low surrogate must follow *)
+      (match (peek st, peek2 st) with
+      | Some '\\', Some 'u' ->
+        advance st;
+        advance st
+      | _ -> bad st "unpaired surrogate in \\u escape");
+      let lo = hex4 st in
+      if lo < 0xDC00 || lo > 0xDFFF then
+        bad st "unpaired surrogate in \\u escape";
+      let cp = 0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00) in
+      Buffer.add_utf_8_uchar buf (Uchar.of_int cp)
+    end
+    else if u >= 0xDC00 && u <= 0xDFFF then
+      bad st "unpaired surrogate in \\u escape"
+    else Buffer.add_utf_8_uchar buf (Uchar.of_int u)
+  in
+  let escape () =
+    advance st (* '\\' *);
+    match peek st with
+    | None -> bad st "dangling backslash"
+    | Some (('\'' | '"' | '\\' | '/') as c) ->
+      advance st;
+      Buffer.add_char buf c
+    | Some 'b' ->
+      advance st;
+      Buffer.add_char buf '\b'
+    | Some 'f' ->
+      advance st;
+      Buffer.add_char buf '\012'
+    | Some 'n' ->
+      advance st;
+      Buffer.add_char buf '\n'
+    | Some 'r' ->
+      advance st;
+      Buffer.add_char buf '\r'
+    | Some 't' ->
+      advance st;
+      Buffer.add_char buf '\t'
+    | Some 'u' ->
+      advance st;
+      unicode_escape ()
+    | Some c -> bad st "invalid escape \\%c in quoted name" c
+  in
   let rec go () =
     match peek st with
     | None -> bad st "unterminated quoted name"
     | Some c when c = quote -> advance st
     | Some '\\' ->
-      advance st;
-      (match peek st with
-      | Some c ->
-        Buffer.add_char buf c;
-        advance st;
-        go ()
-      | None -> bad st "dangling backslash")
+      escape ();
+      go ()
     | Some c ->
       Buffer.add_char buf c;
       advance st;
@@ -66,6 +128,24 @@ let int_opt st =
   end
   else Some (int_of_string (String.sub st.input start (st.pos - start)))
 
+(* A slice [i:j) RFC 9535-style: the end is exclusive, and negative
+   bounds are offset by the array's arity at evaluation time.  Encoded
+   as an inclusive JNL [Range]; a statically empty slice — one that
+   selects nothing whatever the arity — is the never-matching test
+   rather than a parse error. *)
+let empty_step : Jnl.path = Jnl.Test Jnl.ff
+
+let slice i j : Jnl.path =
+  match j with
+  | None -> Jnl.Range (i, None)
+  | Some j ->
+    let statically_empty =
+      (* same sign ⇒ both bounds anchor to the same end of the array,
+         so j ≤ i is empty for every arity; j = 0 is always empty *)
+      j = 0 || (i >= 0 && j >= 0 && j <= i) || (i < 0 && j < 0 && j <= i)
+    in
+    if statically_empty then empty_step else Jnl.Range (i, Some (j - 1))
+
 (* the contents of a bracket selector, after '[' *)
 let bracket st : Jnl.path =
   let item () : Jnl.path =
@@ -78,9 +158,44 @@ let bracket st : Jnl.path =
       advance st;
       if peek st <> Some '(' then bad st "expected '(' after '?'";
       advance st;
-      (* find the matching ')' to hand the inside to the JNL parser *)
+      (* find the matching ')' to hand the inside to the JNL parser,
+         skipping string and regex literals so a quoted paren does not
+         unbalance the scan *)
       let start = st.pos in
       let depth = ref 1 in
+      let skip_string () =
+        advance st (* opening '"' *);
+        let rec go () =
+          match peek st with
+          | None -> bad st "unterminated string in filter"
+          | Some '"' -> advance st
+          | Some '\\' ->
+            advance st;
+            if peek st = None then bad st "unterminated string in filter";
+            advance st;
+            go ()
+          | Some _ ->
+            advance st;
+            go ()
+        in
+        go ()
+      in
+      let skip_regex () =
+        advance st (* opening '/' *);
+        let rec go () =
+          match peek st with
+          | None -> bad st "unterminated regex in filter"
+          | Some '/' -> advance st
+          | Some '\\' when peek2 st = Some '/' ->
+            advance st;
+            advance st;
+            go ()
+          | Some _ ->
+            advance st;
+            go ()
+        in
+        go ()
+      in
       while !depth > 0 do
         match peek st with
         | None -> bad st "unterminated filter"
@@ -90,6 +205,18 @@ let bracket st : Jnl.path =
         | Some ')' ->
           decr depth;
           if !depth > 0 then advance st
+        | Some '"' -> skip_string ()
+        | Some '~' ->
+          (* a regex literal may follow: ~ [ws] /…/ *)
+          advance st;
+          while
+            match peek st with
+            | Some (' ' | '\t' | '\n' | '\r') -> true
+            | _ -> false
+          do
+            advance st
+          done;
+          if peek st = Some '/' then skip_regex ()
         | Some _ -> advance st
       done;
       let inner = String.sub st.input start (st.pos - start) in
@@ -102,17 +229,11 @@ let bracket st : Jnl.path =
       match peek st with
       | Some ':' ->
         advance st;
-        (match int_opt st with
-        | Some j ->
-          if j <= i then bad st "empty slice %d:%d" i j
-          else Jnl.Range (i, Some (j - 1))
-        | None -> Jnl.Range (i, None))
+        slice i (int_opt st)
       | _ -> Jnl.Idx i)
-    | Some ':' -> (
+    | Some ':' ->
       advance st;
-      match int_opt st with
-      | Some j -> if j <= 0 then bad st "empty slice" else Jnl.Range (0, Some (j - 1))
-      | None -> Jnl.Range (0, None))
+      slice 0 (int_opt st)
     | Some c -> bad st "unexpected %C in brackets" c
     | None -> bad st "unterminated brackets"
   in
@@ -180,19 +301,19 @@ let parse_exn input =
   | Ok p -> p
   | Error m -> invalid_arg ("Jquery.Jsonpath.parse_exn: " ^ m)
 
-let select_nodes tree path =
-  let ctx = Jlogic.Jnl_eval.context tree in
+let select_nodes ?use_index tree path =
+  let ctx = Jlogic.Jnl_eval.context ?use_index tree in
   Jlogic.Jnl_eval.succs ctx path Jsont.Tree.root
 
-let select doc path_str =
+let select ?use_index doc path_str =
   match parse path_str with
   | Error _ as e -> e
   | Ok path ->
     let tree = Jsont.Tree.of_value doc in
-    Ok (List.map (Jsont.Tree.value_at tree) (select_nodes tree path))
+    Ok (List.map (Jsont.Tree.value_at tree) (select_nodes ?use_index tree path))
 
-let select_exn doc path_str =
-  match select doc path_str with
+let select_exn ?use_index doc path_str =
+  match select ?use_index doc path_str with
   | Ok vs -> vs
   | Error m -> invalid_arg ("Jquery.Jsonpath.select_exn: " ^ m)
 
@@ -208,7 +329,7 @@ let pointer_of_node tree node =
   in
   go node []
 
-let select_with_paths doc path_str =
+let select_with_paths ?use_index doc path_str =
   match parse path_str with
   | Error _ as e -> e
   | Ok path ->
@@ -216,4 +337,4 @@ let select_with_paths doc path_str =
     Ok
       (List.map
          (fun n -> (pointer_of_node tree n, Jsont.Tree.value_at tree n))
-         (select_nodes tree path))
+         (select_nodes ?use_index tree path))

@@ -62,6 +62,34 @@ case $out in
      exit 1 ;;
 esac
 
+# Differential gate: the 1000-case fuzz asserting the indexed and
+# sweep pre-image strategies and the set-at-a-time and nodal engines
+# agree on every observable (dune runtest covers this too; run it
+# standalone so an agreement break is named in the CI log).
+run 300 _build/default/test/test_jnl.exe test differential
+
+# Indexed-vs-sweep bench smoke: scaling along the document-size and
+# matching-edge axes, with a built-in bitset-equality check that exits
+# non-zero on any indexed/sweep disagreement.
+idx_out=$(run 120 _build/default/bench/main.exe index)
+case $idx_out in
+  *"agreement: COMPLETE"*) ;;
+  *) echo "FAIL: index bench did not report complete agreement" >&2
+     echo "$idx_out" >&2
+     exit 1 ;;
+esac
+
+# --no-index must compute the same answer through the CLI wiring
+noidx_doc=$(mktemp)
+echo '{"xs":[10,20,30,40]}' > "$noidx_doc"
+a=$(timeout 60 "$JSONLOGIC" select '$.xs[-2:]' "$noidx_doc")
+b=$(timeout 60 "$JSONLOGIC" select --no-index '$.xs[-2:]' "$noidx_doc")
+rm -f "$noidx_doc"
+if [ "$a" != "$b" ] || [ -z "$a" ]; then
+  echo "FAIL: select with and without --no-index disagree: [$a] vs [$b]" >&2
+  exit 1
+fi
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

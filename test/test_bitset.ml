@@ -49,6 +49,16 @@ let prop_union_into =
       Bitset.elements target = ref_union a b
       && changed = not (Bitset.equal target sb))
 
+let prop_inter_into =
+  QCheck.Test.make ~name:"inter_into matches inter and reports change" ~count:300
+    gen_sets (fun (n, a, b) ->
+      let sa = Bitset.of_list n a and sb = Bitset.of_list n b in
+      let target = Bitset.copy sb in
+      let changed = Bitset.inter_into sa ~into:target in
+      Bitset.elements target = ref_inter (List.sort_uniq Int.compare b) a
+      && changed = not (Bitset.equal target sb)
+      && Bitset.equal target (Bitset.inter sa sb))
+
 let prop_boundaries =
   QCheck.Test.make ~name:"boundary membership at word edges" ~count:100
     QCheck.(int_range 1 400)
@@ -93,4 +103,5 @@ let () =
          Alcotest.test_case "iteration order" `Quick test_iter_order ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_ops; prop_cardinal; prop_union_into; prop_boundaries ]) ]
+         [ prop_ops; prop_cardinal; prop_union_into; prop_inter_into;
+           prop_boundaries ]) ]

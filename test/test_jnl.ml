@@ -246,6 +246,98 @@ let prop_eps_neutral =
       | _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing: indexed vs sweep pre-image strategies, and     *)
+(* set-at-a-time vs nodal engines, must agree on every observable.      *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = Jworkload.Prng
+
+(* A path generator biased toward the step shapes the label index
+   specializes — [Idx]/[Range] with bounds in [-5,5] (including
+   out-of-range and statically empty ones), [Key] hits and misses,
+   [Keys] with literal and universal expressions — under the usual
+   connectives [Seq]/[Alt]/[Test]/[Star]. *)
+let fuzz_keys = Jworkload.Gen_formula.default.Jworkload.Gen_formula.keys
+
+let rec fuzz_path rng depth =
+  let bound () = Prng.in_range rng (-5) 5 in
+  let leaf () =
+    match Prng.int rng 6 with
+    | 0 -> Jnl.Self
+    | 1 -> Jnl.Key (Prng.choose rng ("missing" :: fuzz_keys))
+    | 2 -> Jnl.Idx (bound ())
+    | 3 ->
+      let j = if Prng.bool rng then None else Some (bound ()) in
+      Jnl.Range (bound (), j)
+    | _ ->
+      Jnl.Keys
+        (if Prng.int rng 4 = 0 then Rexp.Syntax.all
+         else Rexp.Syntax.literal (Prng.choose rng fuzz_keys))
+  in
+  if depth = 0 then leaf ()
+  else
+    match Prng.int rng 8 with
+    | 0 | 1 -> Jnl.Seq (fuzz_path rng (depth - 1), fuzz_path rng (depth - 1))
+    | 2 -> Jnl.Alt (fuzz_path rng (depth - 1), fuzz_path rng (depth - 1))
+    | 3 -> Jnl.Test (Jnl.Exists (fuzz_path rng (depth - 1)))
+    | 4 -> Jnl.Star (fuzz_path rng (depth - 1))
+    | _ -> leaf ()
+
+let test_differential_fuzz () =
+  let cases = 1000 in
+  for case = 0 to cases - 1 do
+    let rng = Prng.create (0x5EED0 + case) in
+    let doc = Jworkload.Gen_json.sized rng 40 in
+    let tree = Tree.of_value doc in
+    let p = fuzz_path rng 2 in
+    let phi = Jnl.Exists p in
+    let fail_case fmt =
+      Printf.ksprintf
+        (fun what ->
+          Alcotest.failf "case %d: %s\n  path: %s\n  doc: %s" case what
+            (Jnl.to_string (Jnl.Exists p))
+            (Value.to_string doc))
+        fmt
+    in
+    let indexed = Jnl_eval.context ~use_index:true tree in
+    let sweep = Jnl_eval.context ~use_index:false tree in
+    let set_i = Jnl_eval.eval indexed phi in
+    let set_s = Jnl_eval.eval sweep phi in
+    if not (Bitset.equal set_i set_s) then
+      fail_case "indexed and sweep eval sets differ";
+    let pairs_i = Jnl_eval.eval_pairs indexed p in
+    if pairs_i <> Jnl_eval.eval_pairs sweep p then
+      fail_case "indexed and sweep eval_pairs differ";
+    Seq.iter
+      (fun n ->
+        let in_set = Bitset.mem set_i n in
+        if Jnl_eval.check_at indexed n phi <> in_set then
+          fail_case "nodal check_at disagrees with eval at node %d" n;
+        if Jnl_eval.check_at sweep n phi <> in_set then
+          fail_case "sweep check_at disagrees with eval at node %d" n;
+        let succs_i = Jnl_eval.succs indexed p n in
+        if succs_i <> Jnl_eval.succs sweep p n then
+          fail_case "succs differ at node %d" n;
+        if in_set <> (succs_i <> []) then
+          fail_case "succs and eval membership disagree at node %d" n;
+        let target = Bitset.create (Tree.node_count tree) in
+        Bitset.add target n;
+        if
+          not
+            (Bitset.equal
+               (Jnl_eval.pre indexed p target)
+               (Jnl_eval.pre sweep p target))
+        then fail_case "pre on singleton {%d} differs" n)
+      (Tree.nodes tree);
+    (* the nodal relation must match the pair enumeration *)
+    List.iter
+      (fun (n, m) ->
+        if not (List.mem m (Jnl_eval.succs indexed p n)) then
+          fail_case "eval_pairs contains (%d,%d) missing from succs" n m)
+      pairs_i
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Counter machines (Proposition 4, forward direction)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -316,6 +408,9 @@ let () =
          Alcotest.test_case "binary relation" `Quick test_eval_pairs;
          Alcotest.test_case "select" `Quick test_select;
          Alcotest.test_case "type disjointness" `Quick test_type_disjointness ]);
+      ("differential",
+       [ Alcotest.test_case "indexed = sweep = nodal (1000 cases)" `Quick
+           test_differential_fuzz ]);
       ("counter machines",
        [ Alcotest.test_case "accepting run encodes" `Quick test_counter_machine;
          Alcotest.test_case "non-halting machine" `Quick test_machine_that_never_halts ]);

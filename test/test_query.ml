@@ -162,7 +162,78 @@ let test_jsonpath_errors () =
       match Jquery.Jsonpath.parse p with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected jsonpath error on %s" p)
-    [ "$."; "$.store["; "$.store[1:1]"; "$x%"; "$..[" ]
+    [ "$."; "$.store["; "$x%"; "$..["; {|$['a\x']|}; {|$['a\uD800x']|};
+      {|$['a\uDC00']|}; {|$['a\u12']|}; {|$['unterminated|};
+      "$.store.book[?(eq(.a, \"x\")]" ]
+
+let test_jsonpath_negative_slices () =
+  (* RFC 9535: negative slice bounds offset by the array's length *)
+  Alcotest.(check (list string)) "[-2:] last two"
+    [ {|"Moby Dick"|}; {|"LotR"|} ]
+    (sel "$.store.book[-2:].title");
+  Alcotest.(check (list string)) "[1:-1] middle"
+    [ {|"Sword"|}; {|"Moby Dick"|} ]
+    (sel "$.store.book[1:-1].title");
+  Alcotest.(check (list string)) "[:-2] all but last two"
+    [ {|"Sayings"|}; {|"Sword"|} ]
+    (sel "$.store.book[:-2].title");
+  Alcotest.(check (list string)) "[-3:-1]"
+    [ {|"Sword"|}; {|"Moby Dick"|} ]
+    (sel "$.store.book[-3:-1].title");
+  (* bound exceeding the length clamps instead of wrapping *)
+  Alcotest.(check (list string)) "[-9:2] clamps to [0:2]"
+    [ {|"Sayings"|}; {|"Sword"|} ]
+    (sel "$.store.book[-9:2].title")
+
+let test_jsonpath_empty_slices () =
+  (* statically empty slices are successful empty selections, not
+     parse errors *)
+  List.iter
+    (fun p ->
+      match Jquery.Jsonpath.select store p with
+      | Ok [] -> ()
+      | Ok vs -> Alcotest.failf "%s must select nothing, got %d hits" p (List.length vs)
+      | Error m -> Alcotest.failf "%s must parse: %s" p m)
+    [ "$.store.book[1:1]"; "$.store.book[2:2]"; "$.store.book[3:1]";
+      "$.store.book[:0]"; "$.store.book[-1:-3]"; "$.store.book[0:0]" ]
+
+let test_jsonpath_filter_quoted_paren () =
+  (* a ')' inside a quoted string must not close the filter *)
+  Alcotest.(check (list string)) "paren in string"
+    []
+    (sel {|$.store.book[*][?(eq(.category, "refe)rence"))].title|});
+  Alcotest.(check (list string)) "paren in string, still matches"
+    [ {|"Sayings"|} ]
+    (sel {|$.store.book[*][?(eq(.category, "reference") | eq(.title, "x)y"))].title|});
+  (* and inside a regex literal: \) is a literal paren, unbalanced *)
+  Alcotest.(check (list string)) "paren in regex"
+    [ {|"red"|} ]
+    (sel {|$.store.bicycle[?(<.~/colo\)?r/>)].color|})
+
+let test_jsonpath_escapes () =
+  let doc =
+    parse_doc
+      {|{"a'b":1,"c\"d":2,"e\\f":3,"g\nh":4,"tab\tx":5,"slash/y":6,"uéz":7}|}
+  in
+  let one label path expected =
+    match Jquery.Jsonpath.select doc path with
+    | Ok [ Value.Num n ] -> Alcotest.(check int) label expected n
+    | Ok other -> Alcotest.failf "%s: got %d hits" label (List.length other)
+    | Error m -> Alcotest.failf "%s: %s" label m
+  in
+  one "escaped single quote" {|$['a\'b']|} 1;
+  one "escaped double quote" {|$["c\"d"]|} 2;
+  one "escaped backslash" {|$['e\\f']|} 3;
+  one "escaped newline" {|$['g\nh']|} 4;
+  one "escaped tab" {|$['tab\tx']|} 5;
+  one "escaped slash" {|$['slash\/y']|} 6;
+  one "unicode escape" {|$['u\u00e9z']|} 7;
+  (* surrogate pair 𝄞 = U+1D11E, UTF-8 f0 9d 84 9e *)
+  let clef = parse_doc "{\"\xF0\x9D\x84\x9E\":8}" in
+  match Jquery.Jsonpath.select clef {|$['\uD834\uDD1E']|} with
+  | Ok [ Value.Num n ] -> Alcotest.(check int) "surrogate pair" 8 n
+  | Ok other -> Alcotest.failf "surrogate pair: got %d hits" (List.length other)
+  | Error m -> Alcotest.failf "surrogate pair: %s" m
 
 let test_jsonpath_compiles_to_jnl () =
   (* the embedding claim: selection equals JNL path evaluation *)
@@ -204,5 +275,10 @@ let () =
        [ Alcotest.test_case "basics" `Quick test_jsonpath_basics;
          Alcotest.test_case "filters" `Quick test_jsonpath_filter;
          Alcotest.test_case "errors" `Quick test_jsonpath_errors;
+         Alcotest.test_case "negative slices" `Quick test_jsonpath_negative_slices;
+         Alcotest.test_case "empty slices" `Quick test_jsonpath_empty_slices;
+         Alcotest.test_case "quoted parens in filters" `Quick
+           test_jsonpath_filter_quoted_paren;
+         Alcotest.test_case "name escapes" `Quick test_jsonpath_escapes;
          Alcotest.test_case "compiles to JNL" `Quick test_jsonpath_compiles_to_jnl;
          Alcotest.test_case "result paths" `Quick test_jsonpath_paths ]) ]
