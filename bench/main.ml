@@ -868,25 +868,180 @@ let index_exp () =
     (if !all_agree then "COMPLETE" else "BROKEN");
   if not !all_agree then exit 1
 
+(* ---- E-ING: one-pass string→tree ingestion --------------------------------- *)
+
+(* Field-by-field identity of two trees through the public API: same
+   node numbering, kinds, edges, parents, sizes, heights, depths and
+   hashes — strictly stronger than structural equality. *)
+let tree_identical t1 t2 =
+  let n = Tree.node_count t1 in
+  Tree.node_count t2 = n
+  && Tree.equal_across t1 Tree.root t2 Tree.root
+  &&
+  let ok = ref true in
+  for nd = 0 to n - 1 do
+    if
+      Tree.kind t1 nd <> Tree.kind t2 nd
+      || Tree.edge_from_parent t1 nd <> Tree.edge_from_parent t2 nd
+      || Tree.parent_id t1 nd <> Tree.parent_id t2 nd
+      || Tree.size t1 nd <> Tree.size t2 nd
+      || Tree.height_of t1 nd <> Tree.height_of t2 nd
+      || Tree.depth t1 nd <> Tree.depth t2 nd
+      || Tree.subtree_hash t1 nd <> Tree.subtree_hash t2 nd
+    then ok := false
+  done;
+  !ok
+
+let ingest () =
+  header "E-ING: one-pass string→tree ingestion vs parse-then-build";
+  row "%-12s %-10s %-16s %-14s %-10s %-8s\n" "|J| (nodes)" "bytes"
+    "two-stage MB/s" "direct MB/s" "speedup" "agree";
+  let all_agree = ref true in
+  List.iter
+    (fun n ->
+      let rng = Jworkload.Prng.create 12 in
+      let doc = Jworkload.Gen_json.sized rng n in
+      let text = Value.to_string doc in
+      let bytes = float_of_int (String.length text) in
+      let ns_two =
+        measure_ns ~name:"bench.ing.two_stage" (fun () ->
+            ignore (Tree.of_value (Jsont.Parser.parse_exn text)))
+      in
+      let ns_direct =
+        measure_ns ~name:"bench.ing.direct" (fun () ->
+            ignore (Tree.of_string_exn text))
+      in
+      let t_direct = Tree.of_string_exn text in
+      let t_oracle = Tree.of_value (Jsont.Parser.parse_exn text) in
+      let agree = tree_identical t_direct t_oracle in
+      if not agree then all_agree := false;
+      let mbs ns = bytes /. ns *. 1e9 /. 1e6 in
+      row "%-12d %-10.0f %-16.1f %-14.1f %-10.2f %-8b\n"
+        (Tree.node_count t_oracle) bytes (mbs ns_two) (mbs ns_direct)
+        (ns_two /. ns_direct) agree)
+    [ 1_000; 8_000; 64_000 ];
+  (* malformed and out-of-model inputs must fail with the same rendered
+     position and message on both routes *)
+  let malformed =
+    [ {|{"a":1,}|}; {|[1,2|}; {|{"a" 1}|}; "nul"; {|{"a":1,"a":2}|};
+      {|[1, -3]|}; {|"unterminated|}; {|{"a":tru}|}; {|[1,2]]|};
+      {|"\ud800x"|} ]
+  in
+  List.iter
+    (fun txt ->
+      let render = Format.asprintf "%a" Jsont.Parser.pp_error in
+      match (Tree.of_string txt, Jsont.Parser.parse txt) with
+      | Error e1, Error e2 ->
+        if render e1 <> render e2 then begin
+          row "error mismatch on %S: %s vs %s\n" txt (render e1) (render e2);
+          all_agree := false
+        end
+      | Ok _, Ok _ -> ()
+      | Ok _, Error e ->
+        row "direct accepted %S, oracle rejects: %s\n" txt (render e);
+        all_agree := false
+      | Error e, Ok _ ->
+        row "oracle accepted %S, direct rejects: %s\n" txt (render e);
+        all_agree := false)
+    malformed;
+  row "ingest agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
+  if not !all_agree then exit 1
+
+(* ---- E-BATCH: multicore batch evaluation ----------------------------------- *)
+
+let batch () =
+  header "E-BATCH: batch evaluation sharded across domains";
+  let n_docs = 2_000 in
+  let rng = Jworkload.Prng.create 13 in
+  let docs =
+    Array.init n_docs (fun i ->
+        Value.to_string
+          (Value.Obj
+             [ ("id", Value.Num i);
+               ( "name",
+                 Value.Obj
+                   [ ("first",
+                      Value.Str (if i mod 3 = 0 then "John" else "Jane")) ] );
+               ("payload", Jworkload.Gen_json.sized rng 120) ]))
+  in
+  let phi = Jnl.parse_exn {|eq(.name.first, "John")|} in
+  let work text =
+    let tree = Tree.of_string_exn text in
+    let ctx = Jnl_eval.context tree in
+    string_of_bool (Jnl_eval.holds ctx Tree.root phi)
+  in
+  (* metric totals measured as deltas so the comparison is independent
+     of whatever earlier experiments recorded *)
+  let run jobs =
+    let c0 = Obs.Metrics.counter_value "parse.values" in
+    let d0 = Obs.Metrics.counter_value "par.batch.docs" in
+    let results, ms =
+      wall_ms
+        ~name:(Printf.sprintf "bench.batch.jobs%d" jobs)
+        (fun () -> Par.Batch.map ~jobs work docs)
+    in
+    ( results,
+      ms,
+      Obs.Metrics.counter_value "parse.values" - c0,
+      Obs.Metrics.counter_value "par.batch.docs" - d0 )
+  in
+  let base_results, base_ms, base_values, base_docs = run 1 in
+  row "%-8s %-12s %-12s %-14s %-14s %-8s\n" "jobs" "wall (ms)" "speedup"
+    "parse.values" "batch.docs" "agree";
+  row "%-8d %-12.1f %-12s %-14d %-14d %-8s\n" 1 base_ms "1.00" base_values
+    base_docs "-";
+  let all_agree = ref true in
+  List.iter
+    (fun jobs ->
+      let results, ms, values, ndocs = run jobs in
+      let agree =
+        results = base_results && values = base_values && ndocs = base_docs
+      in
+      if not agree then all_agree := false;
+      row "%-8d %-12.1f %-12.2f %-14d %-14d %-8b\n" jobs ms (base_ms /. ms)
+        values ndocs agree)
+    [ 2; 4 ];
+  row
+    "(speedup tracks the machine's core count; determinism — identical \
+     outputs\n and metric totals for every job count — is the gated \
+     property)\n";
+  row "batch agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
+  if not !all_agree then exit 1
+
 (* ---- driver ----------------------------------------------------------------- *)
 
 let experiments =
   [ ("fig1", figure1); ("table1", table1); ("p1", p1); ("p2", p2); ("p3", p3);
     ("p4", p4); ("p5", p5); ("p6", p6); ("p7", p7); ("p9", p9); ("t1", t1);
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp);
-    ("index", index_exp) ]
+    ("index", index_exp); ("ingest", ingest); ("batch", batch) ]
 
 let () =
   Obs.Metrics.set_enabled true;
+  (* --json DIR: after each experiment, write its metrics (counters and
+     timings recorded since the experiment started) to DIR/BENCH_<name>.json *)
+  let rec extract_json acc = function
+    | "--json" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_dir, names = extract_json [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> (
+        match json_dir with
+        | None -> f ()
+        | Some dir ->
+          Obs.Metrics.reset ();
+          f ();
+          let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Obs.Metrics.dump_json ());
+              output_char oc '\n'))
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))

@@ -17,7 +17,16 @@ let read_input = function
 
 (* ---- resource budgets and metrics (shared flags) --------------------------- *)
 
-type obs_opts = { budget : Obs.Budget.t; metrics : bool; use_index : bool }
+type obs_opts = {
+  budget : Obs.Budget.t;
+  fresh_budget : unit -> Obs.Budget.t;
+      (* budgets are mutable when fueled/deadlined, so concurrent
+         documents must not share one: batch mode draws a fresh budget
+         with the same limits per document *)
+  metrics : bool;
+  use_index : bool;
+  jobs : int;
+}
 
 let obs_term =
   let max_depth =
@@ -52,17 +61,27 @@ let obs_term =
                    strategies compute the same sets; this is the escape hatch \
                    and comparison baseline).")
   in
-  let make max_depth fuel timeout_ms metrics no_index =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domains to shard batch work across (only used by \
+                   commands in $(b,--files-from) batch mode; results are \
+                   deterministic and in input order regardless).")
+  in
+  let make max_depth fuel timeout_ms metrics no_index jobs =
     if metrics then begin
       Obs.Metrics.set_enabled true;
       (* commands may [exit] from several places; dump on whichever *)
       at_exit (fun () -> prerr_string (Obs.Metrics.dump_text ()))
     end;
-    { budget = Obs.Budget.create ?fuel ~max_depth ?timeout_ms ();
+    let fresh_budget () = Obs.Budget.create ?fuel ~max_depth ?timeout_ms () in
+    { budget = fresh_budget ();
+      fresh_budget;
       metrics;
-      use_index = not no_index }
+      use_index = not no_index;
+      jobs = max 1 jobs }
   in
-  Term.(const make $ max_depth $ fuel $ timeout_ms $ metrics $ no_index)
+  Term.(const make $ max_depth $ fuel $ timeout_ms $ metrics $ no_index $ jobs)
 
 let parse_doc_exn ?budget text =
   Obs.Metrics.span "phase.parse" (fun () ->
@@ -80,6 +99,35 @@ let parse_docs_exn ?budget text =
 let input_arg =
   let doc = "Input file ('-' for stdin)." in
   Arg.(value & pos_right (-1) string [] & info [] ~docv:"FILE" ~doc)
+
+(* ---- batch mode (shared by eval and validate) ------------------------------ *)
+
+let files_from_arg =
+  Arg.(value & opt (some string) None
+       & info [ "files-from" ] ~docv:"LIST"
+           ~doc:"Batch mode: read document file paths from $(docv) (one \
+                 per line, '-' for stdin), process each file as one JSON \
+                 document sharded across $(b,--jobs) domains, and print \
+                 one 'path<TAB>result' line per file, in input order.")
+
+let read_path_list list_path =
+  read_input list_path
+  |> String.split_on_char '\n'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> Array.of_list
+
+(* Run one document's worth of work on a batch lane, folding per-document
+   failures into the result line so one bad file doesn't sink the batch. *)
+let batch_result f =
+  match f () with
+  | r -> r
+  | exception Failure m -> "error: " ^ m
+  | exception Obs.Budget.Exhausted r -> "error: " ^ Obs.Budget.describe r
+  | exception Sys_error m -> "error: " ^ m
+
+let print_batch paths results =
+  Array.iter2 (fun p r -> Printf.printf "%s\t%s\n" p r) paths results
 
 let last_input args = match List.rev args with [] -> "-" | x :: _ -> x
 
@@ -117,26 +165,56 @@ let formula_pos =
          ~doc:"A JNL formula, e.g. 'eq(.name.first, \"John\")'.")
 
 let eval_cmd =
-  let run obs formula files =
+  let run obs formula files_from files =
     wrap (fun () ->
         let phi =
           match Jlogic.Jnl.parse formula with
           | Ok f -> f
           | Error m -> failwith ("bad formula: " ^ m)
         in
-        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
-        List.iter
-          (fun doc ->
-            Printf.printf "%b\t%s\n"
-              (Obs.Metrics.span "phase.eval" (fun () ->
-                   Jlogic.Jnl_eval.satisfies ~budget:obs.budget
-                     ~use_index:obs.use_index doc phi))
-              (Jsont.Printer.compact doc))
-          docs)
+        match files_from with
+        | Some list_path ->
+          let paths = read_path_list list_path in
+          let results =
+            Par.Batch.map ~jobs:obs.jobs
+              (fun path ->
+                batch_result (fun () ->
+                    (* direct one-pass ingestion: text straight to the
+                       flat tree, then evaluate on it *)
+                    let tree =
+                      match
+                        Jsont.Tree.of_string ~budget:(obs.fresh_budget ())
+                          (read_input path)
+                      with
+                      | Ok t -> t
+                      | Error e ->
+                        failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+                    in
+                    let ctx =
+                      Jlogic.Jnl_eval.context ~budget:(obs.fresh_budget ())
+                        ~use_index:obs.use_index tree
+                    in
+                    string_of_bool
+                      (Jlogic.Jnl_eval.holds ctx Jsont.Tree.root phi)))
+              paths
+          in
+          print_batch paths results
+        | None ->
+          let docs =
+            parse_docs_exn ~budget:obs.budget (read_input (last_input files))
+          in
+          List.iter
+            (fun doc ->
+              Printf.printf "%b\t%s\n"
+                (Obs.Metrics.span "phase.eval" (fun () ->
+                     Jlogic.Jnl_eval.satisfies ~budget:obs.budget
+                       ~use_index:obs.use_index doc phi))
+                (Jsont.Printer.compact doc))
+            docs)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a JNL formula at the root of each document")
-    Term.(const run $ obs_term $ formula_pos $ input_arg)
+    Term.(const run $ obs_term $ formula_pos $ files_from_arg $ input_arg)
 
 (* ---- select ----------------------------------------------------------------- *)
 
@@ -211,39 +289,69 @@ let validate_cmd =
            ~doc:"Validate through the Theorem 1 JSL translation instead of the \
                  direct validator.")
   in
-  let run obs schema_file via_jsl files =
+  let run obs schema_file via_jsl files_from files =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
           | Ok s -> s
           | Error m -> failwith ("bad schema: " ^ m)
         in
-        let docs = parse_docs_exn ~budget:obs.budget (read_input (last_input files)) in
         let jsl =
           lazy
             (Obs.Metrics.span "phase.translate" (fun () ->
                  Jschema.To_jsl.document schema))
         in
-        let failures = ref 0 in
-        List.iter
-          (fun doc ->
-            let ok =
-              Obs.Metrics.span "phase.validate" (fun () ->
-                  if via_jsl then
-                    Jlogic.Jsl_rec.validates ~budget:obs.budget doc
-                      (Lazy.force jsl)
-                  else Jschema.Validate.validates schema doc)
-            in
-            if not ok then incr failures;
-            Printf.printf "%s\t%s\n"
-              (if ok then "valid" else "INVALID")
-              (Jsont.Printer.compact doc))
-          docs;
-        if !failures > 0 then exit 1)
+        match files_from with
+        | Some list_path ->
+          (* force outside the batch: lazy thunks are not domain-safe *)
+          let jsl = if via_jsl then Some (Lazy.force jsl) else None in
+          let paths = read_path_list list_path in
+          let results =
+            Par.Batch.map ~jobs:obs.jobs
+              (fun path ->
+                batch_result (fun () ->
+                    let doc =
+                      parse_doc_exn ~budget:(obs.fresh_budget ())
+                        (read_input path)
+                    in
+                    let ok =
+                      Obs.Metrics.span "phase.validate" (fun () ->
+                          match jsl with
+                          | Some jsl ->
+                            Jlogic.Jsl_rec.validates
+                              ~budget:(obs.fresh_budget ()) doc jsl
+                          | None -> Jschema.Validate.validates schema doc)
+                    in
+                    if ok then "valid" else "INVALID"))
+              paths
+          in
+          print_batch paths results;
+          if Array.exists (fun r -> r <> "valid") results then exit 1
+        | None ->
+          let docs =
+            parse_docs_exn ~budget:obs.budget (read_input (last_input files))
+          in
+          let failures = ref 0 in
+          List.iter
+            (fun doc ->
+              let ok =
+                Obs.Metrics.span "phase.validate" (fun () ->
+                    if via_jsl then
+                      Jlogic.Jsl_rec.validates ~budget:obs.budget doc
+                        (Lazy.force jsl)
+                    else Jschema.Validate.validates schema doc)
+              in
+              if not ok then incr failures;
+              Printf.printf "%s\t%s\n"
+                (if ok then "valid" else "INVALID")
+                (Jsont.Printer.compact doc))
+            docs;
+          if !failures > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
-    Term.(const run $ obs_term $ schema_arg $ via_jsl $ input_arg)
+    Term.(const run $ obs_term $ schema_arg $ via_jsl $ files_from_arg
+          $ input_arg)
 
 (* ---- sat --------------------------------------------------------------------- *)
 

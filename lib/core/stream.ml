@@ -79,6 +79,13 @@ let next eng =
   Obs.Budget.burn eng.budget 1;
   Lexer.next eng.lx
 
+(* same accounting as [next], but string literals are validated without
+   being decoded — the skip path discards them anyway *)
+let next_skip eng =
+  eng.tokens <- eng.tokens + 1;
+  Obs.Budget.burn eng.budget 1;
+  Lexer.next_skip eng.lx
+
 let peek eng = Lexer.peek eng.lx
 
 let bad fmt = Format.kasprintf (fun s -> raise (Stream_error s)) fmt
@@ -91,7 +98,7 @@ let skip_value eng base =
   let depth = ref 0 in
   let continue = ref true in
   while !continue do
-    let _, tok = next eng in
+    let _, tok = next_skip eng in
     (match tok with
     | Lexer.Lbrace | Lexer.Lbracket ->
       incr depth;

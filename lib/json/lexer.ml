@@ -24,9 +24,12 @@ type t = {
   mutable line : int;
   mutable bol : int;  (* offset of the beginning of the current line *)
   mutable lookahead : (position * token) option;
+  scratch : Buffer.t;  (* shared decode buffer for string literals *)
 }
 
-let create input = { input; pos = 0; line = 1; bol = 0; lookahead = None }
+let create input =
+  { input; pos = 0; line = 1; bol = 0; lookahead = None;
+    scratch = Buffer.create 64 }
 
 let position lx = { line = lx.line; col = lx.pos - lx.bol + 1; offset = lx.pos }
 
@@ -101,58 +104,92 @@ let add_utf8 buf cp =
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
 
-let read_string lx =
+(* [decode = false] validates the literal (escapes, surrogate pairing,
+   control characters) without materializing its contents — the
+   streaming validator's skip path and anything else that discards the
+   value use it to avoid the decode work. *)
+let read_string ?(decode = true) lx =
   advance lx (* opening quote *);
-  let buf = Buffer.create 16 in
-  let rec go () =
-    if is_eof lx then error lx "unterminated string literal";
-    match cur lx with
-    | '"' ->
-      advance lx;
-      Buffer.contents buf
-    | '\\' ->
-      advance lx;
-      if is_eof lx then error lx "unterminated escape sequence";
-      let c = cur lx in
-      advance lx;
-      (match c with
-      | '"' -> Buffer.add_char buf '"'
-      | '\\' -> Buffer.add_char buf '\\'
-      | '/' -> Buffer.add_char buf '/'
-      | 'b' -> Buffer.add_char buf '\b'
-      | 'f' -> Buffer.add_char buf '\012'
-      | 'n' -> Buffer.add_char buf '\n'
-      | 'r' -> Buffer.add_char buf '\r'
-      | 't' -> Buffer.add_char buf '\t'
-      | 'u' ->
-        let hi = read_u16 lx in
-        if hi >= 0xD800 && hi <= 0xDBFF then begin
-          (* high surrogate: a \uXXXX low surrogate must follow *)
-          if
-            is_eof lx || cur lx <> '\\'
-            || lx.pos + 1 >= String.length lx.input
-            || lx.input.[lx.pos + 1] <> 'u'
-          then error lx "high surrogate not followed by \\u escape";
-          advance lx;
-          advance lx;
-          let lo = read_u16 lx in
-          if lo < 0xDC00 || lo > 0xDFFF then
-            error lx "invalid low surrogate %04x" lo;
-          add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
-        end
-        else if hi >= 0xDC00 && hi <= 0xDFFF then
-          error lx "unpaired low surrogate %04x" hi
-        else add_utf8 buf hi
-      | c -> error lx "invalid escape character %C" c);
-      go ()
-    | c when Char.code c < 0x20 ->
-      error lx "unescaped control character %#x in string" (Char.code c)
-    | c ->
-      Buffer.add_char buf c;
-      advance lx;
-      go ()
-  in
-  go ()
+  let input = lx.input in
+  let n = String.length input in
+  (* Plain-segment fast path: most literals contain no escapes, so scan
+     for the closing quote with direct index arithmetic and cut a single
+     substring.  String bodies cannot contain raw newlines (control
+     characters are rejected), so line accounting is unaffected. *)
+  let i = ref lx.pos in
+  while
+    !i < n
+    &&
+    let c = input.[!i] in
+    c <> '"' && c <> '\\' && Char.code c >= 0x20
+  do
+    incr i
+  done;
+  if !i < n && input.[!i] = '"' then begin
+    let s = if decode then String.sub input lx.pos (!i - lx.pos) else "" in
+    lx.pos <- !i + 1;
+    s
+  end
+  else begin
+    (* an escape, a control character or EOF ahead: general path,
+       decoding into the lexer's shared scratch buffer (one allocation
+       per lexer, not per literal) *)
+    let buf = lx.scratch in
+    Buffer.clear buf;
+    if decode then Buffer.add_substring buf input lx.pos (!i - lx.pos);
+    lx.pos <- !i;
+    let rec go () =
+      if is_eof lx then error lx "unterminated string literal";
+      match cur lx with
+      | '"' ->
+        advance lx;
+        if decode then Buffer.contents buf else ""
+      | '\\' ->
+        advance lx;
+        if is_eof lx then error lx "unterminated escape sequence";
+        let c = cur lx in
+        advance lx;
+        let put ch = if decode then Buffer.add_char buf ch in
+        (match c with
+        | '"' -> put '"'
+        | '\\' -> put '\\'
+        | '/' -> put '/'
+        | 'b' -> put '\b'
+        | 'f' -> put '\012'
+        | 'n' -> put '\n'
+        | 'r' -> put '\r'
+        | 't' -> put '\t'
+        | 'u' ->
+          let hi = read_u16 lx in
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            (* high surrogate: a \uXXXX low surrogate must follow *)
+            if
+              is_eof lx || cur lx <> '\\'
+              || lx.pos + 1 >= String.length lx.input
+              || lx.input.[lx.pos + 1] <> 'u'
+            then error lx "high surrogate not followed by \\u escape";
+            advance lx;
+            advance lx;
+            let lo = read_u16 lx in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              error lx "invalid low surrogate %04x" lo;
+            if decode then
+              add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if hi >= 0xDC00 && hi <= 0xDFFF then
+            error lx "unpaired low surrogate %04x" hi
+          else if decode then add_utf8 buf hi
+        | c -> error lx "invalid escape character %C" c);
+        go ()
+      | c when Char.code c < 0x20 ->
+        error lx "unescaped control character %#x in string" (Char.code c)
+      | c ->
+        if decode then Buffer.add_char buf c;
+        advance lx;
+        go ()
+    in
+    go ()
+  end
 
 let read_number lx =
   let start = lx.pos in
@@ -196,7 +233,7 @@ let read_number lx =
     | Some n -> Neg_int n
     | None -> error lx "integer literal %s out of range" text
 
-let next_token lx =
+let next_token ?(decode_strings = true) lx =
   skip_ws lx;
   let pos = position lx in
   if is_eof lx then (pos, Eof)
@@ -221,7 +258,7 @@ let next_token lx =
       | ',' ->
         advance lx;
         Comma
-      | '"' -> String (read_string lx)
+      | '"' -> String (read_string ~decode:decode_strings lx)
       | 't' -> expect_word lx "true" True
       | 'f' -> expect_word lx "false" False
       | 'n' -> expect_word lx "null" Null
@@ -236,6 +273,13 @@ let next lx =
     lx.lookahead <- None;
     tok
   | None -> next_token lx
+
+let next_skip lx =
+  match lx.lookahead with
+  | Some tok ->
+    lx.lookahead <- None;
+    tok
+  | None -> next_token ~decode_strings:false lx
 
 let peek lx =
   match lx.lookahead with

@@ -43,7 +43,19 @@ val create : string -> t
 
 val next : t -> position * token
 (** [next lx] consumes and returns the next token.  After [Eof] it keeps
-    returning [Eof].  @raise Error on malformed input. *)
+    returning [Eof].  @raise Error on malformed input.
+
+    String literals are decoded through a scratch buffer shared across
+    the lexer's lifetime (escape-free literals are cut directly out of
+    the input without touching it). *)
+
+val next_skip : t -> position * token
+(** Like {!next}, but string literals are {e validated without being
+    decoded}: escapes, surrogate pairing and control characters are
+    still checked, positions and errors are identical to {!next}, but
+    the returned [String] token carries [""].  For skip paths that
+    discard the value (e.g. the streaming validator fast-forwarding
+    over irrelevant subtrees). *)
 
 val peek : t -> position * token
 (** [peek lx] is the next token without consuming it. *)

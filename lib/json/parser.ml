@@ -12,18 +12,23 @@ let fail position fmt =
 let unexpected pos tok expectation =
   fail pos "unexpected %a, expected %s" Lexer.pp_token tok expectation
 
-(* Convert a literal outside the paper's model according to [mode]. *)
-let literal mode pos (tok : Lexer.token) : Value.t =
+type atom = Int of int | Str of string
+
+(* Classify a literal token under [mode] without committing to a value
+   representation — shared by the {!Value.t}-producing route below and
+   the direct string→{!Tree.t} ingestion path, so both reject exactly
+   the same literals with exactly the same messages. *)
+let literal_atom mode pos (tok : Lexer.token) : atom =
   match (tok, mode) with
-  | Lexer.Nat n, _ -> Value.Num n
-  | Lexer.String s, _ -> Value.Str s
-  | Lexer.True, `Lenient -> Value.Str "true"
-  | Lexer.False, `Lenient -> Value.Str "false"
-  | Lexer.Null, `Lenient -> Value.Str "null"
+  | Lexer.Nat n, _ -> Int n
+  | Lexer.String s, _ -> Str s
+  | Lexer.True, `Lenient -> Str "true"
+  | Lexer.False, `Lenient -> Str "false"
+  | Lexer.Null, `Lenient -> Str "null"
   | Lexer.Float f, `Lenient when Float.is_integer f && f >= 0. ->
-    Value.Num (int_of_float f)
+    Int (int_of_float f)
   (* [-0] normalizes to the natural 0, like [-0.0] above *)
-  | Lexer.Neg_int 0, `Lenient -> Value.Num 0
+  | Lexer.Neg_int 0, `Lenient -> Int 0
   | Lexer.True, `Strict | Lexer.False, `Strict ->
     fail pos "boolean literals are outside the model (use `Lenient mode)"
   | Lexer.Null, `Strict ->
@@ -34,13 +39,21 @@ let literal mode pos (tok : Lexer.token) : Value.t =
     fail pos "negative numbers are outside the model"
   | _, _ -> assert false
 
-(* One budget check per parsed value: depth against the ceiling, one
-   unit of fuel, and (periodically) the wall-clock deadline.  Budget
-   exhaustion is reported as a positioned parse error. *)
-let guard budget pos depth =
+(* Convert a literal outside the paper's model according to [mode]. *)
+let literal mode pos (tok : Lexer.token) : Value.t =
+  match literal_atom mode pos tok with
+  | Int n -> Value.Num n
+  | Str s -> Value.Str s
+
+(* One budget check per parsed value: depth against the ceiling, [units]
+   units of fuel, and (periodically) the wall-clock deadline.  Budget
+   exhaustion is reported as a positioned parse error.  The direct
+   ingestion path passes [~units:2] to also account the
+   tree-construction unit in the same check. *)
+let guard ?(units = 1) budget pos depth =
   match
     Obs.Budget.check_depth budget depth;
-    Obs.Budget.burn budget 1
+    Obs.Budget.burn budget units
   with
   | () -> ()
   | exception Obs.Budget.Exhausted Obs.Budget.Depth ->

@@ -48,3 +48,41 @@ val parse_prefix : ?mode:[ `Strict | `Lenient ] -> ?budget:Obs.Budget.t
     byte offset [start] of [input] and returns it together with the
     offset of the first byte after it.  Lets other parsers (the JNL
     concrete syntax, Mongo filters) embed JSON documents. *)
+
+(** {1 Internals shared with the direct ingestion path}
+
+    {!Tree.of_string} fuses lexing, parsing and tree construction into
+    one pass; it reuses the helpers below so that its positions,
+    messages and budget behavior are {e identical} to this parser's —
+    the property the differential tests pin down. *)
+
+val fail : Lexer.position -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Parse_error} at the given position. *)
+
+val unexpected : Lexer.position -> Lexer.token -> string -> 'a
+(** [unexpected pos tok expectation] fails with the parser's uniform
+    "unexpected …, expected …" message. *)
+
+type atom = Int of int | Str of string
+(** A leaf admitted into the model. *)
+
+val literal_atom :
+  [ `Strict | `Lenient ] -> Lexer.position -> Lexer.token -> atom
+(** Classify a literal token under the given mode; fails exactly like
+    the parser on literals outside the model.  Must only be applied to
+    literal tokens ([String]/[Nat]/[Neg_int]/[Float]/[True]/[False]/
+    [Null]). *)
+
+val guard : ?units:int -> Obs.Budget.t -> Lexer.position -> int -> unit
+(** One budget check per parsed value — depth against the ceiling and
+    [units] units of fuel (default [1]) — with exhaustion reported as a
+    positioned parse error. *)
+
+val budget_of : Obs.Budget.t option -> int option -> Obs.Budget.t
+(** The budget an entry point runs under: the explicit one if given,
+    otherwise depth-limited to [max_depth] (default
+    {!Obs.Budget.default_max_depth}). *)
+
+val wrap : (unit -> 'a) -> ('a, error) result
+(** Run a parsing computation, catching {!Parse_error} and
+    {!Lexer.Error} into [Error]. *)

@@ -65,13 +65,11 @@ let of_string_exn_inner input =
     let lx = Lexer.create rest in
     match Lexer.next lx with
     | _, Lexer.String s ->
-      (* consume exactly the string literal: find the closing quote by
-         re-scanning positions via the lexer's next token offset *)
-      let consumed =
-        match Lexer.peek lx with
-        | p, _ -> p.Lexer.offset
-      in
-      pos := !pos + consumed;
+      (* consume exactly the string literal: [Lexer.offset] is the
+         first byte after the closing quote.  Peeking ahead instead
+         would tokenize whatever follows the key and could raise on
+         garbage that is none of the key's business. *)
+      pos := !pos + Lexer.offset lx;
       s
     | _ -> fail "expected a quoted key"
     | exception Lexer.Error (_, m) -> fail "bad quoted key: %s" m

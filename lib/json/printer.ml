@@ -3,9 +3,9 @@ let compact = Value.to_string
 let pretty ?(indent = 2) v =
   let buf = Buffer.create 256 in
   let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
-  let string s = Buffer.add_string buf (Value.to_string (Value.Str s)) in
+  let string s = Value.escape_to_buffer buf s in
   let rec go depth = function
-    | (Value.Num _ | Value.Str _) as v -> Buffer.add_string buf (compact v)
+    | (Value.Num _ | Value.Str _) as v -> Value.write_compact buf v
     | Value.Arr [] -> Buffer.add_string buf "[]"
     | Value.Obj [] -> Buffer.add_string buf "{}"
     | Value.Arr vs ->
@@ -37,5 +37,12 @@ let pretty ?(indent = 2) v =
   Buffer.contents buf
 
 let pp_pretty ?indent fmt v = Format.pp_print_string fmt (pretty ?indent v)
-let to_buffer buf v = Buffer.add_string buf (compact v)
-let to_channel oc v = output_string oc (compact v)
+
+(* straight into the caller's buffer: no intermediate string of the
+   whole document *)
+let to_buffer buf v = Value.write_compact buf v
+
+let to_channel oc v =
+  let buf = Buffer.create 4096 in
+  Value.write_compact buf v;
+  Buffer.output_buffer oc buf

@@ -133,6 +133,282 @@ let of_value ?(budget = Obs.Budget.unlimited) v =
   { kinds; child_nodes; child_keys; parents; edges; sizes; heights; depths;
     hashes; by_key; index = None }
 
+(* ---- direct string ingestion --------------------------------------------- *)
+
+(* Growable array: the node count is unknown until the single pass over
+   the input completes.  Capacity doubles; [vec_trim] returns the dense
+   prefix. *)
+type 'a vec = { mutable data : 'a array; mutable len : int; filler : 'a }
+
+let vec ?(capacity = 256) filler =
+  { data = Array.make (max 16 capacity) filler; len = 0; filler }
+
+let vec_push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let data = Array.make (2 * cap) v.filler in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(* Sort the parallel segments [a.(lo..hi)], [b.(lo..hi)] by (a, b)
+   lexicographically — the order [Array.sort Stdlib.compare] gives
+   (int * int) pairs, without allocating the pairs.  Pairs comparing
+   equal are componentwise equal, so the object-hash fold below is
+   insensitive to how ties land. *)
+let rec sort_pairs a b lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let ka = a.(i) and kb = b.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && (a.(!j) > ka || (a.(!j) = ka && b.(!j) > kb)) do
+        a.(!j + 1) <- a.(!j);
+        b.(!j + 1) <- b.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- ka;
+      b.(!j + 1) <- kb
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    let pa = a.(mid) and pb = b.(mid) in
+    let swap i j =
+      let ta = a.(i) and tb = b.(i) in
+      a.(i) <- a.(j);
+      b.(i) <- b.(j);
+      a.(j) <- ta;
+      b.(j) <- tb
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pa || (a.(!i) = pa && b.(!i) < pb) do incr i done;
+      while a.(!j) > pa || (a.(!j) = pa && b.(!j) > pb) do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_pairs a b lo !j;
+    sort_pairs a b !i hi
+  end
+
+(* Column store under construction: all node columns share one length
+   and one capacity, so admitting a node is a single capacity check.
+   Fresh slots keep their fillers ([Kobj]/[1]/[0]/[[||]]) and every
+   slot is written at most once per parse, so each node only writes
+   the columns whose filler is wrong for it — three stores for a
+   container on entry, five for a leaf. *)
+type builder = {
+  mutable b_cap : int;
+  mutable b_n : int;
+  mutable b_kinds : kind array;
+  mutable b_parents : int array;
+  mutable b_edges : edge array;
+  mutable b_sizes : int array;
+  mutable b_heights : int array;
+  mutable b_depths : int array;
+  mutable b_hashes : int array;
+  mutable b_children : node array array;
+  mutable b_keys : string array array;
+}
+
+let builder capacity =
+  let cap = max 16 capacity in
+  { b_cap = cap;
+    b_n = 0;
+    b_kinds = Array.make cap Kobj;
+    b_parents = Array.make cap (-1);
+    b_edges = Array.make cap Root;
+    b_sizes = Array.make cap 1;
+    b_heights = Array.make cap 0;
+    b_depths = Array.make cap 0;
+    b_hashes = Array.make cap 0;
+    b_children = Array.make cap [||];
+    b_keys = Array.make cap [||] }
+
+let builder_grow b =
+  let cap = 2 * b.b_cap in
+  let copy filler a =
+    let d = Array.make cap filler in
+    Array.blit a 0 d 0 b.b_n;
+    d
+  in
+  b.b_kinds <- copy Kobj b.b_kinds;
+  b.b_parents <- copy (-1) b.b_parents;
+  b.b_edges <- copy Root b.b_edges;
+  b.b_sizes <- copy 1 b.b_sizes;
+  b.b_heights <- copy 0 b.b_heights;
+  b.b_depths <- copy 0 b.b_depths;
+  b.b_hashes <- copy 0 b.b_hashes;
+  b.b_children <- copy [||] b.b_children;
+  b.b_keys <- copy [||] b.b_keys;
+  b.b_cap <- cap
+
+let new_node b parent edge depth =
+  if b.b_n = b.b_cap then builder_grow b;
+  let id = b.b_n in
+  b.b_parents.(id) <- parent;
+  b.b_edges.(id) <- edge;
+  b.b_depths.(id) <- depth;
+  b.b_n <- id + 1;
+  id
+
+(* One fused pass: lexing, syntax checking and tree construction, with
+   tokens consumed straight off the lexer and every node emitted into
+   the flat preorder arrays as it is entered — no token list, no
+   [Value.t] intermediate, no separate [Value.size] pre-pass.  Nodes
+   are numbered in preorder by construction (JSON text {e is} a
+   preorder traversal), so a subtree's size is simply the id counter's
+   travel across it.  Positions, error messages and literal-mode
+   handling reuse the {!Parser} helpers verbatim, which is what makes
+   this route differentially testable against
+   [of_value (Parser.parse_exn input)]. *)
+let of_string_exn ?(mode = `Strict) ?max_depth ?budget input =
+  let budget = Parser.budget_of budget max_depth in
+  let lx = Lexer.create input in
+  (* Capacity estimate from the input size: every node costs at least
+     four input bytes amortized on realistic documents.  Over-estimates
+     only cost transient memory (the trim below returns the dense
+     prefix); under-estimates only cost doublings. *)
+  let len = String.length input in
+  let b = builder (len / 4) in
+  let by_key = Hashtbl.create (max 16 (len / 8)) in
+  (* Children of the container currently being filled sit on top of
+     these shared stacks (their frame base is the stack length at
+     container entry), and are cut into the exact per-node arrays when
+     the container closes — no per-child list cells.  The key stacks
+     grow only in objects, the id stack in both container kinds, so
+     their frame bases differ. *)
+  let st_ids = vec 0 in
+  let st_keys = vec "" in
+  let st_khash = vec 0 in
+  let st_vhash = vec 0 in
+  let rec value parent edge depth =
+    let pos, tok = Lexer.next lx in
+    (* Budget parity with the two-stage route: one guard accounts both
+       the parse unit and the tree-construction unit that [of_value]
+       burns per node, positioned at the value's first token exactly
+       like the parser's peek-then-guard. *)
+    Parser.guard ~units:2 budget pos depth;
+    Obs.Metrics.incr "parse.values";
+    let id = new_node b parent edge depth in
+    (match tok with
+    | Lexer.Lbrace -> obj id depth
+    | Lexer.Lbracket -> arr id depth
+    | Lexer.Nat k ->
+      b.b_kinds.(id) <- Kint k;
+      b.b_hashes.(id) <- mix (mix 0x811c9dc5 1) k
+    | Lexer.String s ->
+      b.b_kinds.(id) <- Kstr s;
+      b.b_hashes.(id) <- mix (mix 0x811c9dc5 2) (Hashtbl.hash s)
+    | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False
+    | Lexer.Null -> (
+      match Parser.literal_atom mode pos tok with
+      | Parser.Int k ->
+        b.b_kinds.(id) <- Kint k;
+        b.b_hashes.(id) <- mix (mix 0x811c9dc5 1) k
+      | Parser.Str s ->
+        b.b_kinds.(id) <- Kstr s;
+        b.b_hashes.(id) <- mix (mix 0x811c9dc5 2) (Hashtbl.hash s))
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof ->
+      Parser.unexpected pos tok "a JSON value");
+    id
+  and obj id depth =
+    let base = st_ids.len and kbase = st_keys.len in
+    let ht = ref 0 in
+    let rec members () =
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.String key ->
+        if Hashtbl.mem by_key (id, key) then
+          Parser.fail pos "duplicate object key %S" key;
+        let pos, tok = Lexer.next lx in
+        if tok <> Lexer.Colon then Parser.unexpected pos tok "':'";
+        let cid = value id (Key key) (depth + 1) in
+        Hashtbl.add by_key (id, key) cid;
+        vec_push st_ids cid;
+        vec_push st_keys key;
+        vec_push st_khash (Hashtbl.hash key);
+        vec_push st_vhash b.b_hashes.(cid);
+        if b.b_heights.(cid) >= !ht then ht := b.b_heights.(cid) + 1;
+        let pos, tok = Lexer.next lx in
+        (match tok with
+        | Lexer.Comma -> members ()
+        | Lexer.Rbrace -> ()
+        | _ -> Parser.unexpected pos tok "',' or '}'")
+      | _ -> Parser.unexpected pos tok "a string key"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbrace then ignore (Lexer.next lx) else members ();
+    let m = st_ids.len - base in
+    if m > 0 then begin
+      b.b_children.(id) <- Array.sub st_ids.data base m;
+      b.b_keys.(id) <- Array.sub st_keys.data kbase m
+    end;
+    (* order-insensitive: fold pair hashes in sorted order, as of_value *)
+    sort_pairs st_khash.data st_vhash.data kbase (kbase + m - 1);
+    let h = ref (mix 0x811c9dc5 4) in
+    for i = kbase to kbase + m - 1 do
+      h := mix (mix !h st_khash.data.(i)) st_vhash.data.(i)
+    done;
+    b.b_hashes.(id) <- !h;
+    st_ids.len <- base;
+    st_keys.len <- kbase;
+    st_khash.len <- kbase;
+    st_vhash.len <- kbase;
+    b.b_sizes.(id) <- b.b_n - id;
+    b.b_heights.(id) <- !ht
+  and arr id depth =
+    b.b_kinds.(id) <- Karr;
+    let base = st_ids.len in
+    let ht = ref 0 in
+    let h = ref (mix 0x811c9dc5 3) in
+    let rec elements () =
+      let cid = value id (Pos (st_ids.len - base)) (depth + 1) in
+      vec_push st_ids cid;
+      if b.b_heights.(cid) >= !ht then ht := b.b_heights.(cid) + 1;
+      h := mix !h b.b_hashes.(cid);
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.Comma -> elements ()
+      | Lexer.Rbracket -> ()
+      | _ -> Parser.unexpected pos tok "',' or ']'"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbracket then ignore (Lexer.next lx) else elements ();
+    let m = st_ids.len - base in
+    if m > 0 then b.b_children.(id) <- Array.sub st_ids.data base m;
+    st_ids.len <- base;
+    b.b_hashes.(id) <- !h;
+    b.b_sizes.(id) <- b.b_n - id;
+    b.b_heights.(id) <- !ht
+  in
+  ignore (value (-1) Root 0);
+  let pos, tok = Lexer.next lx in
+  if tok <> Lexer.Eof then Parser.unexpected pos tok "end of input";
+  Obs.Metrics.add "parse.direct.bytes" len;
+  Obs.Metrics.incr "parse.direct.docs";
+  let trim : 'a. 'a array -> 'a array =
+   fun a -> if Array.length a = b.b_n then a else Array.sub a 0 b.b_n
+  in
+  { kinds = trim b.b_kinds;
+    child_nodes = trim b.b_children;
+    child_keys = trim b.b_keys;
+    parents = trim b.b_parents;
+    edges = trim b.b_edges;
+    sizes = trim b.b_sizes;
+    heights = trim b.b_heights;
+    depths = trim b.b_depths;
+    hashes = trim b.b_hashes;
+    by_key;
+    index = None }
+
+let of_string ?mode ?max_depth ?budget input =
+  Parser.wrap (fun () -> of_string_exn ?mode ?max_depth ?budget input)
+
 let node_count t = Array.length t.kinds
 let kind t n = t.kinds.(n)
 let is_obj t n = match t.kinds.(n) with Kobj -> true | _ -> false

@@ -95,3 +95,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** [to_string v] is the compact rendering of [v]. *)
+
+val write_compact : Buffer.t -> t -> unit
+(** Compact rendering appended directly to [buf] — no intermediate
+    string.  [to_string] is [write_compact] over a fresh buffer. *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal for [s] (quotes included) to [buf]. *)

@@ -3,8 +3,6 @@ let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
-
 type timing = {
   mutable count : int;
   mutable total_ns : float;
@@ -12,18 +10,40 @@ type timing = {
   mutable max_ns : float;
 }
 
-let timings : (string, timing) Hashtbl.t = Hashtbl.create 32
+type registry = {
+  counters : (string, int ref) Hashtbl.t;
+  timings : (string, timing) Hashtbl.t;
+}
+
+let create_registry () =
+  { counters = Hashtbl.create 64; timings = Hashtbl.create 32 }
+
+(* Each domain records into its own registry: the key's initializer runs
+   once per domain, so recording is race-free without any locking.  The
+   main domain's registry doubles as the process-wide one that the CLI
+   and the bench harness dump. *)
+let registry_key = Domain.DLS.new_key create_registry
+
+let current_registry () = Domain.DLS.get registry_key
+
+let with_registry r f =
+  let saved = Domain.DLS.get registry_key in
+  Domain.DLS.set registry_key r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set registry_key saved) f
 
 let add name n =
-  if !on then
+  if !on then begin
+    let counters = (current_registry ()).counters in
     match Hashtbl.find_opt counters name with
     | Some r -> r := !r + n
     | None -> Hashtbl.add counters name (ref n)
+  end
 
 let incr name = add name 1
 
 let observe_ns name ns =
-  if !on then
+  if !on then begin
+    let timings = (current_registry ()).timings in
     match Hashtbl.find_opt timings name with
     | Some t ->
       t.count <- t.count + 1;
@@ -33,6 +53,7 @@ let observe_ns name ns =
     | None ->
       Hashtbl.add timings name
         { count = 1; total_ns = ns; min_ns = ns; max_ns = ns }
+  end
 
 let span name f =
   if not !on then f ()
@@ -48,16 +69,43 @@ let span name f =
       raise e
   end
 
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt into.counters name with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.add into.counters name (ref !r))
+    src.counters;
+  Hashtbl.iter
+    (fun name t ->
+      match Hashtbl.find_opt into.timings name with
+      | Some d ->
+        d.count <- d.count + t.count;
+        d.total_ns <- d.total_ns +. t.total_ns;
+        if t.min_ns < d.min_ns then d.min_ns <- t.min_ns;
+        if t.max_ns > d.max_ns then d.max_ns <- t.max_ns
+      | None ->
+        Hashtbl.add into.timings name
+          { count = t.count; total_ns = t.total_ns; min_ns = t.min_ns;
+            max_ns = t.max_ns })
+    src.timings
+
+let merge src = merge_into ~into:(current_registry ()) src
+
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  match Hashtbl.find_opt (current_registry ()).counters name with
+  | Some r -> !r
+  | None -> 0
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset timings
+  let r = current_registry () in
+  Hashtbl.reset r.counters;
+  Hashtbl.reset r.timings
 
 let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let dump_text () =
+  let { counters; timings } = current_registry () in
   let buf = Buffer.create 256 in
   List.iter
     (fun (name, r) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name !r))
@@ -91,6 +139,7 @@ let json_string s =
   Buffer.contents buf
 
 let dump_json () =
+  let { counters; timings } = current_registry () in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\"counters\":{";
   List.iteri

@@ -1,0 +1,11 @@
+let map ?(jobs = 1) f items =
+  Obs.Metrics.add "par.batch.docs" (Array.length items);
+  Obs.Metrics.span "par.batch.run" (fun () ->
+      let pool = Pool.create jobs in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Pool.map pool f items))
+
+let map_pool pool f items =
+  Obs.Metrics.add "par.batch.docs" (Array.length items);
+  Obs.Metrics.span "par.batch.run" (fun () -> Pool.map pool f items)

@@ -1,0 +1,25 @@
+(** Batch evaluation: shard an array of independent documents across
+    domains.
+
+    The unit of work is one whole document (parse, evaluate, render) —
+    coarse enough that coordination cost vanishes against it, and no
+    shared mutable state crosses lanes: each document must get its own
+    {!Obs.Budget.t} (fueled budgets are mutable) and lanes record into
+    private metric registries merged at the join.
+
+    Determinism: results come back in input order regardless of lane
+    count, and metric totals are independent of [jobs] — the agreement
+    the differential tests and the CI gate pin down.
+
+    Counters: [par.batch.docs] (documents submitted), span
+    [par.batch.run]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] maps [f] over [items] on a throwaway
+    [jobs]-lane {!Pool} (joined before returning).  [jobs <= 1] runs on
+    the caller's domain alone.  First exception re-raised after the
+    join. *)
+
+val map_pool : Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map} on an existing pool — for repeated batches amortizing
+    domain spawns. *)

@@ -1,0 +1,123 @@
+(* A fixed-size domain pool: [lanes - 1] persistent worker domains plus
+   the submitting caller, so a pool of [lanes] gives [lanes] lanes of
+   parallelism while paying the domain-spawn cost once, not per batch.
+
+   Scheduling inside {!map} is self-balancing: lanes pull the next item
+   index off a shared [Atomic] counter, so skewed per-item costs (one
+   huge document among many small ones) do not idle the other lanes.
+
+   Observability: each lane runs under its own fresh {!Obs.Metrics}
+   registry (installed via domain-local state), and the coordinator
+   merges them into its own registry only after every lane has quiesced
+   — counters and timings need no locking on the hot path yet sum to
+   exactly the sequential totals. *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+  lanes : int;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* closed *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (* task bodies own their error handling (see [map]); a stray
+       exception must not kill the worker domain *)
+    (try task () with _ -> ());
+    worker_loop pool
+  end
+
+let create lanes =
+  let lanes = max 1 lanes in
+  let pool =
+    { mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+      lanes }
+  in
+  pool.workers <-
+    Array.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Obs.Metrics.add "par.pool.domains" (lanes - 1);
+  pool
+
+let lanes pool = pool.lanes
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Par.Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let map pool f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let active = min pool.lanes n in
+    let registries =
+      Array.init active (fun _ -> Obs.Metrics.create_registry ())
+    in
+    let remaining = Atomic.make active in
+    let fin_mutex = Mutex.create () in
+    let fin = Condition.create () in
+    let lane l () =
+      Obs.Metrics.with_registry registries.(l) (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (* after a failure, drain the remaining indices without
+                 touching [f]: the batch is lost anyway *)
+              (if Atomic.get failure = None then
+                 match f items.(i) with
+                 | v -> results.(i) <- Some v
+                 | exception e ->
+                   ignore (Atomic.compare_and_set failure None (Some e)));
+              loop ()
+            end
+          in
+          loop ());
+      Mutex.lock fin_mutex;
+      if Atomic.fetch_and_add remaining (-1) = 1 then Condition.broadcast fin;
+      Mutex.unlock fin_mutex
+    in
+    for l = 1 to active - 1 do
+      submit pool (lane l)
+    done;
+    (* the caller is lane 0: it works instead of blocking *)
+    lane 0 ();
+    Mutex.lock fin_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait fin fin_mutex
+    done;
+    Mutex.unlock fin_mutex;
+    (* all lanes have quiesced: merging their registries races with
+       nothing *)
+    Array.iter Obs.Metrics.merge registries;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

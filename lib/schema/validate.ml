@@ -1,13 +1,26 @@
 module Value = Jsont.Value
 
+(* The compiled-regex cache is process-global; batch evaluation runs
+   validators on several domains at once, so guard it with a mutex.
+   Compilation happens outside the critical section — losing the race
+   only means compiling the same syntax twice. *)
 let lang_cache : (Rexp.Syntax.t, Rexp.Lang.t) Hashtbl.t = Hashtbl.create 32
+let lang_cache_mutex = Mutex.create ()
 
 let lang e =
-  match Hashtbl.find_opt lang_cache e with
+  let cached =
+    Mutex.lock lang_cache_mutex;
+    let c = Hashtbl.find_opt lang_cache e in
+    Mutex.unlock lang_cache_mutex;
+    c
+  in
+  match cached with
   | Some l -> l
   | None ->
     let l = Rexp.Lang.of_syntax e in
-    Hashtbl.add lang_cache e l;
+    Mutex.lock lang_cache_mutex;
+    if not (Hashtbl.mem lang_cache e) then Hashtbl.add lang_cache e l;
+    Mutex.unlock lang_cache_mutex;
     l
 
 let matches e s = Rexp.Lang.matches (lang e) s

@@ -90,6 +90,61 @@ if [ "$a" != "$b" ] || [ -z "$a" ]; then
   exit 1
 fi
 
+# Ingestion differential gate: the direct string→tree path must build
+# byte-identical trees to parse+of_value on generated documents and
+# report identical rendered errors on malformed ones.
+ing_out=$(run 300 _build/default/bench/main.exe ingest)
+case $ing_out in
+  *"ingest agreement: COMPLETE"*) ;;
+  *) echo "FAIL: ingest bench did not report complete agreement" >&2
+     echo "$ing_out" >&2
+     exit 1 ;;
+esac
+
+# Batch determinism gate: identical outputs and metric totals for every
+# job count (speedup tracks the runner's core count and is not gated).
+batch_out=$(run 300 _build/default/bench/main.exe batch)
+case $batch_out in
+  *"batch agreement: COMPLETE"*) ;;
+  *) echo "FAIL: batch bench did not report complete agreement" >&2
+     echo "$batch_out" >&2
+     exit 1 ;;
+esac
+
+# Batch CLI wiring: --files-from across 2 domains must produce one
+# in-order line per input, agree with the sequential run, and fold a
+# malformed document into a per-file error instead of dying.
+batch_dir=$(mktemp -d)
+batch_list="$batch_dir/list"
+for i in $(seq 1 40); do
+  if [ "$i" = 23 ]; then
+    printf '{"name":{"first":}' > "$batch_dir/doc$i.json"   # malformed
+  else
+    printf '{"name":{"first":"John"},"age":%d}' "$i" > "$batch_dir/doc$i.json"
+  fi
+  echo "$batch_dir/doc$i.json" >> "$batch_list"
+done
+seq_out=$(timeout 120 "$JSONLOGIC" eval --files-from "$batch_list" --jobs 1 \
+  'eq(.name.first, "John")')
+par_out=$(timeout 120 "$JSONLOGIC" eval --files-from "$batch_list" --jobs 2 \
+  'eq(.name.first, "John")')
+rm -rf "$batch_dir"
+if [ "$seq_out" != "$par_out" ]; then
+  echo "FAIL: batch eval --jobs 1 and --jobs 2 disagree" >&2
+  printf '%s\n---\n%s\n' "$seq_out" "$par_out" >&2
+  exit 1
+fi
+if [ "$(printf '%s\n' "$par_out" | wc -l)" != 40 ]; then
+  echo "FAIL: batch eval expected 40 result lines: $par_out" >&2
+  exit 1
+fi
+case $par_out in
+  *"doc23.json	error:"*) ;;
+  *) echo "FAIL: malformed batch document did not fold into a per-file error" >&2
+     echo "$par_out" >&2
+     exit 1 ;;
+esac
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

@@ -336,9 +336,16 @@ let test_pointer_parse () =
   (match Pointer.of_string "a..b" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a..b should not parse");
-  match Pointer.of_string "a[" with
+  (match Pointer.of_string "a[" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "a[ should not parse"
+  | Ok _ -> Alcotest.fail "a[ should not parse");
+  (* regression: garbage after a quoted key must yield [Error], not a
+     [Lexer.Error] escaping from the lookahead *)
+  match Pointer.of_string {|["-, []:[:{"a",{|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage should not parse"
+  | exception e ->
+    Alcotest.failf "pointer parsing raised %s" (Printexc.to_string e)
 
 let test_pointer_whitespace () =
   (* whitespace is accepted uniformly inside brackets — spaces, tabs and
@@ -643,6 +650,138 @@ let prop_pointer_total =
     arbitrary_garbage (fun s ->
       match Jsont.Pointer.of_string s with Ok _ | Error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Direct ingestion: of_string vs of_value ∘ parse                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Full structural identity, not just subtree equality: both routes
+   must produce the same preorder numbering and the same per-node
+   kind/edge/parent/size/height/depth/hash columns. *)
+let trees_identical t1 t2 =
+  let n = Tree.node_count t1 in
+  Tree.node_count t2 = n
+  && Tree.equal_across t1 Tree.root t2 Tree.root
+  &&
+  let ok = ref true in
+  for nd = 0 to n - 1 do
+    if
+      Tree.kind t1 nd <> Tree.kind t2 nd
+      || Tree.edge_from_parent t1 nd <> Tree.edge_from_parent t2 nd
+      || Tree.parent_id t1 nd <> Tree.parent_id t2 nd
+      || Tree.size t1 nd <> Tree.size t2 nd
+      || Tree.height_of t1 nd <> Tree.height_of t2 nd
+      || Tree.depth t1 nd <> Tree.depth t2 nd
+      || Tree.subtree_hash t1 nd <> Tree.subtree_hash t2 nd
+    then ok := false
+  done;
+  !ok
+
+let render_error e = Format.asprintf "%a" Parser.pp_error e
+
+let test_direct_differential () =
+  let rng = Jworkload.Prng.create 2025 in
+  for i = 1 to 60 do
+    let size = 1 + Jworkload.Prng.int rng 400 in
+    let doc = Jworkload.Gen_json.sized rng size in
+    let text =
+      if Jworkload.Prng.bool rng then Printer.compact doc
+      else Printer.pretty doc
+    in
+    let direct = Tree.of_string_exn text in
+    let oracle = Tree.of_value (Parser.parse_exn text) in
+    if not (trees_identical direct oracle) then
+      Alcotest.failf "direct/oracle trees differ (case %d)" i;
+    if not (Value.equal (Tree.to_value direct) doc) then
+      Alcotest.failf "to_value roundtrip differs (case %d)" i
+  done
+
+let test_direct_error_agreement () =
+  let cases =
+    [ {|{"a":1,}|}; {|[1,2|}; {|{"a" 1}|}; "nul"; {|{"a":1,"a":2}|};
+      {|[1, -3]|}; {|"unterminated|}; {|{"a":tru}|}; {|[1,2]]|};
+      {|"\ud800x"|}; ""; "}"; "true"; "null"; "-3"; "1.5"; {|{"k":}|};
+      {|[,]|}; {|{"a":1 "b":2}|}; {|{1:2}|} ]
+  in
+  List.iter
+    (fun text ->
+      List.iter
+        (fun mode ->
+          let direct = Tree.of_string ~mode text in
+          let oracle =
+            Result.map Tree.of_value (Parser.parse ~mode text)
+          in
+          match (direct, oracle) with
+          | Ok d, Ok o ->
+            Alcotest.(check bool)
+              (Printf.sprintf "trees agree on %S" text)
+              true (trees_identical d o)
+          | Error e1, Error e2 ->
+            Alcotest.(check string)
+              (Printf.sprintf "error agrees on %S" text)
+              (render_error e2) (render_error e1)
+          | Ok _, Error e ->
+            Alcotest.failf "direct accepted %S, oracle rejected: %s" text
+              (render_error e)
+          | Error e, Ok _ ->
+            Alcotest.failf "oracle accepted %S, direct rejected: %s" text
+              (render_error e))
+        [ `Strict; `Lenient ])
+    cases
+
+let test_direct_depth_agreement () =
+  let deep = String.make 40 '[' ^ "1" ^ String.make 40 ']' in
+  (match (Tree.of_string ~max_depth:10 deep, Parser.parse ~max_depth:10 deep) with
+  | Error e1, Error e2 ->
+    Alcotest.(check string) "depth error renders identically"
+      (render_error e2) (render_error e1)
+  | _ -> Alcotest.fail "expected depth exhaustion on both routes");
+  match Tree.of_string ~max_depth:50 deep with
+  | Ok t -> Alcotest.(check int) "within ceiling" 41 (Tree.node_count t)
+  | Error e -> Alcotest.failf "unexpected: %s" (render_error e)
+
+(* Fuel parity: the direct route burns two units per value (parse +
+   construction), exactly what threading one budget through parse and
+   then of_value burns.  Exhaustion positions may differ between the
+   routes (the combined route only fails in of_value once parsing is
+   over), so only fail/succeed is compared. *)
+let test_direct_fuel_agreement () =
+  let rng = Jworkload.Prng.create 7 in
+  let doc = Jworkload.Gen_json.sized rng 120 in
+  let text = Printer.compact doc in
+  let nodes = Value.size doc in
+  List.iter
+    (fun fuel ->
+      let combined =
+        let budget = Obs.Budget.create ~fuel () in
+        match Parser.parse ~budget text with
+        | Error _ -> `Fail
+        | Ok v -> (
+          match Tree.of_value ~budget v with
+          | _ -> `Ok
+          | exception Obs.Budget.Exhausted _ -> `Fail)
+      in
+      let direct =
+        match Tree.of_string ~budget:(Obs.Budget.create ~fuel ()) text with
+        | Ok _ -> `Ok
+        | Error _ -> `Fail
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fuel %d agreement" fuel)
+        true (combined = direct);
+      if fuel >= 2 * nodes then
+        Alcotest.(check bool)
+          (Printf.sprintf "fuel %d suffices" fuel)
+          true (direct = `Ok))
+    [ 1; 2; 3; nodes; 2 * nodes - 1; 2 * nodes; 2 * nodes + 5 ]
+
+let prop_direct_differential =
+  QCheck.Test.make ~count:200 ~name:"of_string = of_value . parse"
+    arbitrary_value
+    (fun v ->
+      let text = Printer.compact v in
+      trees_identical (Tree.of_string_exn text)
+        (Tree.of_value (Parser.parse_exn text)))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip;
@@ -660,7 +799,8 @@ let qcheck_tests =
       prop_xml_lookup_agrees;
       prop_parser_total;
       prop_parser_lenient_total;
-      prop_pointer_total ]
+      prop_pointer_total;
+      prop_direct_differential ]
 
 let () =
   Alcotest.run "jsont"
@@ -689,6 +829,11 @@ let () =
          Alcotest.test_case "key order insensitive" `Quick test_tree_key_order_insensitive_equality;
          Alcotest.test_case "sizes and heights" `Quick test_tree_sizes_heights;
          Alcotest.test_case "parents and edges" `Quick test_tree_parent_edges ]);
+      ("direct ingestion",
+       [ Alcotest.test_case "differential fuzz" `Quick test_direct_differential;
+         Alcotest.test_case "error agreement" `Quick test_direct_error_agreement;
+         Alcotest.test_case "depth agreement" `Quick test_direct_depth_agreement;
+         Alcotest.test_case "fuel agreement" `Quick test_direct_fuel_agreement ]);
       ("xml coding",
        [ Alcotest.test_case "basics" `Quick test_xml_coding ]);
       ("diff",

@@ -1,0 +1,121 @@
+(* Tests for the domain pool and the batch evaluation pipeline: result
+   correctness and ordering, jobs-independence of outputs and metric
+   totals (the determinism contract CI gates), exception propagation,
+   and pool lifecycle. *)
+
+let test_pool_map_basic () =
+  let pool = Par.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "lanes" 4 (Par.Pool.lanes pool);
+      let items = Array.init 100 Fun.id in
+      let out = Par.Pool.map pool (fun x -> x * x) items in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.init 100 (fun i -> i * i))
+        out;
+      (* empty and singleton inputs *)
+      Alcotest.(check (array int)) "empty" [||]
+        (Par.Pool.map pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 7 |]
+        (Par.Pool.map pool (fun x -> x + 1) [| 6 |]))
+
+let test_pool_single_lane () =
+  (* one lane: no domains spawned, runs on the caller *)
+  let pool = Par.Pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let out = Par.Pool.map pool string_of_int (Array.init 10 Fun.id) in
+      Alcotest.(check (array string)) "sequential degenerate"
+        (Array.init 10 string_of_int)
+        out)
+
+let test_pool_exception () =
+  let pool = Par.Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      (match
+         Par.Pool.map pool
+           (fun x -> if x = 17 then failwith "boom" else x)
+           (Array.init 64 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the item's exception to propagate"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      (* the pool survives a failed map *)
+      let out = Par.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool reusable" [| 2; 3; 4 |] out)
+
+let test_pool_shutdown () =
+  let pool = Par.Pool.create 2 in
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  match Par.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown should be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The batch work unit the bench and CLI use: parse a fresh document,
+   evaluate a JNL formula against it.  Each call builds its own budget
+   — fueled budgets are mutable and must not cross lanes. *)
+let phi = Jlogic.Jnl.(Exists (Seq (Key "name", Key "first")))
+
+let batch_work text =
+  let t =
+    Jsont.Tree.of_string_exn ~budget:(Obs.Budget.create ~fuel:100_000 ()) text
+  in
+  let ctx = Jlogic.Jnl_eval.context t in
+  (Jsont.Tree.node_count t * 2)
+  + Bool.to_int (Jlogic.Jnl_eval.holds ctx Jsont.Tree.root phi)
+
+let docs =
+  let rng = Jworkload.Prng.create 99 in
+  Array.init 40 (fun _ ->
+      Jsont.Printer.compact (Jworkload.Gen_json.sized rng 60))
+
+let test_batch_jobs_agreement () =
+  Obs.Metrics.set_enabled true;
+  let run jobs =
+    let reg = Obs.Metrics.create_registry () in
+    let out =
+      Obs.Metrics.with_registry reg (fun () ->
+          Par.Batch.map ~jobs batch_work docs)
+    in
+    let values =
+      Obs.Metrics.with_registry reg (fun () ->
+          Obs.Metrics.counter_value "parse.values")
+    in
+    let batched =
+      Obs.Metrics.with_registry reg (fun () ->
+          Obs.Metrics.counter_value "par.batch.docs")
+    in
+    (out, values, batched)
+  in
+  let out1, values1, batched1 = run 1 in
+  let out4, values4, batched4 = run 4 in
+  Alcotest.(check (array int)) "results independent of jobs" out1 out4;
+  Alcotest.(check int) "parse.values independent of jobs" values1 values4;
+  Alcotest.(check bool) "parse.values counted" true (values1 > 0);
+  Alcotest.(check int) "docs counted once per doc" (Array.length docs) batched1;
+  Alcotest.(check int) "docs counted once per doc (4)" (Array.length docs)
+    batched4
+
+let test_batch_map_pool () =
+  let pool = Par.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let a = Par.Batch.map_pool pool batch_work docs in
+      let b = Par.Batch.map ~jobs:1 batch_work docs in
+      Alcotest.(check (array int)) "pool batch agrees with sequential" a b)
+
+let () =
+  Alcotest.run "par"
+    [ ("pool",
+       [ Alcotest.test_case "map basic" `Quick test_pool_map_basic;
+         Alcotest.test_case "single lane" `Quick test_pool_single_lane;
+         Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+         Alcotest.test_case "shutdown" `Quick test_pool_shutdown ]);
+      ("batch",
+       [ Alcotest.test_case "jobs agreement" `Quick test_batch_jobs_agreement;
+         Alcotest.test_case "map_pool" `Quick test_batch_map_pool ]) ]
