@@ -90,51 +90,7 @@ let figure1 () =
 
 let table1 () =
   header "E-Tab1: Table 1 keyword coverage (validator + JSL translation agree)";
-  let cases =
-    [ ("type(string)", {|{"type":"string"}|}, [ ({|"x"|}, true); ("3", false) ]);
-      ("pattern", {|{"type":"string","pattern":"(01)+"}|},
-       [ ({|"0101"|}, true); ({|"010"|}, false) ]);
-      ("type(number)", {|{"type":"number"}|}, [ ("3", true); ({|"3"|}, false) ]);
-      ("multipleOf", {|{"type":"number","multipleOf":4}|}, [ ("8", true); ("9", false) ]);
-      ("minimum", {|{"type":"number","minimum":5}|}, [ ("5", true); ("4", false) ]);
-      ("maximum", {|{"type":"number","maximum":12}|}, [ ("12", true); ("13", false) ]);
-      ("type(object)", {|{"type":"object"}|}, [ ("{}", true); ("[]", false) ]);
-      ("required", {|{"type":"object","required":["k"]}|},
-       [ ({|{"k":1}|}, true); ({|{"j":1}|}, false) ]);
-      ("minProperties", {|{"type":"object","minProperties":1}|},
-       [ ({|{"a":1}|}, true); ("{}", false) ]);
-      ("maxProperties", {|{"type":"object","maxProperties":1}|},
-       [ ({|{"a":1}|}, true); ({|{"a":1,"b":2}|}, false) ]);
-      ("properties", {|{"type":"object","properties":{"a":{"type":"number"}}}|},
-       [ ({|{"a":1}|}, true); ({|{"a":"s"}|}, false) ]);
-      ("patternProperties",
-       {|{"type":"object","patternProperties":{"a(b|c)a":{"type":"number","multipleOf":2}}}|},
-       [ ({|{"aba":4}|}, true); ({|{"aca":3}|}, false) ]);
-      ("additionalProperties",
-       {|{"type":"object","properties":{"name":{"type":"string"}},
-          "additionalProperties":{"type":"number","minimum":1,"maximum":1}}|},
-       [ ({|{"name":"x","extra":1}|}, true); ({|{"name":"x","extra":2}|}, false) ]);
-      ("type(array)", {|{"type":"array"}|}, [ ("[]", true); ("{}", false) ]);
-      ("items", {|{"type":"array","items":[{"type":"string"},{"type":"string"}]}|},
-       [ ({|["a","b"]|}, true); ({|["a",1]|}, false) ]);
-      ("additionalItems",
-       {|{"type":"array","items":[{"type":"string"}],"additionalItems":{"type":"number"}}|},
-       [ ({|["a",1,2]|}, true); ({|["a",1,"b"]|}, false) ]);
-      ("uniqueItems", {|{"type":"array","uniqueItems":true}|},
-       [ ("[1,2]", true); ("[1,1]", false) ]);
-      ("anyOf", {|{"anyOf":[{"type":"string"},{"type":"number"}]}|},
-       [ ("1", true); ("[]", false) ]);
-      ("allOf", {|{"allOf":[{"minimum":2},{"maximum":4}]}|},
-       [ ("3", true); ("5", false) ]);
-      ("not", {|{"not":{"type":"number","multipleOf":2}}|},
-       [ ("3", true); ("4", false) ]);
-      ("enum", {|{"enum":[1,"two",{"three":3}]}|},
-       [ ({|{"three":3}|}, true); ("2", false) ]);
-      ("definitions/$ref",
-       {|{"definitions":{"email":{"type":"string","pattern":"[A-z]*@ciws.cl"}},
-          "not":{"$ref":"#/definitions/email"}}|},
-       [ ({|"a@gmail.com"|}, true); ({|"a@ciws.cl"|}, false) ]) ]
-  in
+  let cases = Jworkload.Catalog.keyword_cases in
   row "%-22s %-9s %-9s %-9s\n" "keyword" "validator" "via JSL" "agree";
   let all_ok = ref true in
   List.iter
@@ -1008,13 +964,150 @@ let batch () =
   row "batch agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
   if not !all_agree then exit 1
 
+(* ---- E-VAL: compile-once schema validation -------------------------------- *)
+
+let validate_exp () =
+  header "E-VAL: compiled schema plans vs the structural interpreter";
+  let all_agree = ref true in
+
+  (* (a) throughput on the property-heavy catalog schema *)
+  let schema = Jschema.Parse.of_string_exn Jworkload.Catalog.catalog_schema in
+  let plan = Jschema.Validate.Plan.compile schema in
+  let check = Jschema.Validate.prepare schema in
+  let rng = Jworkload.Prng.create 14 in
+  let docs = Array.init 300 (fun _ -> Jworkload.Catalog.catalog_doc rng) in
+  let texts = Array.map Value.to_string docs in
+  Array.iteri
+    (fun i doc ->
+      let a = check doc in
+      let b = Jschema.Validate.Plan.run plan doc in
+      let c =
+        Jschema.Validate.Plan.run_tree plan (Tree.of_string_exn texts.(i))
+      in
+      let d = Jschema.Validate.validates schema doc in
+      if not (a = b && b = c && c = d) then all_agree := false)
+    docs;
+  let n = float_of_int (Array.length docs) in
+  let ns_interp =
+    measure_ns ~name:"bench.validate.interp" (fun () ->
+        Array.iter (fun d -> ignore (check d)) docs)
+  in
+  let ns_plan =
+    measure_ns ~name:"bench.validate.plan" (fun () ->
+        Array.iter (fun d -> ignore (Jschema.Validate.Plan.run plan d)) docs)
+  in
+  let ns_tree =
+    measure_ns ~name:"bench.validate.tree" (fun () ->
+        Array.iter
+          (fun text ->
+            ignore (Jschema.Validate.Plan.run_tree plan (Tree.of_string_exn text)))
+          texts)
+  in
+  row "catalog schema: %d plan nodes, %d documents\n"
+    (Jschema.Validate.Plan.node_count plan)
+    (Array.length docs);
+  row "%-36s %12s %14s\n" "engine" "ns/doc" "docs/sec";
+  let engine_row name ns =
+    row "%-36s %12.0f %14.0f\n" name (ns /. n) (n /. (ns /. 1e9))
+  in
+  engine_row "interpreted (prepared, Value.t)" ns_interp;
+  engine_row "compiled plan (Value.t input)" ns_plan;
+  engine_row "compiled plan (string -> Tree)" ns_tree;
+  let speedup = ns_interp /. ns_plan in
+  Obs.Metrics.add "bench.validate.speedup_x100" (int_of_float (speedup *. 100.));
+  row "catalog speedup (compiled over interpreted): %.1fx (target: >= 3x)%s\n"
+    speedup
+    (if speedup >= 3. then "" else "  ** BELOW TARGET **");
+
+  (* (b) the $ref-sharing family: constant-factor vs asymptotic gap *)
+  row "\n$ref-sharing instance (anyOf doubling over a shared failing leaf):\n";
+  row "%-6s %14s %14s %12s\n" "k" "interp ns" "compiled ns" "ratio";
+  let points =
+    List.map
+      (fun k ->
+        let schema =
+          Jschema.Parse.of_string_exn (Jworkload.Catalog.ref_sharing_schema k)
+        in
+        let plan = Jschema.Validate.Plan.compile schema in
+        let check = Jschema.Validate.prepare schema in
+        let doc = Jworkload.Catalog.ref_sharing_doc in
+        if check doc <> Jschema.Validate.Plan.run plan doc then
+          all_agree := false;
+        let ni = measure_ns (fun () -> ignore (check doc)) in
+        let np =
+          measure_ns (fun () -> ignore (Jschema.Validate.Plan.run plan doc))
+        in
+        row "%-6d %14.0f %14.0f %12.1f\n" k ni np (ni /. np);
+        (k, ni, np))
+      [ 8; 12; 16 ]
+  in
+  (* measured doubling rate of the interpreter along k (2.0 = the 2^k
+     blowup); the compiled plan should stay essentially flat *)
+  let doubling times =
+    match (List.hd times, List.nth times (List.length times - 1)) with
+    | (k0, t0), (k1, t1) -> exp (log (t1 /. t0) /. float_of_int (k1 - k0))
+  in
+  let interp_rate = doubling (List.map (fun (k, ni, _) -> (k, ni)) points) in
+  let plan_rate = doubling (List.map (fun (k, _, np) -> (k, np)) points) in
+  row
+    "per-step growth: interpreted x%.2f (2^k predicts x2.00), compiled x%.2f\n"
+    interp_rate plan_rate;
+  Obs.Metrics.add "bench.validate.ref_interp_rate_x100"
+    (int_of_float (interp_rate *. 100.));
+  Obs.Metrics.add "bench.validate.ref_plan_rate_x100"
+    (int_of_float (plan_rate *. 100.));
+  if interp_rate < 1.5 || plan_rate > 1.3 then begin
+    row "** asymptotic separation NOT observed **\n";
+    all_agree := false
+  end;
+
+  (* (c) the same treatment for JSL: interpreted eval vs compiled plan *)
+  row "\nJSL: set-at-a-time eval vs compiled plan (16k-node document):\n";
+  let frng = Jworkload.Prng.create 99 in
+  let cfg =
+    { Jworkload.Gen_formula.default with
+      size = 60;
+      allow_nondet = true;
+      allow_negation = true }
+  in
+  let f = Jworkload.Gen_formula.jsl frng cfg in
+  let tree = Tree.of_value (Jworkload.Gen_json.sized frng 16_000) in
+  let jsl_plan = Jsl.compile f in
+  let sat_i = Jsl.eval (Jsl.context tree) f in
+  let sat_p = Jsl.eval_plan (Jsl.context tree) jsl_plan in
+  if not (Bitset.equal sat_i sat_p) then all_agree := false;
+  let ns_eval =
+    measure_ns ~name:"bench.validate.jsl_interp" (fun () ->
+        ignore (Jsl.eval (Jsl.context tree) f))
+  in
+  let ns_eplan =
+    measure_ns ~name:"bench.validate.jsl_plan" (fun () ->
+        ignore (Jsl.eval_plan (Jsl.context tree) jsl_plan))
+  in
+  let ns_compile =
+    measure_ns ~name:"bench.validate.jsl_compile" (fun () ->
+        ignore (Jsl.compile f))
+  in
+  row "formula size %d -> %d plan nodes\n" (Jsl.size f) (Jsl.plan_size jsl_plan);
+  row "%-36s %12.0f ns/eval\n" "interpreted eval (fresh ctx)" ns_eval;
+  row "%-36s %12.0f ns/eval\n" "compiled eval_plan (fresh ctx)" ns_eplan;
+  row "%-36s %12.0f ns\n" "one-time compile" ns_compile;
+  if ns_eval > ns_eplan then
+    row "crossover: compile amortized after %.1f evaluations\n"
+      (ns_compile /. (ns_eval -. ns_eplan))
+  else row "crossover: interpreted eval is not slower on this formula\n";
+
+  row "\nvalidate agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
+  if not !all_agree then exit 1
+
 (* ---- driver ----------------------------------------------------------------- *)
 
 let experiments =
   [ ("fig1", figure1); ("table1", table1); ("p1", p1); ("p2", p2); ("p3", p3);
     ("p4", p4); ("p5", p5); ("p6", p6); ("p7", p7); ("p9", p9); ("t1", t1);
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp);
-    ("index", index_exp); ("ingest", ingest); ("batch", batch) ]
+    ("index", index_exp); ("ingest", ingest); ("batch", batch);
+    ("validate", validate_exp) ]
 
 let () =
   Obs.Metrics.set_enabled true;

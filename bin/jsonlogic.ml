@@ -289,7 +289,13 @@ let validate_cmd =
            ~doc:"Validate through the Theorem 1 JSL translation instead of the \
                  direct validator.")
   in
-  let run obs schema_file via_jsl files_from files =
+  let no_compile =
+    Arg.(value & flag & info [ "no-compile" ]
+           ~doc:"Validate with the structural interpreter instead of compiling \
+                 the schema to a plan first (the comparison baseline; results \
+                 are identical).")
+  in
+  let run obs schema_file via_jsl no_compile files_from files =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
@@ -301,26 +307,58 @@ let validate_cmd =
             (Obs.Metrics.span "phase.translate" (fun () ->
                  Jschema.To_jsl.document schema))
         in
+        (* Checker selection happens once, before any batch fan-out: the
+           schema is well-formed-checked and (by default) compiled to a
+           plan exactly here, never per document.  Plans are immutable,
+           so the one plan is shared across all batch domains. *)
         match files_from with
         | Some list_path ->
           (* force outside the batch: lazy thunks are not domain-safe *)
-          let jsl = if via_jsl then Some (Lazy.force jsl) else None in
+          let check_path =
+            if via_jsl then begin
+              let jsl = Lazy.force jsl in
+              fun path ->
+                let doc =
+                  parse_doc_exn ~budget:(obs.fresh_budget ()) (read_input path)
+                in
+                Jlogic.Jsl_rec.validates ~budget:(obs.fresh_budget ()) doc jsl
+            end
+            else if no_compile then begin
+              let prepared = Jschema.Validate.prepare schema in
+              fun path ->
+                let doc =
+                  parse_doc_exn ~budget:(obs.fresh_budget ()) (read_input path)
+                in
+                prepared ~budget:(obs.fresh_budget ()) doc
+            end
+            else begin
+              let plan =
+                Jschema.Validate.Plan.compile ~budget:obs.budget schema
+              in
+              fun path ->
+                (* direct one-pass ingestion: text straight to the flat
+                   tree, validated there — no Value.t intermediate *)
+                let tree =
+                  match
+                    Jsont.Tree.of_string ~budget:(obs.fresh_budget ())
+                      (read_input path)
+                  with
+                  | Ok t -> t
+                  | Error e ->
+                    failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+                in
+                Jschema.Validate.Plan.run_tree ~budget:(obs.fresh_budget ())
+                  plan tree
+            end
+          in
           let paths = read_path_list list_path in
           let results =
             Par.Batch.map ~jobs:obs.jobs
               (fun path ->
                 batch_result (fun () ->
-                    let doc =
-                      parse_doc_exn ~budget:(obs.fresh_budget ())
-                        (read_input path)
-                    in
                     let ok =
                       Obs.Metrics.span "phase.validate" (fun () ->
-                          match jsl with
-                          | Some jsl ->
-                            Jlogic.Jsl_rec.validates
-                              ~budget:(obs.fresh_budget ()) doc jsl
-                          | None -> Jschema.Validate.validates schema doc)
+                          check_path path)
                     in
                     if ok then "valid" else "INVALID"))
               paths
@@ -328,6 +366,20 @@ let validate_cmd =
           print_batch paths results;
           if Array.exists (fun r -> r <> "valid") results then exit 1
         | None ->
+          let check =
+            if via_jsl then fun doc ->
+              Jlogic.Jsl_rec.validates ~budget:obs.budget doc (Lazy.force jsl)
+            else if no_compile then begin
+              let prepared = Jschema.Validate.prepare schema in
+              fun doc -> prepared ~budget:obs.budget doc
+            end
+            else begin
+              let plan =
+                Jschema.Validate.Plan.compile ~budget:obs.budget schema
+              in
+              fun doc -> Jschema.Validate.Plan.run ~budget:obs.budget plan doc
+            end
+          in
           let docs =
             parse_docs_exn ~budget:obs.budget (read_input (last_input files))
           in
@@ -335,11 +387,7 @@ let validate_cmd =
           List.iter
             (fun doc ->
               let ok =
-                Obs.Metrics.span "phase.validate" (fun () ->
-                    if via_jsl then
-                      Jlogic.Jsl_rec.validates ~budget:obs.budget doc
-                        (Lazy.force jsl)
-                    else Jschema.Validate.validates schema doc)
+                Obs.Metrics.span "phase.validate" (fun () -> check doc)
               in
               if not ok then incr failures;
               Printf.printf "%s\t%s\n"
@@ -350,8 +398,8 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
-    Term.(const run $ obs_term $ schema_arg $ via_jsl $ files_from_arg
-          $ input_arg)
+    Term.(const run $ obs_term $ schema_arg $ via_jsl $ no_compile
+          $ files_from_arg $ input_arg)
 
 (* ---- sat --------------------------------------------------------------------- *)
 

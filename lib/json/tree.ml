@@ -43,6 +43,48 @@ let root = 0
    to be internally consistent. *)
 let mix h x = (h * 0x01000193) lxor x land max_int
 
+(* Sort the parallel segments [a.(lo..hi)], [b.(lo..hi)] by (a, b)
+   lexicographically — the order [Array.sort Stdlib.compare] gives
+   (int * int) pairs, without allocating the pairs.  Pairs comparing
+   equal are componentwise equal, so the object-hash fold below is
+   insensitive to how ties land. *)
+let rec sort_pairs a b lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let ka = a.(i) and kb = b.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && (a.(!j) > ka || (a.(!j) = ka && b.(!j) > kb)) do
+        a.(!j + 1) <- a.(!j);
+        b.(!j + 1) <- b.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- ka;
+      b.(!j + 1) <- kb
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    let pa = a.(mid) and pb = b.(mid) in
+    let swap i j =
+      let ta = a.(i) and tb = b.(i) in
+      a.(i) <- a.(j);
+      b.(i) <- b.(j);
+      a.(j) <- ta;
+      b.(j) <- tb
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pa || (a.(!i) = pa && b.(!i) < pb) do incr i done;
+      while a.(!j) > pa || (a.(!j) = pa && b.(!j) > pb) do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_pairs a b lo !j;
+    sort_pairs a b !i hi
+  end
+
 let of_value ?(budget = Obs.Budget.unlimited) v =
   let n = Value.size v in
   let kinds = Array.make n Kobj in
@@ -102,7 +144,8 @@ let of_value ?(budget = Obs.Budget.unlimited) v =
       let kids = Array.make m 0 in
       let keys = Array.make m "" in
       let sz = ref 1 and ht = ref 0 in
-      let child_hashes = Array.make m (0, 0) in
+      let khashes = Array.make m 0 in
+      let vhashes = Array.make m 0 in
       List.iteri
         (fun i (k, v) ->
           if Hashtbl.mem by_key (id, k) then
@@ -113,15 +156,16 @@ let of_value ?(budget = Obs.Budget.unlimited) v =
           Hashtbl.add by_key (id, k) cid;
           sz := !sz + csz;
           ht := max !ht (cht + 1);
-          child_hashes.(i) <- (Hashtbl.hash k, chash))
+          khashes.(i) <- Hashtbl.hash k;
+          vhashes.(i) <- chash)
         kvs;
       (* order-insensitive: fold pair hashes in sorted order *)
-      Array.sort Stdlib.compare child_hashes;
-      let h =
-        Array.fold_left
-          (fun h (kh, vh) -> mix (mix h kh) vh)
-          (mix 0x811c9dc5 4) child_hashes
-      in
+      sort_pairs khashes vhashes 0 (m - 1);
+      let h = ref (mix 0x811c9dc5 4) in
+      for i = 0 to m - 1 do
+        h := mix (mix !h khashes.(i)) vhashes.(i)
+      done;
+      let h = !h in
       child_nodes.(id) <- kids;
       child_keys.(id) <- keys;
       sizes.(id) <- !sz;
@@ -152,48 +196,6 @@ let vec_push v x =
   end;
   v.data.(v.len) <- x;
   v.len <- v.len + 1
-
-(* Sort the parallel segments [a.(lo..hi)], [b.(lo..hi)] by (a, b)
-   lexicographically — the order [Array.sort Stdlib.compare] gives
-   (int * int) pairs, without allocating the pairs.  Pairs comparing
-   equal are componentwise equal, so the object-hash fold below is
-   insensitive to how ties land. *)
-let rec sort_pairs a b lo hi =
-  if hi - lo < 12 then
-    for i = lo + 1 to hi do
-      let ka = a.(i) and kb = b.(i) in
-      let j = ref (i - 1) in
-      while !j >= lo && (a.(!j) > ka || (a.(!j) = ka && b.(!j) > kb)) do
-        a.(!j + 1) <- a.(!j);
-        b.(!j + 1) <- b.(!j);
-        decr j
-      done;
-      a.(!j + 1) <- ka;
-      b.(!j + 1) <- kb
-    done
-  else begin
-    let mid = (lo + hi) / 2 in
-    let pa = a.(mid) and pb = b.(mid) in
-    let swap i j =
-      let ta = a.(i) and tb = b.(i) in
-      a.(i) <- a.(j);
-      b.(i) <- b.(j);
-      a.(j) <- ta;
-      b.(j) <- tb
-    in
-    let i = ref lo and j = ref hi in
-    while !i <= !j do
-      while a.(!i) < pa || (a.(!i) = pa && b.(!i) < pb) do incr i done;
-      while a.(!j) > pa || (a.(!j) = pa && b.(!j) > pb) do decr j done;
-      if !i <= !j then begin
-        swap !i !j;
-        incr i;
-        decr j
-      end
-    done;
-    sort_pairs a b lo !j;
-    sort_pairs a b !i hi
-  end
 
 (* Column store under construction: all node columns share one length
    and one capacity, so admitting a node is a single capacity check.
@@ -432,6 +434,12 @@ let arr_children t n =
 
 let children t n = Array.to_list t.child_nodes.(n)
 let arity t n = Array.length t.child_nodes.(n)
+let child_ids t n = t.child_nodes.(n)
+
+let obj_keys t n =
+  match t.kinds.(n) with
+  | Kobj -> t.child_keys.(n)
+  | Karr | Kstr _ | Kint _ -> [||]
 
 let lookup t n k =
   match t.kinds.(n) with

@@ -98,6 +98,17 @@ val arr_children : t -> node -> node array
 val children : t -> node -> node list
 (** All children in document order, whatever the node kind. *)
 
+val child_ids : t -> node -> node array
+(** All children in document order, as the tree's own backing array —
+    {b do not mutate}.  Allocation-free variant of {!children} for hot
+    evaluation loops. *)
+
+val obj_keys : t -> node -> string array
+(** The keys of an object node in document order, as the tree's own
+    backing array — {b do not mutate}; [[||]] for non-objects.
+    Pairs with {!child_ids}: [obj_keys t n] and [child_ids t n] are
+    parallel arrays for object nodes. *)
+
 val arity : t -> node -> int
 (** Number of children. *)
 

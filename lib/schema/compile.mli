@@ -1,0 +1,62 @@
+(** Compile-once schema validation (the fast path behind
+    {!Validate.Plan}).
+
+    {!compile} interns every subschema of a {!Schema.document} —
+    definitions included, reference cycles allowed — into an immutable
+    array of {e plan nodes} with integer ids, hash-consing structurally
+    equal subschemas so [$ref]/[anyOf]/[allOf] sharing is explicit in
+    the plan graph.  Per plan node it precomputes everything the
+    interpreter re-derives at every visit:
+
+    - a key-dispatch table (property name → subschema ids), so
+      [properties]/[additionalProperties] need one sweep over the
+      object's members instead of a [List.assoc] scan per property;
+    - the required-key set (checked through the tree's O(1) key
+      lookup);
+    - [pattern]/[patternProperties] regexes lowered to {!Rexp.Dfa} at
+      compile time;
+    - resolved [items]/[additionalItems] vectors and collapsed numeric
+      / arity bounds;
+    - [enum] constants pre-hashed and sorted for binary search on the
+      subtree hash.
+
+    {!run_tree} executes a plan directly over the flat {!Jsont.Tree}
+    columns — no [Value.t] materialization — memoizing
+    (node, plan id) verdicts for the plan nodes with ≥ 2 incoming
+    edges, which bounds evaluation to one visit per (node, subschema)
+    pair: O(|D|·|φ|) even through [$ref] sharing (Proposition 8's
+    bound, which the structural interpreter does not meet).
+
+    The decided relation is {e exactly} {!Validate.validates} — the
+    interpreter stays as the differential oracle, including its
+    conjunct-interaction fine print (last [items] wins, all
+    [additionalProperties] apply, "named" keys are exempt).
+
+    Metrics: span [validate.compile]; counters [validate.plan.nodes],
+    [validate.compile.dfas], [validate.plan.runs], [validate.memo.hit].
+
+    A compiled plan is immutable and safe to share across domains; the
+    per-run memo table is private to each {!run_tree} call. *)
+
+type t
+(** A compiled schema document. *)
+
+val compile : ?budget:Obs.Budget.t -> Schema.document -> t
+(** Compile a document.  Checks {!Schema.well_formed} exactly once.
+    [budget] bounds the compilation (one fuel unit per distinct
+    subschema, recursion depth against the ceiling).
+    @raise Invalid_argument if the schema is not well-formed. *)
+
+val node_count : t -> int
+(** Number of interned plan nodes (distinct subschemas). *)
+
+val run_tree : ?budget:Obs.Budget.t -> t -> Jsont.Tree.t -> bool
+(** Validate a tree.  [budget] is charged one fuel unit per fresh
+    (node, plan) evaluation — memo hits are free — and recursion depth
+    is checked per level.  @raise Obs.Budget.Exhausted. *)
+
+val run : ?budget:Obs.Budget.t -> t -> Jsont.Value.t -> bool
+(** [run p v = run_tree p (Tree.of_value v)] — tree construction is
+    charged to the same budget.  @raise Jsont.Value.Invalid on invalid
+    values (negative numbers, duplicate keys), like every tree-based
+    engine. *)

@@ -59,6 +59,25 @@ let rec all_refs (s : t) =
         [])
     s
 
+(* [multipleOf 0] describes no number at all: the validator would have
+   to decide [n mod 0], so it treats the conjunct as always-false —
+   reject it up front instead of silently validating nothing. *)
+let rec has_zero_multiple (s : t) =
+  List.exists
+    (function
+      | C_multiple_of 0 -> true
+      | C_any_of ss | C_all_of ss | C_items ss -> List.exists has_zero_multiple ss
+      | C_not s | C_additional_properties s | C_additional_items s ->
+        has_zero_multiple s
+      | C_properties kvs -> List.exists (fun (_, s) -> has_zero_multiple s) kvs
+      | C_pattern_properties kvs ->
+        List.exists (fun (_, s) -> has_zero_multiple s) kvs
+      | C_type _ | C_pattern _ | C_minimum _ | C_maximum _ | C_multiple_of _
+      | C_min_properties _ | C_max_properties _ | C_required _ | C_unique_items
+      | C_enum _ | C_ref _ ->
+        false)
+    s
+
 let well_formed doc =
   let names = List.map fst doc.definitions in
   let dup =
@@ -70,6 +89,10 @@ let well_formed doc =
   in
   match dup with
   | Some v -> Error (Printf.sprintf "definition %S given twice" v)
+  | None when
+      List.exists has_zero_multiple (doc.root :: List.map snd doc.definitions)
+    ->
+    Error "multipleOf 0 is satisfiable by no number"
   | None -> (
     let used = List.concat_map all_refs (doc.root :: List.map snd doc.definitions) in
     match List.find_opt (fun r -> not (List.mem r names)) used with

@@ -58,10 +58,12 @@ val s_false : t
 (** A schema no document validates against. *)
 
 val well_formed : document -> (unit, string) result
-(** Definition names unique, every [$ref] resolvable, and the reference
-    precedence graph (references reachable without crossing a
-    schema-descending keyword) acyclic — the well-formedness condition
-    of §5.3 carried over from recursive JSL. *)
+(** Definition names unique, no [multipleOf 0] anywhere (it is
+    satisfiable by no number — the validator would otherwise treat it
+    as silently always-false), every [$ref] resolvable, and the
+    reference precedence graph (references reachable without crossing
+    a schema-descending keyword) acyclic — the well-formedness
+    condition of §5.3 carried over from recursive JSL. *)
 
 val size : document -> int
 val schema_size : t -> int

@@ -28,20 +28,29 @@ let matches e s = Rexp.Lang.matches (lang e) s
 (* [items]/[additionalItems] interact with each other, and
    [additionalProperties] needs the keys named by its sibling
    [properties]/[patternProperties]; both are therefore resolved at the
-   schema (conjunction) level rather than per conjunct. *)
-let rec validate_schema defs (s : Schema.t) (v : Value.t) =
-  items_ok defs s v
-  && additional_properties_ok defs s v
+   schema (conjunction) level rather than per conjunct.
+
+   The budget burns one fuel unit per (schema, value) visit and checks
+   the recursion depth at every nesting level (schema descent and value
+   descent alike), so both adversarially deep documents and deeply
+   shared [$ref]/[anyOf] blowups surface as structured
+   {!Obs.Budget.Exhausted} errors. *)
+let rec validate_schema b d defs (s : Schema.t) (v : Value.t) =
+  Obs.Budget.check_depth b d;
+  Obs.Budget.burn b 1;
+  let d = d + 1 in
+  items_ok b d defs s v
+  && additional_properties_ok b d defs s v
   && List.for_all
        (fun c ->
          match c with
          | Schema.C_items _ | Schema.C_additional_items _
          | Schema.C_additional_properties _ ->
            true (* handled above *)
-         | c -> validate_conjunct defs c v)
+         | c -> validate_conjunct b d defs c v)
        s
 
-and items_ok defs s v =
+and items_ok b d defs s v =
   let items = ref None and additional = ref None in
   List.iter
     (function
@@ -52,7 +61,7 @@ and items_ok defs s v =
   match (!items, !additional, v) with
   | None, None, _ -> true
   | _, _, (Value.Num _ | Value.Str _ | Value.Obj _) -> true (* type-guarded *)
-  | None, Some a, Value.Arr vs -> List.for_all (validate_schema defs a) vs
+  | None, Some a, Value.Arr vs -> List.for_all (validate_schema b d defs a) vs
   | Some ss, add, Value.Arr vs ->
     let rec go schemas elems =
       match (schemas, elems) with
@@ -60,13 +69,14 @@ and items_ok defs s v =
       | [], rest -> (
         match add with
         | None -> false (* §5.1: the array has exactly n elements *)
-        | Some a -> List.for_all (validate_schema defs a) rest)
+        | Some a -> List.for_all (validate_schema b d defs a) rest)
       | _ :: _, [] -> false (* the n positions must exist *)
-      | s :: schemas, e :: elems -> validate_schema defs s e && go schemas elems
+      | s :: schemas, e :: elems ->
+        validate_schema b d defs s e && go schemas elems
     in
     go ss vs
 
-and additional_properties_ok defs s v =
+and additional_properties_ok b d defs s v =
   match v with
   | Value.Num _ | Value.Str _ | Value.Arr _ -> true
   | Value.Obj kvs ->
@@ -90,11 +100,11 @@ and additional_properties_ok defs s v =
       List.for_all
         (fun (k, v) ->
           named k
-          || List.for_all (fun a -> validate_schema defs a v) additional)
+          || List.for_all (fun a -> validate_schema b d defs a v) additional)
         kvs
     end
 
-and validate_conjunct defs (c : Schema.conjunct) (v : Value.t) =
+and validate_conjunct b d defs (c : Schema.conjunct) (v : Value.t) =
   match (c, v) with
   | (Schema.C_items _ | Schema.C_additional_items _ | Schema.C_additional_properties _), _
     ->
@@ -123,14 +133,14 @@ and validate_conjunct defs (c : Schema.conjunct) (v : Value.t) =
       (fun (k, s) ->
         match List.assoc_opt k kvs with
         | None -> true
-        | Some v -> validate_schema defs s v)
+        | Some v -> validate_schema b d defs s v)
       props
   | Schema.C_properties _, _ -> true
   | Schema.C_pattern_properties pats, Value.Obj kvs ->
     List.for_all
       (fun (k, v) ->
         List.for_all
-          (fun (e, s) -> (not (matches e k)) || validate_schema defs s v)
+          (fun (e, s) -> (not (matches e k)) || validate_schema b d defs s v)
           pats)
       kvs
   | Schema.C_pattern_properties _, _ -> true
@@ -142,16 +152,27 @@ and validate_conjunct defs (c : Schema.conjunct) (v : Value.t) =
     in
     distinct sorted
   | Schema.C_unique_items, _ -> true
-  | Schema.C_any_of ss, v -> List.exists (fun s -> validate_schema defs s v) ss
-  | Schema.C_all_of ss, v -> List.for_all (fun s -> validate_schema defs s v) ss
-  | Schema.C_not s, v -> not (validate_schema defs s v)
+  | Schema.C_any_of ss, v ->
+    List.exists (fun s -> validate_schema b d defs s v) ss
+  | Schema.C_all_of ss, v ->
+    List.for_all (fun s -> validate_schema b d defs s v) ss
+  | Schema.C_not s, v -> not (validate_schema b d defs s v)
   | Schema.C_enum vs, v -> List.exists (Value.equal v) vs
-  | Schema.C_ref r, v -> validate_schema defs (List.assoc r defs) v
+  | Schema.C_ref r, v -> validate_schema b d defs (List.assoc r defs) v
 
-let validates_schema ?(definitions = []) s v = validate_schema definitions s v
+let validates_schema ?(budget = Obs.Budget.unlimited) ?(definitions = []) s v =
+  validate_schema budget 0 definitions s v
 
-let validates (doc : Schema.document) v =
+(* Well-formedness is a property of the schema, not of the document —
+   check it once here and hand back a closure for the per-document
+   work, so batch validation doesn't re-walk the schema every time. *)
+let prepare (doc : Schema.document) =
   (match Schema.well_formed doc with
   | Ok () -> ()
   | Error m -> invalid_arg ("Jschema.Validate.validates: " ^ m));
-  validate_schema doc.definitions doc.root v
+  fun ?(budget = Obs.Budget.unlimited) v ->
+    validate_schema budget 0 doc.definitions doc.root v
+
+let validates ?budget (doc : Schema.document) v = prepare doc ?budget v
+
+module Plan = Compile

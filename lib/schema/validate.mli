@@ -4,11 +4,28 @@
 
     Follows the paper's semantics as documented in {!Schema}. *)
 
-val validates : Schema.document -> Jsont.Value.t -> bool
-(** Does the document validate against the schema?
-    @raise Invalid_argument if the schema is not well-formed. *)
+val validates :
+  ?budget:Obs.Budget.t -> Schema.document -> Jsont.Value.t -> bool
+(** Does the document validate against the schema?  [budget] bounds the
+    work: one fuel unit per (schema, value) visit, recursion depth
+    against the budget's ceiling.
+    @raise Invalid_argument if the schema is not well-formed.
+    @raise Obs.Budget.Exhausted when [budget] runs out. *)
 
 val validates_schema :
-  ?definitions:(string * Schema.t) list -> Schema.t -> Jsont.Value.t -> bool
+  ?budget:Obs.Budget.t -> ?definitions:(string * Schema.t) list
+  -> Schema.t -> Jsont.Value.t -> bool
 (** Validate against a bare schema with an optional definitions
-    environment. *)
+    environment (no well-formedness check). *)
+
+val prepare :
+  Schema.document -> ?budget:Obs.Budget.t -> Jsont.Value.t -> bool
+(** [prepare doc] checks well-formedness {e once} and returns the
+    per-document validator, so a batch run doesn't re-walk the schema
+    for every document.  [validates doc v = prepare doc v].
+    @raise Invalid_argument if the schema is not well-formed. *)
+
+module Plan = Compile
+(** The compiled fast path ({!Compile}): [Plan.run_tree (Plan.compile
+    doc) t] decides the same relation as [validates doc] in
+    O(|D|·|φ|). *)

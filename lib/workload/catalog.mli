@@ -1,0 +1,31 @@
+(** The shared schema catalog: the Table 1 keyword cases plus the two
+    synthetic schema families the validation benchmark and the
+    compiled-vs-interpreted differential suite both consume (a single
+    source, so the bench and the tests cannot drift apart). *)
+
+val keyword_cases : (string * string * (string * bool) list) list
+(** [(keyword, schema text, (document text, expected verdict) list)] —
+    one case per Table 1 keyword, including [definitions]/[$ref]. *)
+
+val catalog_schema : string
+(** A property-heavy "product record" schema: 150 properties (a fifth
+    required, most absent from any given document) over five
+    [definitions], [patternProperties], [additionalProperties], tuple
+    [items] and [uniqueItems] — the workload where the interpreter's
+    per-property [List.assoc] scans go quadratic in the member count
+    while the compiled plan pays one dispatch-table probe per present
+    member. *)
+
+val catalog_doc : Prng.t -> Jsont.Value.t
+(** A document for {!catalog_schema}: required fields present,
+    optional/pattern/additional keys drawn at random; ~30% of
+    documents carry one violation so both verdicts stay exercised. *)
+
+val ref_sharing_schema : int -> string
+(** [ref_sharing_schema k]: definitions [d0 … dk] where [d{i+1}] is
+    [anyOf [$ref d_i; $ref d_i]].  Validating {!ref_sharing_doc}
+    (which fails [d0]) costs the interpreter 2^k leaf visits; the
+    compiled plan's (node, subschema) memoization keeps it linear
+    in [k]. *)
+
+val ref_sharing_doc : Jsont.Value.t

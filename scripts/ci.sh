@@ -145,6 +145,77 @@ case $par_out in
      exit 1 ;;
 esac
 
+# Compiled-validation differential gate: the 1000-case fuzz asserting
+# the compiled plan, the structural interpreter and the Tree-path
+# executor return identical verdicts (standalone so a break is named
+# in the CI log).
+run 300 _build/default/test/test_compile.exe test differential
+
+# Validate bench agreement mode: engine agreement on the catalog and
+# $ref-sharing workloads is gated (the bench exits non-zero on any
+# disagreement or on constant-factor-only $ref separation), and the
+# JSON dump must land.
+bench_json=$(mktemp -d)
+val_out=$(run 300 _build/default/bench/main.exe --json "$bench_json" validate)
+case $val_out in
+  *"validate agreement: COMPLETE"*) ;;
+  *) echo "FAIL: validate bench did not report complete agreement" >&2
+     echo "$val_out" >&2
+     exit 1 ;;
+esac
+if [ ! -s "$bench_json/BENCH_validate.json" ]; then
+  echo "FAIL: validate bench did not write BENCH_validate.json" >&2
+  exit 1
+fi
+rm -rf "$bench_json"
+
+# Compiled-validate CLI wiring: the plan path (default), the
+# interpreter (--no-compile) and a 2-domain compiled batch must print
+# byte-identical path<TAB>verdict lines; mixed verdicts exit 1.
+vdir=$(mktemp -d)
+cat > "$vdir/schema.json" <<'EOF'
+{"definitions":{"id":{"type":"number","minimum":1}},
+ "type":"object","required":["a"],
+ "properties":{"a":{"$ref":"#/definitions/id"}},
+ "patternProperties":{"x_[a-z]*":{"type":"number"}},
+ "additionalProperties":{"type":"string"}}
+EOF
+for i in $(seq 1 20); do
+  if [ $((i % 3)) = 0 ]; then
+    printf '{"a":0,"x_k":%d}' "$i" > "$vdir/doc$i.json"       # INVALID
+  else
+    printf '{"a":%d,"x_k":2,"note":"ok"}' "$i" > "$vdir/doc$i.json"
+  fi
+  echo "$vdir/doc$i.json" >> "$vdir/list"
+done
+vstatus=0
+v_plan=$(timeout 120 "$JSONLOGIC" validate -s "$vdir/schema.json" \
+  --files-from "$vdir/list") || vstatus=$?
+if [ "$vstatus" != 1 ]; then
+  echo "FAIL: compiled validate batch: expected exit 1 (mixed verdicts), got $vstatus" >&2
+  exit 1
+fi
+v_interp=$(timeout 120 "$JSONLOGIC" validate -s "$vdir/schema.json" \
+  --no-compile --files-from "$vdir/list") || true
+v_jobs2=$(timeout 120 "$JSONLOGIC" validate -s "$vdir/schema.json" \
+  --jobs 2 --files-from "$vdir/list") || true
+rm -rf "$vdir"
+if [ "$v_plan" != "$v_interp" ]; then
+  echo "FAIL: validate with and without --no-compile disagree" >&2
+  printf '%s\n---\n%s\n' "$v_plan" "$v_interp" >&2
+  exit 1
+fi
+if [ "$v_plan" != "$v_jobs2" ]; then
+  echo "FAIL: compiled validate --jobs 1 and --jobs 2 disagree" >&2
+  printf '%s\n---\n%s\n' "$v_plan" "$v_jobs2" >&2
+  exit 1
+fi
+case $v_plan in
+  *"INVALID"*) ;;
+  *) echo "FAIL: compiled validate batch found no INVALID document" >&2
+     exit 1 ;;
+esac
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in
