@@ -624,7 +624,108 @@ let strm () =
           stats.Stream.peak_obligations
       | Error m -> row "stream error: %s\n" m)
     [ 1_000; 8_000; 64_000 ];
-  row "(peak obligations must stay flat as |J| grows — the conjectured bound)\n"
+  row "(peak obligations must stay flat as |J| grows — the conjectured bound)\n";
+
+  (* -- schema validation over the token stream (Validate.Plan.run_stream) -- *)
+  let all_agree = ref true in
+  row "\nschema validation off the token stream (compiled plan):\n";
+  let schema = Jschema.Parse.of_string_exn Jworkload.Catalog.catalog_schema in
+  let plan = Jschema.Validate.Plan.compile schema in
+
+  (* (a) throughput and three-way agreement on the catalog corpus *)
+  let rng = Jworkload.Prng.create 21 in
+  let texts =
+    Array.init 200 (fun _ -> Value.to_string (Jworkload.Catalog.catalog_doc rng))
+  in
+  Array.iter
+    (fun text ->
+      let s = Jschema.Validate.Plan.run_stream plan text in
+      let t = Jschema.Validate.Plan.run_tree plan (Tree.of_string_exn text) in
+      let o = Jschema.Validate.validates schema (Jsont.Parser.parse_exn text) in
+      if not (s = t && t = o) then all_agree := false)
+    texts;
+  let n = float_of_int (Array.length texts) in
+  let ns_vstream =
+    measure_ns ~name:"bench.strm.validate_stream" (fun () ->
+        Array.iter
+          (fun text -> ignore (Jschema.Validate.Plan.run_stream plan text))
+          texts)
+  in
+  let ns_vtree =
+    measure_ns ~name:"bench.strm.validate_tree" (fun () ->
+        Array.iter
+          (fun text ->
+            ignore (Jschema.Validate.Plan.run_tree plan (Tree.of_string_exn text)))
+          texts)
+  in
+  row "%-36s %12s %14s\n" "engine" "ns/doc" "docs/sec";
+  row "%-36s %12.0f %14.0f\n" "run_stream (string input)" (ns_vstream /. n)
+    (n /. (ns_vstream /. 1e9));
+  row "%-36s %12.0f %14.0f\n" "of_string + run_tree" (ns_vtree /. n)
+    (n /. (ns_vtree /. 1e9));
+
+  (* (b) peak memory: flat in document size for the stream path.  The
+     instance text is built through a buffer (never as a Value.t) so
+     the baseline heap high-water mark sits below what materializing
+     the tree costs; the stream is always measured first. *)
+  let items_schema =
+    Jschema.Parse.of_string_exn
+      {|{"type": "array",
+         "items": {"type": "object",
+                   "required": ["id", "name"],
+                   "properties": {"id": {"type": "number"},
+                                  "name": {"type": "string", "pattern": "item-[0-9]*"}}}}|}
+  in
+  let items_plan = Jschema.Validate.Plan.compile items_schema in
+  let gen_text n =
+    let b = Buffer.create (n * 32) in
+    Buffer.add_char b '[';
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf {|{"id":%d,"name":"item-%d"}|} i i)
+    done;
+    Buffer.add_char b ']';
+    Buffer.contents b
+  in
+  let peak_words f =
+    Gc.compact ();
+    let before = (Gc.quick_stat ()).Gc.top_heap_words in
+    let r = f () in
+    let after = (Gc.quick_stat ()).Gc.top_heap_words in
+    (r, after - before)
+  in
+  row "\npeak heap growth while validating (words above high-water mark):\n";
+  row "%-14s %-14s %-16s %-16s\n" "elements" "bytes" "stream (words)" "tree (words)";
+  let last = ref (0, 1) in
+  List.iter
+    (fun n ->
+      let text = gen_text n in
+      let s, stream_words =
+        peak_words (fun () -> Jschema.Validate.Plan.run_stream items_plan text)
+      in
+      let t, tree_words =
+        peak_words (fun () ->
+            Jschema.Validate.Plan.run_tree items_plan (Tree.of_string_exn text))
+      in
+      if not (s && t) then all_agree := false;
+      last := (stream_words, max 1 tree_words);
+      row "%-14d %-14d %-16d %-16d\n" n (String.length text) stream_words
+        tree_words)
+    [ 20_000; 80_000; 320_000 ];
+  let stream_words, tree_words = !last in
+  Obs.Metrics.add "bench.strm.validate.peak_stream_words" stream_words;
+  Obs.Metrics.add "bench.strm.validate.peak_tree_words" tree_words;
+  let ratio = float_of_int tree_words /. float_of_int (max 1 stream_words) in
+  Obs.Metrics.add "bench.strm.validate.peak_ratio_x10" (int_of_float (ratio *. 10.));
+  row
+    "largest instance: tree/stream peak ratio %.0fx (target: >= 10x; stream \
+     must stay flat)%s\n"
+    ratio
+    (if ratio >= 10. then "" else "  ** BELOW TARGET **");
+  if ratio < 10. then all_agree := false;
+
+  row "\nstream agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
+  if not !all_agree then exit 1
 
 
 (* ---- E-DLOG: the Proposition 1 apparatus as an ablation -------------------- *)

@@ -295,7 +295,18 @@ let validate_cmd =
                  the schema to a plan first (the comparison baseline; results \
                  are identical).")
   in
-  let run obs schema_file via_jsl no_compile files_from files =
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Validate straight off the token stream without materializing \
+                 documents (memory stays proportional to nesting depth, not \
+                 document size).  With $(b,--files-from), each listed file is \
+                 one streamed document and output is unchanged; otherwise the \
+                 input is NDJSON — one document per line — and each line \
+                 prints 'path:line<TAB>result', bad lines folding to error \
+                 results without sinking their neighbours.  Requires the \
+                 compiled plan.")
+  in
+  let run obs schema_file via_jsl no_compile stream files_from files =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
@@ -307,6 +318,29 @@ let validate_cmd =
             (Obs.Metrics.span "phase.translate" (fun () ->
                  Jschema.To_jsl.document schema))
         in
+        if stream && (via_jsl || no_compile) then
+          failwith
+            "--stream validates through the compiled plan; drop \
+             --via-jsl/--no-compile";
+        (* The streaming checker takes the raw text of one document and
+           fuses parse and validation into a single pass under a single
+           budget; parse failures are rendered exactly like the
+           tree-building route's so the two paths stay byte-identical. *)
+        let stream_check =
+          lazy
+            (let plan =
+               Jschema.Validate.Plan.compile ~budget:obs.budget schema
+             in
+             fun text ->
+               match
+                 Jsont.Parser.wrap (fun () ->
+                     Jschema.Validate.Plan.run_stream
+                       ~budget:(obs.fresh_budget ()) plan text)
+               with
+               | Ok ok -> ok
+               | Error e ->
+                 failwith (Format.asprintf "%a" Jsont.Parser.pp_error e))
+        in
         (* Checker selection happens once, before any batch fan-out: the
            schema is well-formed-checked and (by default) compiled to a
            plan exactly here, never per document.  Plans are immutable,
@@ -315,7 +349,11 @@ let validate_cmd =
         | Some list_path ->
           (* force outside the batch: lazy thunks are not domain-safe *)
           let check_path =
-            if via_jsl then begin
+            if stream then begin
+              let check = Lazy.force stream_check in
+              fun path -> check (read_input path)
+            end
+            else if via_jsl then begin
               let jsl = Lazy.force jsl in
               fun path ->
                 let doc =
@@ -365,6 +403,62 @@ let validate_cmd =
           in
           print_batch paths results;
           if Array.exists (fun r -> r <> "valid") results then exit 1
+        | None when stream ->
+          (* NDJSON: one document per line, one 'path:line<TAB>result'
+             line out per document, in input order.  Sequentially the
+             input is consumed line at a time — peak memory follows the
+             longest line, not the file; with [--jobs] > 1 the lines
+             are slurped and sharded across the pool, with identical
+             output bytes. *)
+          let check = Lazy.force stream_check in
+          let path = last_input files in
+          let check_line line =
+            batch_result (fun () ->
+                let ok =
+                  Obs.Metrics.span "phase.validate" (fun () -> check line)
+                in
+                if ok then "valid" else "INVALID")
+          in
+          let failures = ref 0 in
+          let emit lineno result =
+            if result <> "valid" then incr failures;
+            Printf.printf "%s:%d\t%s\n" path lineno result
+          in
+          if obs.jobs <= 1 then begin
+            let process ic =
+              let lineno = ref 0 in
+              let rec loop () =
+                match In_channel.input_line ic with
+                | None -> ()
+                | Some line ->
+                  incr lineno;
+                  if String.trim line <> "" then
+                    emit !lineno (check_line line);
+                  loop ()
+              in
+              loop ()
+            in
+            if path = "-" then process stdin
+            else In_channel.with_open_bin path process
+          end
+          else begin
+            let lines =
+              read_input path
+              |> String.split_on_char '\n'
+              |> List.mapi (fun i line -> (i + 1, line))
+              |> List.filter (fun (_, line) -> String.trim line <> "")
+              |> Array.of_list
+            in
+            let results =
+              Par.Batch.map ~jobs:obs.jobs
+                (fun (_, line) -> check_line line)
+                lines
+            in
+            Array.iteri
+              (fun i result -> emit (fst lines.(i)) result)
+              results
+          end;
+          if !failures > 0 then exit 1
         | None ->
           let check =
             if via_jsl then fun doc ->
@@ -398,7 +492,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
-    Term.(const run $ obs_term $ schema_arg $ via_jsl $ no_compile
+    Term.(const run $ obs_term $ schema_arg $ via_jsl $ no_compile $ stream
           $ files_from_arg $ input_arg)
 
 (* ---- sat --------------------------------------------------------------------- *)

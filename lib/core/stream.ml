@@ -90,26 +90,79 @@ let peek eng = Lexer.peek eng.lx
 
 let bad fmt = Format.kasprintf (fun s -> raise (Stream_error s)) fmt
 
-(* consume one complete value without building it; O(1) memory.
-   [base] is the nesting depth at which the skipped value starts, so
-   the budget's depth ceiling applies to skipped subtrees exactly as it
-   does to evaluated ones. *)
-let skip_value eng base =
-  let depth = ref 0 in
-  let continue = ref true in
-  while !continue do
+(* Consume one complete value without building it, in memory
+   proportional to its nesting depth plus the keys of open objects.
+   [depth] is the nesting depth of the skipped value itself, so the
+   budget's depth ceiling and the duplicate-key / strict-syntax /
+   model-admission checks apply to skipped subtrees exactly as
+   [eval_value] applies them to evaluated ones — same errors, same
+   per-token fuel, same depth accounting.  (The blind token-counting
+   skipper this replaces accepted [\[:\]], never depth-checked scalars
+   and let duplicate keys through; the differential fuzz in [test_obs]
+   pins the agreement now.)  All calls are tail calls, so arbitrarily
+   deep inputs run in constant stack and die on the budget, not on
+   [Stack_overflow]. *)
+type skip_frame =
+  | Sk_obj of (string, unit) Hashtbl.t * int  (* seen keys, container depth *)
+  | Sk_arr of int
+
+let skip_value eng depth =
+  let rec value stack d =
+    Obs.Budget.check_depth eng.budget d;
     let _, tok = next_skip eng in
-    (match tok with
-    | Lexer.Lbrace | Lexer.Lbracket ->
-      incr depth;
-      Obs.Budget.check_depth eng.budget (base + !depth)
-    | Lexer.Rbrace | Lexer.Rbracket -> decr depth
-    | Lexer.String _ | Lexer.Nat _ | Lexer.Colon | Lexer.Comma -> ()
+    match tok with
+    | Lexer.Lbrace -> obj_first stack d
+    | Lexer.Lbracket ->
+      let _, tok = peek eng in
+      if tok = Lexer.Rbracket then begin
+        ignore (next_skip eng);
+        closed stack
+      end
+      else value (Sk_arr d :: stack) (d + 1)
+    | Lexer.String _ | Lexer.Nat _ -> closed stack
     | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False | Lexer.Null ->
       bad "value outside the model"
-    | Lexer.Eof -> bad "unexpected end of input");
-    if !depth = 0 then continue := false
-  done
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof ->
+      bad "expected a value"
+  and obj_first stack d =
+    (* keys are decoded ([next], not [next_skip]): duplicate detection
+       compares their contents *)
+    let _, tok = next eng in
+    match tok with
+    | Lexer.Rbrace -> closed stack
+    | Lexer.String k ->
+      let seen = Hashtbl.create 8 in
+      Hashtbl.add seen k ();
+      colon_then (Sk_obj (seen, d) :: stack) d
+    | _ -> bad "expected a key or '}'"
+  and colon_then stack d =
+    let _, colon = next eng in
+    if colon <> Lexer.Colon then bad "expected ':'";
+    value stack (d + 1)
+  and closed stack =
+    match stack with
+    | [] -> ()
+    | Sk_obj (seen, d) :: tl -> (
+      let _, sep = next eng in
+      match sep with
+      | Lexer.Comma -> (
+        let _, tok = next eng in
+        match tok with
+        | Lexer.String k ->
+          if Hashtbl.mem seen k then bad "duplicate key %S" k;
+          Hashtbl.add seen k ();
+          colon_then stack d
+        | _ -> bad "expected a key or '}'")
+      | Lexer.Rbrace -> closed tl
+      | _ -> bad "expected ',' or '}'")
+    | Sk_arr d :: tl -> (
+      let _, sep = next eng in
+      match sep with
+      | Lexer.Comma -> value stack (d + 1)
+      | Lexer.Rbracket -> closed tl
+      | _ -> bad "expected ',' or ']'")
+  in
+  value [] depth
 
 type node_kind =
   | At_int of int
@@ -176,7 +229,7 @@ let rec eval_value eng depth (obls : Jsl.t list) : bool list =
             List.iter2
               (fun g r -> Hashtbl.replace key_results (k, g) r)
               !gs results
-          | None -> skip_value eng depth);
+          | None -> skip_value eng (depth + 1));
           let _, sep = next eng in
           (match sep with
           | Lexer.Comma -> members false
@@ -198,7 +251,7 @@ let rec eval_value eng depth (obls : Jsl.t list) : bool list =
             List.iter2
               (fun g r -> Hashtbl.replace idx_results (i, g) r)
               !gs results
-          | None -> skip_value eng depth);
+          | None -> skip_value eng (depth + 1));
           let _, sep = next eng in
           match sep with
           | Lexer.Comma -> elements (i + 1)

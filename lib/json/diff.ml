@@ -68,7 +68,14 @@ let fail fmt = Format.kasprintf (fun s -> raise (Patch_error s)) fmt
 (* rebuild the value along [path], applying [edit] at its end *)
 let rec update path (v : Value.t) ~edit =
   match path with
-  | [] -> edit (Some v) |> Option.get
+  | [] -> (
+    (* a patch always replaces the root with {e something}: an edit
+       that deletes it has no result value, so it is a patch error —
+       the bare [Option.get] here used to escape [apply]'s documented
+       [result] as [Invalid_argument] *)
+    match edit (Some v) with
+    | Some v' -> v'
+    | None -> fail "remove: the document root cannot be removed")
   | Pointer.Key k :: rest -> (
     match v with
     | Value.Obj kvs when rest = [] -> (

@@ -294,6 +294,8 @@ let offset lx =
   | Some (pos, _) -> pos.offset
   | None -> lx.pos
 
+let remaining lx = String.length lx.input - offset lx
+
 let pp_token fmt = function
   | Lbrace -> Format.pp_print_string fmt "'{'"
   | Rbrace -> Format.pp_print_string fmt "'}'"

@@ -64,6 +64,11 @@ val offset : t -> int
 (** Byte offset of the first unconsumed byte (the peeked token's start
     when a lookahead is pending). *)
 
+val remaining : t -> int
+(** Bytes not yet consumed ([input length - offset]).  Sizes capacity
+    estimates for consumers that materialize a suffix of the input
+    (e.g. the streaming validator's spill path). *)
+
 val pp_token : Format.formatter -> token -> unit
 (** Render a token for error messages. *)
 

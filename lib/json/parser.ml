@@ -26,7 +26,11 @@ let literal_atom mode pos (tok : Lexer.token) : atom =
   | Lexer.False, `Lenient -> Str "false"
   | Lexer.Null, `Lenient -> Str "null"
   | Lexer.Float f, `Lenient when Float.is_integer f && f >= 0. ->
-    Int (int_of_float f)
+    (* only narrow floats whose integral value round-trips through the
+       native int: [int_of_float] on anything >= 2^62 is undefined (it
+       produced 0 for [1e30], silently corrupting the literal) *)
+    if f < 0x1p62 then Int (int_of_float f)
+    else fail pos "integer literal %.0f out of range" f
   (* [-0] normalizes to the natural 0, like [-0.0] above *)
   | Lexer.Neg_int 0, `Lenient -> Int 0
   | Lexer.True, `Strict | Lexer.False, `Strict ->
@@ -121,6 +125,61 @@ let parse_value mode budget lx =
     end
   in
   value 0
+
+(* Consume one complete JSON value without building anything, applying
+   exactly the checks the building routes apply: syntax, duplicate
+   object keys, literal-mode admission, and the budget guard per value
+   ([units] fuel each, depth against the ceiling).  String {e values}
+   are validated but not decoded ({!Lexer.next_skip}); object keys are
+   decoded because duplicate detection compares them.  Errors are
+   byte-identical to {!parse_value} / [Tree.of_string] on the same
+   input, which is what lets the streaming validator fast-forward over
+   unconstrained subtrees without weakening any check. *)
+let skip_value ?(units = 1) mode budget lx depth =
+  let rec value depth =
+    let pos, tok = Lexer.next_skip lx in
+    guard ~units budget pos depth;
+    match tok with
+    | Lexer.Lbrace -> obj depth
+    | Lexer.Lbracket -> arr depth
+    | Lexer.String _ | Lexer.Nat _ | Lexer.Neg_int _ | Lexer.Float _
+    | Lexer.True | Lexer.False | Lexer.Null ->
+      ignore (literal_atom mode pos tok)
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof ->
+      unexpected pos tok "a JSON value"
+  and obj depth =
+    let seen = Hashtbl.create 8 in
+    let rec members () =
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.String key ->
+        if Hashtbl.mem seen key then fail pos "duplicate object key %S" key;
+        Hashtbl.add seen key ();
+        let pos, tok = Lexer.next lx in
+        if tok <> Lexer.Colon then unexpected pos tok "':'";
+        value (depth + 1);
+        let pos, tok = Lexer.next lx in
+        (match tok with
+        | Lexer.Comma -> members ()
+        | Lexer.Rbrace -> ()
+        | _ -> unexpected pos tok "',' or '}'")
+      | _ -> unexpected pos tok "a string key"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbrace then ignore (Lexer.next lx) else members ()
+  and arr depth =
+    let rec elements () =
+      value (depth + 1);
+      let pos, tok = Lexer.next lx in
+      match tok with
+      | Lexer.Comma -> elements ()
+      | Lexer.Rbracket -> ()
+      | _ -> unexpected pos tok "',' or ']'"
+    in
+    let _, tok = Lexer.peek lx in
+    if tok = Lexer.Rbracket then ignore (Lexer.next lx) else elements ()
+  in
+  value depth
 
 let budget_of budget max_depth =
   match budget with

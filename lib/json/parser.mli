@@ -78,6 +78,19 @@ val guard : ?units:int -> Obs.Budget.t -> Lexer.position -> int -> unit
     [units] units of fuel (default [1]) — with exhaustion reported as a
     positioned parse error. *)
 
+val skip_value :
+  ?units:int -> [ `Strict | `Lenient ] -> Obs.Budget.t -> Lexer.t -> int
+  -> unit
+(** [skip_value mode budget lx depth] consumes one complete JSON value
+    starting at depth [depth] without building it, in memory
+    proportional to its nesting depth (plus the keys of open objects,
+    which duplicate detection must retain).  Every check the building
+    routes apply still applies — syntax, duplicate object keys,
+    literal admission under [mode], and the budget guard ([units] fuel
+    per value, default [1]) — with byte-identical errors, so skipping
+    never weakens validation.  String {e values} are validated without
+    being decoded. *)
+
 val budget_of : Obs.Budget.t option -> int option -> Obs.Budget.t
 (** The budget an entry point runs under: the explicit one if given,
     otherwise depth-limited to [max_depth] (default

@@ -268,14 +268,12 @@ let new_node b parent edge depth =
    handling reuse the {!Parser} helpers verbatim, which is what makes
    this route differentially testable against
    [of_value (Parser.parse_exn input)]. *)
-let of_string_exn ?(mode = `Strict) ?max_depth ?budget input =
-  let budget = Parser.budget_of budget max_depth in
-  let lx = Lexer.create input in
-  (* Capacity estimate from the input size: every node costs at least
-     four input bytes amortized on realistic documents.  Over-estimates
-     only cost transient memory (the trim below returns the dense
-     prefix); under-estimates only cost doublings. *)
-  let len = String.length input in
+let of_lexer_exn ?(mode = `Strict) ?(base_depth = 0) ~budget lx =
+  (* Capacity estimate from the unconsumed input size: every node costs
+     at least four input bytes amortized on realistic documents.
+     Over-estimates only cost transient memory (the trim below returns
+     the dense prefix); under-estimates only cost doublings. *)
+  let len = Lexer.remaining lx in
   let b = builder (len / 4) in
   let by_key = Hashtbl.create (max 16 (len / 8)) in
   (* Children of the container currently being filled sit on top of
@@ -296,7 +294,10 @@ let of_string_exn ?(mode = `Strict) ?max_depth ?budget input =
        like the parser's peek-then-guard. *)
     Parser.guard ~units:2 budget pos depth;
     Obs.Metrics.incr "parse.values";
-    let id = new_node b parent edge depth in
+    (* stored depths are tree-relative; [depth] itself stays absolute so
+       the ceiling applies to real document nesting when a spill starts
+       [base_depth] levels down *)
+    let id = new_node b parent edge (depth - base_depth) in
     (match tok with
     | Lexer.Lbrace -> obj id depth
     | Lexer.Lbracket -> arr id depth
@@ -388,11 +389,7 @@ let of_string_exn ?(mode = `Strict) ?max_depth ?budget input =
     b.b_sizes.(id) <- b.b_n - id;
     b.b_heights.(id) <- !ht
   in
-  ignore (value (-1) Root 0);
-  let pos, tok = Lexer.next lx in
-  if tok <> Lexer.Eof then Parser.unexpected pos tok "end of input";
-  Obs.Metrics.add "parse.direct.bytes" len;
-  Obs.Metrics.incr "parse.direct.docs";
+  ignore (value (-1) Root base_depth);
   let trim : 'a. 'a array -> 'a array =
    fun a -> if Array.length a = b.b_n then a else Array.sub a 0 b.b_n
   in
@@ -407,6 +404,16 @@ let of_string_exn ?(mode = `Strict) ?max_depth ?budget input =
     hashes = trim b.b_hashes;
     by_key;
     index = None }
+
+let of_string_exn ?mode ?max_depth ?budget input =
+  let budget = Parser.budget_of budget max_depth in
+  let lx = Lexer.create input in
+  let t = of_lexer_exn ?mode ~budget lx in
+  let pos, tok = Lexer.next lx in
+  if tok <> Lexer.Eof then Parser.unexpected pos tok "end of input";
+  Obs.Metrics.add "parse.direct.bytes" (String.length input);
+  Obs.Metrics.incr "parse.direct.docs";
+  t
 
 let of_string ?mode ?max_depth ?budget input =
   Parser.wrap (fun () -> of_string_exn ?mode ?max_depth ?budget input)

@@ -62,6 +62,18 @@ val of_string_exn :
 (** Like {!of_string}.  @raise Parser.Parse_error on failure (including
     budget exhaustion).  @raise Lexer.Error on malformed input. *)
 
+val of_lexer_exn :
+  ?mode:[ `Strict | `Lenient ] -> ?base_depth:int -> budget:Obs.Budget.t
+  -> Lexer.t -> t
+(** [of_lexer_exn ~budget lx] parses {e one} JSON value off an existing
+    lexer with the same fused pass as {!of_string} — no trailing-input
+    check, so the caller can keep consuming [lx] afterwards.  The
+    budget guard runs with depths offset by [base_depth] (stored node
+    depths stay tree-relative), which lets the streaming validator
+    spill a subtree [base_depth] levels into a document while keeping
+    the global nesting ceiling exact.  @raise Parser.Parse_error,
+    @raise Lexer.Error like {!of_string_exn}. *)
+
 val to_value : t -> Value.t
 (** Inverse of {!of_value} (up to object pair order). *)
 

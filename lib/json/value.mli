@@ -35,6 +35,11 @@ val arr : t list -> t
 val obj : (string * t) list -> t
 (** [obj kvs] is [Obj kvs].  @raise Invalid if two keys coincide. *)
 
+val duplicate_key : (string * t) list -> string option
+(** The first key bound twice in [kvs], if any — the check behind
+    {!obj}, shared with consumers that must reject duplicate-keyed
+    maps arriving as plain association lists. *)
+
 val empty_obj : t
 (** The empty object [{}]. *)
 

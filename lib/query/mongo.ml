@@ -152,8 +152,11 @@ and constr_to_jsl p (c : constr) : Jsl.t =
   | Q_gt n -> positive (Jsl.And (Jsl.Test Jsl.Is_int, Jsl.Test (Jsl.Min (n + 1))))
   | Q_gte n -> positive (Jsl.And (Jsl.Test Jsl.Is_int, Jsl.Test (Jsl.Min n)))
   | Q_lt n ->
-    positive
-      (Jsl.And (Jsl.Test Jsl.Is_int, Jsl.Test (Jsl.Max (max 0 (n - 1)))))
+    (* no natural number is below 0: [$lt 0] (and below) is satisfiable
+       by nothing.  The old [max 0 (n - 1)] clamp turned it into
+       [Max 0], wrongly matching 0 itself. *)
+    if n <= 0 then positive Jsl.ff
+    else positive (Jsl.And (Jsl.Test Jsl.Is_int, Jsl.Test (Jsl.Max (n - 1))))
   | Q_lte n -> positive (Jsl.And (Jsl.Test Jsl.Is_int, Jsl.Test (Jsl.Max n)))
   | Q_exists true -> positive Jsl.True
   | Q_exists false -> Jsl.Not (positive Jsl.True)
@@ -172,6 +175,10 @@ and constr_to_jsl p (c : constr) : Jsl.t =
     Jsl.Not (positive (Jsl.disj (List.map (fun v -> Jsl.Test (Jsl.Eq_doc v)) vs)))
   | Q_elem_match f ->
     positive (Jsl.And (Jsl.Test Jsl.Is_arr, Jsl.Dia_range (0, None, filter_to_jsl f)))
+  | Q_all [] ->
+    (* Mongo pins [$all []] to match no document at all; the bare
+       [conj [Is_arr]] this used to produce matched every array *)
+    Jsl.ff
   | Q_all vs ->
     (* every listed value occurs among the array's elements *)
     positive

@@ -1,5 +1,7 @@
 module Value = Jsont.Value
 module Tree = Jsont.Tree
+module Lexer = Jsont.Lexer
+module Parser = Jsont.Parser
 module Dfa = Rexp.Dfa
 
 (* Enum constants are pre-hashed with the tree hash so the runtime
@@ -365,3 +367,341 @@ let run_tree ?(budget = Obs.Budget.unlimited) p t =
   exec p st t Tree.root p.root 0
 
 let run ?budget p v = run_tree ?budget p (Tree.of_value ?budget v)
+
+(* ---- execution over the token stream ------------------------------------- *)
+
+(* Same-node closure of a requested plan-id set: everything reachable
+   through [anyOf]/[allOf]/[not] edges, which all constrain the {e
+   same} value (property/item edges descend to children and are
+   dispatched per member instead).  [Schema.well_formed] rejects
+   non-modal reference cycles, so the closure is acyclic for every
+   compilable document; the cycle flag is kept as a defensive fallback
+   (a cyclic closure spills, reproducing [run_tree]'s divergence
+   behavior instead of inventing a third semantics).  Ids are stored
+   children-first (post-order), so one ascending sweep combines per-id
+   verdicts with every same-node dependency already resolved. *)
+type closure = {
+  c_ids : int array;  (* post-order: same-node dependencies first *)
+  c_slot : (int, int) Hashtbl.t;  (* plan id -> index into [c_ids] *)
+  c_enum : bool;  (* some closure node carries [enum] *)
+  c_unique : bool;  (* some closure node carries [uniqueItems] *)
+  c_cyclic : bool;
+}
+
+let closure_of p requested =
+  let slot = Hashtbl.create 8 in
+  let order = ref [] in
+  let count = ref 0 in
+  let active = Hashtbl.create 8 in
+  let cyclic = ref false in
+  let enum = ref false and unique = ref false in
+  let rec go id =
+    if Hashtbl.mem active id then cyclic := true
+    else if not (Hashtbl.mem slot id) then begin
+      Hashtbl.add active id ();
+      let nd = p.nodes.(id) in
+      if Array.length nd.enums > 0 then enum := true;
+      if nd.unique then unique := true;
+      Array.iter (Array.iter go) nd.any_of;
+      Array.iter go nd.all_of;
+      Array.iter go nd.nots;
+      Hashtbl.remove active id;
+      Hashtbl.add slot id !count;
+      incr count;
+      order := id :: !order
+    end
+  in
+  List.iter go requested;
+  { c_ids = Array.of_list (List.rev !order);
+    c_slot = slot;
+    c_enum = !enum;
+    c_unique = !unique;
+    c_cyclic = !cyclic }
+
+type stream_state = {
+  s_budget : Obs.Budget.t;
+  s_mode : [ `Strict | `Lenient ];
+  s_lx : Lexer.t;
+  s_closures : (int list, closure) Hashtbl.t;
+    (* closures depend only on the requested set, which repeats for
+       every element of a homogeneous array — cache them per run *)
+}
+
+let closure st p requested =
+  match Hashtbl.find_opt st.s_closures requested with
+  | Some c -> c
+  | None ->
+    let c = closure_of p requested in
+    Hashtbl.add st.s_closures requested c;
+    c
+
+(* Scalar [enum] membership directly on the token's atom — the scalar
+   cases never spill.  Candidate values come from [enum_set], which
+   dropped anything not constructible as a tree, exactly like the
+   tree-path comparison would. *)
+let enum_has_int v entries =
+  Array.exists
+    (fun e -> match e.e_value with Value.Num m -> m = v | _ -> false)
+    entries
+
+let enum_has_str s entries =
+  Array.exists
+    (fun e ->
+      match e.e_value with Value.Str t -> String.equal t s | _ -> false)
+    entries
+
+(* One streamed value against the plan-id set [requested] (sorted).
+   Returns per-id verdicts for the whole same-node closure (spills
+   return just [requested], which is all a caller ever reads).  The
+   token handling mirrors [Tree.of_string_exn] member for member, so
+   malformed documents render byte-identical errors through either
+   engine; fuel is charged per streamed value ([1] parse unit plus one
+   per active closure node), per skipped value ([1]) and per spilled
+   value (the materialization's [2] plus [run_tree]'s per-(node, plan)
+   unit), and the depth ceiling follows document nesting with the same
+   positions as the parser. *)
+let rec stream_value st p requested depth =
+  let c = closure st p requested in
+  let ids = c.c_ids in
+  let n = Array.length ids in
+  let pos, tok = Lexer.peek st.s_lx in
+  Parser.guard ~units:(1 + n) st.s_budget pos depth;
+  Obs.Metrics.incr "parse.values";
+  let must_spill =
+    c.c_cyclic
+    ||
+    match tok with
+    | Lexer.Lbrace -> c.c_enum
+    | Lexer.Lbracket -> c.c_enum || c.c_unique
+    | _ -> false
+  in
+  if must_spill then spill st p requested depth
+  else begin
+    let nodes = p.nodes in
+    let structural = Array.make n false in
+    let scalar_int v =
+      for i = 0 to n - 1 do
+        let nd = nodes.(ids.(i)) in
+        structural.(i) <-
+          nd.type_mask land 0b1000 <> 0
+          && v >= nd.min_bound && v <= nd.max_bound
+          && Array.for_all (fun m -> m <> 0 && v mod m = 0) nd.multiples
+          && Array.for_all (enum_has_int v) nd.enums
+      done
+    in
+    let scalar_str s =
+      for i = 0 to n - 1 do
+        let nd = nodes.(ids.(i)) in
+        structural.(i) <-
+          nd.type_mask land 0b0100 <> 0
+          && Array.for_all (fun dfa -> Dfa.accepts dfa s) nd.patterns
+          && Array.for_all (enum_has_str s) nd.enums
+      done
+    in
+    let pos, tok = Lexer.next st.s_lx in
+    (match tok with
+    | Lexer.Lbrace -> stream_obj st p c depth structural
+    | Lexer.Lbracket -> stream_arr st p c depth structural
+    | Lexer.Nat v -> scalar_int v
+    | Lexer.String s -> scalar_str s
+    | Lexer.Neg_int _ | Lexer.Float _ | Lexer.True | Lexer.False
+    | Lexer.Null -> (
+      match Parser.literal_atom st.s_mode pos tok with
+      | Parser.Int v -> scalar_int v
+      | Parser.Str s -> scalar_str s)
+    | Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof
+      ->
+      Parser.unexpected pos tok "a JSON value");
+    (* combine across the same-node graph, children first *)
+    let finals = Array.make n false in
+    let fin pid = finals.(Hashtbl.find c.c_slot pid) in
+    for i = 0 to n - 1 do
+      let nd = nodes.(ids.(i)) in
+      finals.(i) <-
+        structural.(i)
+        && Array.for_all (fun group -> Array.exists fin group) nd.any_of
+        && Array.for_all fin nd.all_of
+        && Array.for_all (fun pid -> not (fin pid)) nd.nots
+    done;
+    let tbl = Hashtbl.create (2 * n) in
+    Array.iteri (fun i id -> Hashtbl.replace tbl id finals.(i)) ids;
+    tbl
+  end
+
+(* A member/element's child obligations: the union of every closure
+   node's dispatch for it is evaluated once ([per_slot] remembers which
+   verdicts each closure node then reads back), or skipped outright when
+   no active node constrains it. *)
+and stream_child st p depth per_slot union union_n ok =
+  if union_n = 0 then begin
+    let before = Lexer.offset st.s_lx in
+    Parser.skip_value st.s_mode st.s_budget st.s_lx (depth + 1);
+    Obs.Metrics.add "validate.stream.skipped_bytes"
+      (Lexer.offset st.s_lx - before)
+  end
+  else begin
+    let ctbl = stream_value st p (List.sort_uniq compare union) (depth + 1) in
+    Array.iteri
+      (fun i pids ->
+        if ok.(i) then
+          ok.(i) <- List.for_all (fun pid -> Hashtbl.find ctbl pid) pids)
+      per_slot
+  end
+
+and stream_obj st p c depth structural =
+  let nodes = p.nodes in
+  let ids = c.c_ids in
+  let n = Array.length ids in
+  let ok = Array.make n true in
+  let seen = Hashtbl.create 8 in
+  let arity = ref 0 in
+  let member key =
+    incr arity;
+    let union = ref [] and union_n = ref 0 in
+    let in_union = Hashtbl.create 8 in
+    let add pid =
+      if not (Hashtbl.mem in_union pid) then begin
+        Hashtbl.add in_union pid ();
+        union := pid :: !union;
+        incr union_n
+      end
+    in
+    let per_slot = Array.make n [] in
+    for i = 0 to n - 1 do
+      let nd = nodes.(ids.(i)) in
+      let acc = ref [] in
+      let named = ref false in
+      (match Hashtbl.find_opt nd.props key with
+      | Some ps ->
+        named := true;
+        Array.iter (fun pid -> acc := pid :: !acc) ps
+      | None -> ());
+      Array.iter
+        (fun (re, pid) ->
+          if Dfa.accepts re key then begin
+            named := true;
+            acc := pid :: !acc
+          end)
+        nd.pattern_props;
+      if not !named then Array.iter (fun pid -> acc := pid :: !acc) nd.additional;
+      per_slot.(i) <- !acc;
+      List.iter add !acc
+    done;
+    stream_child st p depth per_slot !union !union_n ok
+  in
+  let rec members () =
+    let pos, tok = Lexer.next st.s_lx in
+    match tok with
+    | Lexer.String key ->
+      if Hashtbl.mem seen key then
+        Parser.fail pos "duplicate object key %S" key;
+      Hashtbl.add seen key ();
+      let pos, tok = Lexer.next st.s_lx in
+      if tok <> Lexer.Colon then Parser.unexpected pos tok "':'";
+      member key;
+      let pos, tok = Lexer.next st.s_lx in
+      (match tok with
+      | Lexer.Comma -> members ()
+      | Lexer.Rbrace -> ()
+      | _ -> Parser.unexpected pos tok "',' or '}'")
+    | _ -> Parser.unexpected pos tok "a string key"
+  in
+  let _, tok = Lexer.peek st.s_lx in
+  if tok = Lexer.Rbrace then ignore (Lexer.next st.s_lx) else members ();
+  for i = 0 to n - 1 do
+    let nd = nodes.(ids.(i)) in
+    structural.(i) <-
+      nd.type_mask land 0b0001 <> 0
+      && ok.(i)
+      && !arity >= nd.min_props && !arity <= nd.max_props
+      && Array.for_all (Hashtbl.mem seen) nd.required
+  done
+
+and stream_arr st p c depth structural =
+  let nodes = p.nodes in
+  let ids = c.c_ids in
+  let n = Array.length ids in
+  let ok = Array.make n true in
+  let len = ref 0 in
+  let element () =
+    let i = !len in
+    incr len;
+    let union = ref [] and union_n = ref 0 in
+    let in_union = Hashtbl.create 8 in
+    let add pid =
+      if not (Hashtbl.mem in_union pid) then begin
+        Hashtbl.add in_union pid ();
+        union := pid :: !union;
+        incr union_n
+      end
+    in
+    let per_slot = Array.make n [] in
+    for s = 0 to n - 1 do
+      let nd = nodes.(ids.(s)) in
+      let acc = ref [] in
+      (match (nd.items, nd.additional_items) with
+      | None, None -> ()
+      | None, Some a -> acc := [ a ]
+      | Some ss, add_items ->
+        if i < Array.length ss then acc := [ ss.(i) ]
+        else (
+          match add_items with
+          | None -> ok.(s) <- false (* §5.1: nothing beyond the tuple *)
+          | Some a -> acc := [ a ]));
+      per_slot.(s) <- !acc;
+      List.iter add !acc
+    done;
+    stream_child st p depth per_slot !union !union_n ok
+  in
+  let rec elements () =
+    element ();
+    let pos, tok = Lexer.next st.s_lx in
+    match tok with
+    | Lexer.Comma -> elements ()
+    | Lexer.Rbracket -> ()
+    | _ -> Parser.unexpected pos tok "',' or ']'"
+  in
+  let _, tok = Lexer.peek st.s_lx in
+  if tok = Lexer.Rbracket then ignore (Lexer.next st.s_lx) else elements ();
+  for s = 0 to n - 1 do
+    let nd = nodes.(ids.(s)) in
+    let tuple_complete =
+      match nd.items with
+      | Some ss -> !len >= Array.length ss (* §5.1: positions must exist *)
+      | None -> true
+    in
+    structural.(s) <- nd.type_mask land 0b0010 <> 0 && ok.(s) && tuple_complete
+  done
+
+(* Materialize exactly one subtree through the column builder and fall
+   back to [run_tree] semantics on it — the bounded escape hatch for
+   the keywords that genuinely need the whole subtree ([uniqueItems],
+   [enum] deep equality) or a cyclic closure. *)
+and spill st p requested depth =
+  Obs.Metrics.incr "validate.stream.spills";
+  let t =
+    Tree.of_lexer_exn ~mode:st.s_mode ~base_depth:depth ~budget:st.s_budget
+      st.s_lx
+  in
+  let est = { budget = st.s_budget; memo = Hashtbl.create 64 } in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem tbl id) then
+        Hashtbl.replace tbl id (exec p est t Tree.root id depth))
+    requested;
+  tbl
+
+let run_stream ?(budget = Obs.Budget.unlimited) ?(mode = `Strict) p input =
+  Obs.Metrics.incr "validate.stream.runs";
+  let lx = Lexer.create input in
+  let st =
+    { s_budget = budget;
+      s_mode = mode;
+      s_lx = lx;
+      s_closures = Hashtbl.create 16 }
+  in
+  let tbl = stream_value st p [ p.root ] 0 in
+  let pos, tok = Lexer.next lx in
+  if tok <> Lexer.Eof then Parser.unexpected pos tok "end of input";
+  Hashtbl.find tbl p.root

@@ -60,3 +60,43 @@ val run : ?budget:Obs.Budget.t -> t -> Jsont.Value.t -> bool
     charged to the same budget.  @raise Jsont.Value.Invalid on invalid
     values (negative numbers, duplicate keys), like every tree-based
     engine. *)
+
+val run_stream :
+  ?budget:Obs.Budget.t -> ?mode:[ `Strict | `Lenient ] -> t -> string
+  -> bool
+(** [run_stream p input] parses and validates [input] in one pass over
+    the token stream, never materializing the document: memory is
+    proportional to nesting depth plus the width of open containers,
+    not to document size.  Per open container it keeps one frame of
+    (plan id, obligation) state for the {e same-node closure} of the
+    active plan nodes (everything reachable through
+    [anyOf]/[allOf]/[not], which constrain the same value); type masks,
+    bounds, required sets, key dispatch and items vectors resolve as
+    tokens arrive, and subtrees no active node constrains are
+    fast-forwarded by {!Jsont.Parser.skip_value} with every syntax /
+    duplicate-key / literal-admission check intact.  Keywords that
+    genuinely need the subtree — [uniqueItems], [enum] on containers,
+    plus the defensive case of a cyclic same-node closure — {e spill}:
+    exactly that subtree is materialized through the
+    {!Jsont.Tree.of_lexer_exn} column builder and decided by the
+    {!run_tree} executor, then streaming resumes after it.
+
+    The decided relation is exactly {!run_tree} ∘ {!Jsont.Tree.of_string}
+    (hence also {!Validate.validates}); rendered errors on malformed
+    documents are byte-identical to {!Jsont.Tree.of_string_exn}'s.
+    [budget]: the depth ceiling follows document nesting with
+    parser-identical positions; fuel is charged per streamed value (one
+    parse unit plus one per active closure node), per skipped value
+    (one), and per spilled value (the materialization's two plus
+    {!run_tree}'s per-(node, plan) unit) — a single budget covers the
+    fused parse+validate, where the two-stage route draws parse and
+    run fuel separately.  [mode] admits literals like the parser's
+    (default [`Strict]).
+
+    Counters: [validate.stream.runs], [validate.stream.spills],
+    [validate.stream.skipped_bytes] (plus the shared [parse.values]).
+
+    @raise Jsont.Parser.Parse_error on malformed input and budget
+    exhaustion inside the streaming/parsing layers,
+    @raise Obs.Budget.Exhausted from a spilled {!run_tree} execution,
+    @raise Jsont.Lexer.Error on lexical errors. *)

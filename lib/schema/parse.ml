@@ -5,7 +5,11 @@ exception Bad of string
 let bad fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
 
 let as_nat what = function
-  | Value.Num n -> n
+  | Value.Num n when n >= 0 -> n
+  (* text parsing cannot produce a negative [Num], but [of_value]
+     accepts programmatically built values — don't let a negative bound
+     slip through as if it were a natural *)
+  | Value.Num n -> bad "%s expects a natural number, got %d" what n
   | v -> bad "%s expects a natural number, got %s" what (Value.kind_name v)
 
 let as_string what = function
@@ -46,6 +50,12 @@ let parse_ref s =
 
 let rec parse_schema ~ignore_unknown ~root (v : Value.t) : Schema.t =
   let kvs = as_object "a schema" v in
+  (* the text route rejects duplicate keys at the JSON layer; values
+     built programmatically must not smuggle a keyword in twice (the
+     conjuncts would silently conjoin, e.g. two [type]s) *)
+  (match Value.duplicate_key kvs with
+  | Some k -> bad "schema keyword %S given twice in one object" k
+  | None -> ());
   let sub v = parse_schema ~ignore_unknown ~root:false v in
   List.filter_map
     (fun (key, v) ->

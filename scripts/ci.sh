@@ -216,6 +216,129 @@ case $v_plan in
      exit 1 ;;
 esac
 
+# Streaming validation differential gate: the three-way fuzz
+# (run_stream = tree executor = interpreter), error/budget identity,
+# spill units and NDJSON fault folding, run standalone so a break is
+# named in the CI log.
+run 300 _build/default/test/test_stream_validate.exe
+
+# Stream bench agreement mode: run_stream vs tree vs interpreter on
+# the catalog corpus plus the peak-heap gate (streaming heap growth
+# must sit >= 10x below the tree route's); the JSON dump must land.
+stream_json=$(mktemp -d)
+strm_out=$(run 300 _build/default/bench/main.exe --json "$stream_json" stream)
+case $strm_out in
+  *"stream agreement: COMPLETE"*) ;;
+  *) echo "FAIL: stream bench did not report complete agreement" >&2
+     echo "$strm_out" >&2
+     exit 1 ;;
+esac
+if [ ! -s "$stream_json/BENCH_stream.json" ]; then
+  echo "FAIL: stream bench did not write BENCH_stream.json" >&2
+  exit 1
+fi
+rm -rf "$stream_json"
+
+# Streaming CLI wiring, part 1: --stream over --files-from must print
+# byte-identical path<TAB>verdict lines to the tree path — including
+# the rendered error for a malformed document — and exit 1 on mixed
+# verdicts, exactly like the tree path does.
+sdir=$(mktemp -d)
+cat > "$sdir/schema.json" <<'EOF'
+{"type":"object","required":["a"],
+ "properties":{"a":{"type":"number","minimum":1}},
+ "additionalProperties":{"type":"string"}}
+EOF
+for i in $(seq 1 30); do
+  if [ "$i" = 7 ]; then
+    printf '{"a":1,' > "$sdir/doc$i.json"                      # malformed
+  elif [ $((i % 4)) = 0 ]; then
+    printf '{"a":0}' > "$sdir/doc$i.json"                      # INVALID
+  else
+    printf '{"a":%d,"note":"ok"}' "$i" > "$sdir/doc$i.json"
+  fi
+  echo "$sdir/doc$i.json" >> "$sdir/list"
+done
+ts_status=0
+s_tree=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --files-from "$sdir/list") || ts_status=$?
+ss_status=0
+s_stream=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --files-from "$sdir/list") || ss_status=$?
+if [ "$s_tree" != "$s_stream" ] || [ "$ss_status" != 1 ] || [ "$ts_status" != 1 ]; then
+  echo "FAIL: validate --stream vs tree --files-from mismatch (exits $ts_status/$ss_status)" >&2
+  printf '%s\n---\n%s\n' "$s_tree" "$s_stream" >&2
+  exit 1
+fi
+
+# Streaming CLI wiring, part 2: NDJSON mode (one document per line,
+# path:line<TAB>result) with a malformed line folded into a per-line
+# error; --jobs 2 must produce byte-identical output to the
+# sequential line-at-a-time run.
+nd="$sdir/docs.ndjson"
+: > "$nd"
+for i in $(seq 1 200); do
+  if [ "$i" = 50 ]; then
+    echo '{"a":1,"broken"' >> "$nd"
+  elif [ $((i % 5)) = 0 ]; then
+    echo '{"a":0}' >> "$nd"
+  else
+    printf '{"a":%d,"note":"ok"}\n' "$i" >> "$nd"
+  fi
+done
+nd1=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream "$nd") || true
+nd2=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --jobs 2 "$nd") || true
+if [ "$nd1" != "$nd2" ] || [ -z "$nd1" ]; then
+  echo "FAIL: NDJSON --stream --jobs 1 and --jobs 2 disagree" >&2
+  printf '%s\n---\n%s\n' "$nd1" "$nd2" >&2
+  exit 1
+fi
+if [ "$(printf '%s\n' "$nd1" | wc -l)" != 200 ]; then
+  echo "FAIL: NDJSON --stream expected 200 result lines" >&2
+  echo "$nd1" >&2
+  exit 1
+fi
+case $nd1 in
+  *":50	error:"*) ;;
+  *) echo "FAIL: malformed NDJSON line did not fold into a per-line error" >&2
+     echo "$nd1" >&2
+     exit 1 ;;
+esac
+
+# Streaming RSS ceiling: validating ~100 MB of NDJSON must complete
+# inside a 512 MB address-space limit — streaming memory follows the
+# longest line, not the file (ulimit -v in a subshell so the limit
+# dies with it).
+big="$sdir/big.ndjson"
+awk 'BEGIN {
+  for (l = 0; l < 6400; l++) {
+    printf "{\"a\":%d,\"pad\":\"", l + 1
+    for (i = 0; i < 1023; i++) printf "xxxxxxxxxxxxxxx "
+    printf "\"}\n"
+  }
+}' > "$big"
+big_status=0
+big_out=$( (ulimit -v 524288 2>/dev/null || true
+            timeout 300 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+              --stream "$big") ) || big_status=$?
+if [ "$big_status" != 0 ]; then
+  echo "FAIL: 100MB NDJSON --stream under 512MB ulimit: exit $big_status" >&2
+  printf '%s\n' "$big_out" | tail -5 >&2
+  exit 1
+fi
+if [ "$(printf '%s\n' "$big_out" | wc -l)" != 6400 ]; then
+  echo "FAIL: 100MB NDJSON --stream expected 6400 result lines" >&2
+  exit 1
+fi
+case $big_out in
+  *INVALID*) echo "FAIL: 100MB NDJSON --stream reported INVALID lines" >&2
+             exit 1 ;;
+  *) ;;
+esac
+rm -rf "$sdir"
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

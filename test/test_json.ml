@@ -573,6 +573,96 @@ let prop_diff_invert =
       | Ok a' -> Value.equal a a'
       | Error m -> QCheck.Test.fail_reportf "inverse failed: %s" m)
 
+(* Correlated pairs: [b] is a cascade of local mutations of [a] —
+   element deletes and inserts mixed within one array, object key
+   insertion/removal and duplicate-free reorderings, subtree edits.
+   Independent pairs almost never produce these shapes, so the plain
+   round-trip property cannot see diff's positional bookkeeping go
+   wrong on them. *)
+let gen_mutated_pair =
+  let open QCheck.Gen in
+  let fresh_atom =
+    oneof
+      [ map (fun n -> Value.Num (abs n mod 1000)) nat;
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 6)) ]
+  in
+  let rec seq = function
+    | [] -> return []
+    | g :: gs -> g >>= fun x -> seq gs >>= fun xs -> return (x :: xs)
+  in
+  let rec mutate (v : Value.t) =
+    match v with
+    | Value.Arr vs ->
+      (* per element: delete, mutate in place, or keep — then append *)
+      seq
+        (List.map
+           (fun v ->
+             int_range 0 99 >>= fun roll ->
+             if roll < 20 then return []
+             else if roll < 60 then map (fun v -> [ v ]) (mutate v)
+             else return [ v ])
+           vs)
+      >>= fun kept ->
+      int_range 0 2 >>= fun n_ins ->
+      list_size (return n_ins) fresh_atom >>= fun ins ->
+      return (Value.Arr (List.concat kept @ ins))
+    | Value.Obj kvs ->
+      seq
+        (List.map
+           (fun (k, v) ->
+             int_range 0 99 >>= fun roll ->
+             if roll < 15 then return None
+             else if roll < 55 then map (fun v -> Some (k, v)) (mutate v)
+             else return (Some (k, v)))
+           kvs)
+      >>= fun kept ->
+      let kept = List.filter_map Fun.id kept in
+      int_range 0 99 >>= fun add_roll ->
+      (if add_roll < 30 && not (List.mem_assoc "zq" kept) then
+         map (fun v -> kept @ [ ("zq", v) ]) fresh_atom
+       else return kept)
+      >>= fun kvs' ->
+      (* reordering alone must produce an empty diff; combined with
+         edits it must still round-trip *)
+      shuffle_l kvs' >>= fun shuffled -> return (Value.Obj shuffled)
+    | atom -> frequency [ (3, return atom); (1, fresh_atom) ]
+  in
+  gen_value >>= fun a ->
+  mutate a >>= fun b -> return (a, b)
+
+let arbitrary_mutated_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Value.to_string a ^ "  ~>  " ^ Value.to_string b)
+    gen_mutated_pair
+
+let prop_diff_roundtrip_mutations =
+  QCheck.Test.make ~name:"apply (diff a b) a = b (correlated mutations)"
+    ~count:500 arbitrary_mutated_pair (fun (a, b) ->
+      match Diff.apply (Diff.diff a b) a with
+      | Ok b' -> Value.equal b b'
+      | Error m -> QCheck.Test.fail_reportf "apply failed: %s" m)
+
+let prop_diff_invert_mutations =
+  QCheck.Test.make ~name:"apply (invert (diff a b)) b = a (correlated mutations)"
+    ~count:500 arbitrary_mutated_pair (fun (a, b) ->
+      match Diff.apply (Diff.invert (Diff.diff a b)) b with
+      | Ok a' -> Value.equal a a'
+      | Error m -> QCheck.Test.fail_reportf "inverse failed: %s" m)
+
+let test_diff_root_remove_total () =
+  (* pre-fix, a root-level [Remove] escaped [apply]'s documented
+     [result] contract as [Invalid_argument "option is None"] *)
+  let v = parse {|{"x":1}|} in
+  (match Diff.apply [ Diff.Remove ([], v) ] v with
+  | Error _ -> ()
+  | Ok r ->
+    Alcotest.failf "removing the root must be a patch error, got %s"
+      (Value.to_string r));
+  (* the root can still be replaced *)
+  match Diff.apply [ Diff.Replace ([], v, Value.Num 7) ] v with
+  | Ok r -> Alcotest.check value "root replace" (Value.Num 7) r
+  | Error m -> Alcotest.fail m
+
 
 (* ------------------------------------------------------------------ *)
 (* XML coding (§3.2)                                                    *)
@@ -795,6 +885,8 @@ let qcheck_tests =
       prop_compare_total_order;
       prop_diff_roundtrip;
       prop_diff_invert;
+      prop_diff_roundtrip_mutations;
+      prop_diff_invert_mutations;
       prop_xml_roundtrip;
       prop_xml_lookup_agrees;
       prop_parser_total;
@@ -838,7 +930,9 @@ let () =
        [ Alcotest.test_case "basics" `Quick test_xml_coding ]);
       ("diff",
        [ Alcotest.test_case "basics" `Quick test_diff_basics;
-         Alcotest.test_case "errors" `Quick test_diff_errors ]);
+         Alcotest.test_case "errors" `Quick test_diff_errors;
+         Alcotest.test_case "root remove is a patch error" `Quick
+           test_diff_root_remove_total ]);
       ("pointer",
        [ Alcotest.test_case "parse" `Quick test_pointer_parse;
          Alcotest.test_case "bracket whitespace" `Quick test_pointer_whitespace;

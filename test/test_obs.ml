@@ -258,6 +258,185 @@ let test_differential_stream_vs_tree () =
     true
     (!checked > 400)
 
+(* ------------------------------------------------------------------ *)
+(* Skip-path differential: skipped and decoded regions must agree      *)
+(* byte-for-byte on errors and budgets                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* smallest fuel allowance under which [validate] stops raising budget
+   errors — by construction the token count, since the engine burns one
+   unit per token on both the evaluating and the skipping path *)
+let fuel_needed ?(max_depth = Obs.Budget.default_max_depth) text f =
+  let done_at fuel =
+    match
+      Stream.validate ~budget:(Obs.Budget.create ~fuel ~max_depth ()) text f
+    with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let rec up hi = if done_at hi then hi else up (2 * hi) in
+  let rec bin lo hi =
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if done_at mid then bin lo mid else bin (mid + 1) hi
+  in
+  bin 1 (up 1)
+
+let stream_error text f =
+  match Stream.validate text f with
+  | Ok ok -> Alcotest.failf "expected an error, got %b on %s" ok text
+  | Error m -> m
+
+(* a malformed or over-budget construct must produce the same error
+   whether the enclosing value is evaluated or fast-forwarded *)
+let check_skip_eval_error_parity ~msg text f_skip f_eval =
+  let skipped = stream_error text f_skip and decoded = stream_error text f_eval in
+  Alcotest.(check string) (msg ^ ": skip/eval error parity") decoded skipped
+
+let test_skip_rejects_malformed () =
+  (* pre-fix, the blind token-counting skipper accepted [:] and every
+     other bracket-balanced garbage inside unconstrained subtrees *)
+  check_skip_eval_error_parity ~msg:"[:]" {|{"b":[:],"a":1}|}
+    (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+    (Jsl.dia_key "b" (Jsl.Test Jsl.Is_arr));
+  check_skip_eval_error_parity ~msg:"missing colon" {|{"b":{"k" 1},"a":1}|}
+    (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+    (Jsl.dia_key "b" (Jsl.Test Jsl.Is_obj));
+  check_skip_eval_error_parity ~msg:"literal outside the model"
+    {|{"b":[null],"a":1}|}
+    (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+    (Jsl.dia_key "b" (Jsl.Test Jsl.Is_arr))
+
+let test_skip_rejects_duplicate_keys () =
+  (* pre-fix, duplicate keys in skipped regions went undetected *)
+  let text = {|{"x":{"d":1,"d":2},"a":1}|} in
+  let m = stream_error text (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int)) in
+  Alcotest.(check bool) ("mentions the key: " ^ m) true (contains {|"d"|} m);
+  check_skip_eval_error_parity ~msg:"duplicate key" text
+    (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+    (Jsl.dia_key "x" (Jsl.Test Jsl.Is_obj))
+
+let test_skip_checks_depth () =
+  (* pre-fix, nesting inside skipped subtrees never met the depth
+     ceiling: a 200-deep pad passed where the decoded path exhausted *)
+  let pad = nested_array_text 200 in
+  let text = Printf.sprintf {|{"pad":%s,"a":1}|} pad in
+  let tight () = Obs.Budget.depth_limited 50 in
+  (match
+     Stream.validate ~budget:(tight ()) text
+       (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+   with
+  | Error m ->
+    Alcotest.(check bool) ("mentions depth: " ^ m) true (contains "depth" m)
+  | Ok _ -> Alcotest.fail "skipped 200-deep pad must exhaust depth 50");
+  let err f =
+    match Stream.validate ~budget:(tight ()) text f with
+    | Error m -> m
+    | Ok ok -> Alcotest.failf "expected exhaustion, got %b" ok
+  in
+  Alcotest.(check string) "depth error parity"
+    (err (Jsl.dia_key "pad" (Jsl.Test Jsl.Is_arr)))
+    (err (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int)))
+
+let test_skip_string_escapes () =
+  (* escape sequences and surrogate pairs are validated without being
+     decoded on the skip path; acceptance and errors match the decoded
+     path exactly *)
+  let good =
+    [ {|"a\nb\tc"|};
+      "\"\\u0041\\u00e9\"" (* BMP escapes *);
+      "\"\\ud83d\\ude00\\ud834\\udd1e\"" (* surrogate pairs *);
+      {|"😀 literal utf-8 ☃"|};
+      {|"\\\" \/ \b\f\r"|} ]
+  in
+  List.iter
+    (fun pad ->
+      let text = Printf.sprintf {|{"pad":%s,"a":1}|} pad in
+      match Stream.validate text (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int)) with
+      | Ok true -> ()
+      | Ok false -> Alcotest.failf "doc with pad %s must validate" pad
+      | Error m -> Alcotest.failf "pad %s skipped with error %s" pad m)
+    good;
+  let bad =
+    [ {|"\ud83d x"|} (* unpaired high surrogate *); {|"\q"|} (* bad escape *);
+      {|"\u12"|} (* truncated escape *); {|"unterminated|} ]
+  in
+  List.iter
+    (fun pad ->
+      let text = Printf.sprintf {|{"pad":%s,"a":1}|} pad in
+      check_skip_eval_error_parity ~msg:pad text
+        (Jsl.dia_key "a" (Jsl.Test Jsl.Is_int))
+        (Jsl.dia_key "pad" (Jsl.Test Jsl.Is_str)))
+    bad
+
+let test_skip_fuel_parity_at_every_offset () =
+  (* an array of alternating 1k-deep and flat elements, the formula
+     evaluating exactly one position: whichever offsets are skipped,
+     the fuel demand is the token count — identical for every choice *)
+  let deep = nested_array_text 1_000 in
+  let n = 6 in
+  let elems =
+    List.init n (fun i -> if i mod 2 = 0 then deep else {|{"k":"v"}|})
+  in
+  let text = "[" ^ String.concat "," elems ^ "]" in
+  let fuels =
+    List.init n (fun i ->
+        let f = Jsl.dia_idx i Jsl.True in
+        (match
+           Stream.validate ~budget:(Obs.Budget.depth_limited 2_000) text f
+         with
+        | Ok true -> ()
+        | Ok false -> Alcotest.failf "index %d must exist" i
+        | Error m -> Alcotest.failf "offset %d: %s" i m);
+        fuel_needed ~max_depth:2_000 text f)
+  in
+  match fuels with
+  | [] -> assert false
+  | fuel0 :: rest ->
+    List.iteri
+      (fun i fuel ->
+        Alcotest.(check int)
+          (Printf.sprintf "fuel at offset %d equals offset 0" (i + 1))
+          fuel0 fuel)
+      rest
+
+let test_differential_skip_padding () =
+  (* the stream-vs-tree differential, with every document wrapped next
+     to an escape-heavy skipped pad: the pad must never change the
+     verdict nor trip the skipper *)
+  let rng = Jworkload.Prng.create 77 in
+  let cfg = Jworkload.Gen_formula.default in
+  let pads =
+    [| {|"a\nb\tc"|}; {|"A ☃"|}; {|"😀"|};
+       {|"\\\" \/ \b\f\r"|}; {|[[[[["☃"]]]]]|};
+       {|{"deep":{"deeper":["𝄞",{"k":"nul-free"}]}}|} |]
+  in
+  let checked = ref 0 in
+  for i = 1 to 300 do
+    let doc = Jworkload.Gen_json.sized rng (1 + Jworkload.Prng.int rng 60) in
+    let f = Jworkload.Gen_formula.jsl rng cfg in
+    match Stream.supported f with
+    | Error _ -> ()
+    | Ok () ->
+      incr checked;
+      let pad = pads.(i mod Array.length pads) in
+      let text =
+        Printf.sprintf {|{"pad":%s,"doc":%s}|} pad (Printer.compact doc)
+      in
+      let via_tree = Jsl.validates doc f in
+      (match Stream.validate text (Jsl.dia_key "doc" f) with
+      | Ok via_stream ->
+        if via_stream <> via_tree then
+          Alcotest.failf "pair %d: stream=%b tree=%b on %s" i via_stream
+            via_tree text
+      | Error m -> Alcotest.failf "pair %d: stream error %s on %s" i m text)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough streamable pairs (%d/300)" !checked)
+    true
+    (!checked > 240)
+
 let test_differential_budget_exhaustion () =
   (* when the budget is too small, both sides must report a structured
      error — neither may crash or silently succeed *)
@@ -293,6 +472,19 @@ let () =
          Alcotest.test_case "jnl satisfies_bounded" `Quick test_jnl_satisfies_bounded;
          Alcotest.test_case "sat returns Unknown" `Quick test_sat_budget_unknown;
          Alcotest.test_case "construct counters" `Quick test_construct_counters ]);
+      ("skip differential",
+       [ Alcotest.test_case "rejects malformed skipped regions" `Quick
+           test_skip_rejects_malformed;
+         Alcotest.test_case "rejects duplicate keys while skipping" `Quick
+           test_skip_rejects_duplicate_keys;
+         Alcotest.test_case "depth ceiling inside skipped regions" `Quick
+           test_skip_checks_depth;
+         Alcotest.test_case "escapes and surrogate pairs" `Quick
+           test_skip_string_escapes;
+         Alcotest.test_case "fuel parity at every skip offset" `Quick
+           test_skip_fuel_parity_at_every_offset;
+         Alcotest.test_case "stream vs tree with skipped pads, 300 pairs"
+           `Quick test_differential_skip_padding ]);
       ("differential",
        [ Alcotest.test_case "stream vs tree, 500 pairs" `Quick
            test_differential_stream_vs_tree;

@@ -81,6 +81,107 @@ let test_to_jnl () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "$gt should not reach pure JNL"
 
+(* ---- §4.3 operator-semantics audit pins (regressions fail pre-fix) ---- *)
+
+let matches_text ftext dtext =
+  Jquery.Mongo.matches (Jquery.Mongo.parse_string_exn ftext) (parse_doc dtext)
+
+let check_match label expected ftext dtext =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s on %s" label ftext dtext)
+    expected (matches_text ftext dtext)
+
+let test_lt_zero () =
+  (* pre-fix, [$lt 0] clamped its bound to [Max 0] and wrongly matched
+     the value 0 — no natural number is below 0 *)
+  check_match "lt" false {|{"age": {"$lt": 0}}|} {|{"age":0}|};
+  check_match "lt" true {|{"age": {"$lt": 1}}|} {|{"age":0}|};
+  check_match "lt" false {|{"age": {"$lt": 1}}|} {|{"age":1}|};
+  (* $not flips it back: everything (with or without the field) matches *)
+  check_match "not-lt" true {|{"age": {"$not": {"$lt": 0}}}|} {|{"age":0}|};
+  check_match "not-lt" true {|{"age": {"$not": {"$lt": 0}}}|} {|{"x":1}|}
+
+let test_all_empty () =
+  (* pre-fix, [$all []] degenerated to a bare array-kind test and
+     matched every array; Mongo pins it to match nothing *)
+  check_match "all-empty" false {|{"hobbies": {"$all": []}}|} {|{"hobbies":[]}|};
+  check_match "all-empty" false {|{"hobbies": {"$all": []}}|}
+    {|{"hobbies":["yoga"]}|};
+  check_match "all-empty" false {|{"hobbies": {"$all": []}}|} {|{"x":1}|}
+
+let test_mixed_type_comparisons () =
+  (* numeric operators require a number at the path: a string there —
+     even one spelling a number — must not satisfy them, and $not of a
+     numeric operator must therefore accept it *)
+  List.iter
+    (fun op ->
+      check_match "numeric op vs string" false
+        (Printf.sprintf {|{"age": {"%s": 5}}|} op)
+        {|{"age":"28"}|})
+    [ "$gt"; "$gte"; "$lt"; "$lte" ];
+  check_match "not-gt accepts string" true {|{"age": {"$not": {"$gt": 5}}}|}
+    {|{"age":"28"}|};
+  (* $eq across kinds is plain structural disagreement *)
+  check_match "eq str vs int" false {|{"age": 28}|} {|{"age":"28"}|};
+  check_match "eq int vs str" false {|{"age": "28"}|} {|{"age":28}|}
+
+let test_exists_on_indices () =
+  (* digit path segments address array positions and object keys alike *)
+  check_match "index exists" true {|{"a.1": {"$exists": true}}|} {|{"a":[10,20]}|};
+  check_match "index missing" false {|{"a.5": {"$exists": true}}|} {|{"a":[10,20]}|};
+  check_match "index missing, negated" true {|{"a.5": {"$exists": false}}|}
+    {|{"a":[10,20]}|};
+  check_match "digit object key" true {|{"a.1": {"$exists": true}}|}
+    {|{"a":{"1":5}}|};
+  check_match "nested path miss" true {|{"a.b.c": {"$exists": false}}|}
+    {|{"a":1}|};
+  check_match "nested path miss eq" false {|{"a.b": "x"}|} {|{"a":1}|}
+
+let test_translation_differential () =
+  (* [matches] must agree with the JSL translation on every document,
+     and — where the filter reaches the pure-JNL fragment of Theorem 2
+     — with the JNL translation as well *)
+  let filters =
+    [ {|{"age": {"$lt": 0}}|}; {|{"age": {"$lt": 28}}|};
+      {|{"age": {"$gt": 5}}|}; {|{"age": {"$gte": 0}}|};
+      {|{"age": {"$lte": 0}}|}; {|{"hobbies": {"$all": []}}|};
+      {|{"hobbies": {"$all": ["yoga"]}}|}; {|{"a.1": {"$exists": true}}|};
+      {|{"a.5": {"$exists": false}}|}; {|{"a.b.c": {"$exists": false}}|};
+      {|{"name": "Sue"}|}; {|{"age": 28}|}; {|{"age": "28"}|};
+      {|{"hobbies": {"$size": 2}}|}; {|{"age": {"$not": {"$gt": 5}}}|};
+      {|{"name": {"$in": ["Sue", "Ana"]}}|};
+      {|{"$or": [{"age": {"$lt": 1}}, {"a.1": {"$exists": true}}]}|} ]
+  in
+  let docs =
+    people
+    @ List.map parse_doc
+        [ {|{"age":0}|}; {|{"age":"28"}|}; {|{"a":[10,20]}|}; {|{"a":{"1":5}}|};
+          {|{"hobbies":[]}|}; {|{"a":1}|}; {|{}|}; {|{"a":{"b":{"c":3}}}|} ]
+  in
+  List.iter
+    (fun ftext ->
+      let f = Jquery.Mongo.parse_string_exn ftext in
+      let jsl = Jquery.Mongo.to_jsl f in
+      let jnl =
+        match Jquery.Mongo.to_jnl f with Ok jnl -> Some jnl | Error _ -> None
+      in
+      List.iter
+        (fun d ->
+          let direct = Jquery.Mongo.matches f d in
+          Alcotest.(check bool)
+            (Printf.sprintf "JSL agrees: %s on %s" ftext (Value.to_string d))
+            direct
+            (Jlogic.Jsl.validates d jsl);
+          match jnl with
+          | None -> ()
+          | Some jnl ->
+            Alcotest.(check bool)
+              (Printf.sprintf "JNL agrees: %s on %s" ftext (Value.to_string d))
+              direct
+              (Jlogic.Jnl_eval.satisfies d jnl))
+        docs)
+    filters
+
 let test_projection () =
   let doc = parse_doc {|{"name":"Sue","age":28,"address":{"city":"Santiago","zip":1}}|} in
   let proj s = Jquery.Mongo.parse_projection (parse_doc s) in
@@ -270,6 +371,14 @@ let () =
          Alcotest.test_case "operators" `Quick test_operators;
          Alcotest.test_case "parse errors" `Quick test_parse_errors;
          Alcotest.test_case "to JNL (Theorem 2)" `Quick test_to_jnl;
+         Alcotest.test_case "$lt 0 is unsatisfiable" `Quick test_lt_zero;
+         Alcotest.test_case "$all [] matches nothing" `Quick test_all_empty;
+         Alcotest.test_case "mixed-type comparisons" `Quick
+           test_mixed_type_comparisons;
+         Alcotest.test_case "$exists on indices and missing paths" `Quick
+           test_exists_on_indices;
+         Alcotest.test_case "matches = JSL = JNL translation" `Quick
+           test_translation_differential;
          Alcotest.test_case "projection (§6)" `Quick test_projection ]);
       ("jsonpath",
        [ Alcotest.test_case "basics" `Quick test_jsonpath_basics;

@@ -136,6 +136,68 @@ let test_parse_errors () =
   | Ok _ -> ()
   | Error m -> Alcotest.failf "ignore_unknown failed: %s" m
 
+let msg_contains needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_malformed_numerics () =
+  (* pre-fix, [1e30] slipped through the lenient float narrowing as the
+     garbage value [int_of_float] happens to produce (0 here), silently
+     rewriting the schema's bound; now it is a positioned error *)
+  (match Jschema.Parse.of_string {|{"minimum":1e30}|} with
+  | Error m ->
+    Alcotest.(check bool) ("positioned: " ^ m) true (msg_contains "line" m)
+  | Ok _ -> Alcotest.fail "minimum 1e30 must be rejected");
+  List.iter
+    (fun s ->
+      match Jschema.Parse.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected schema parse error on %s" s)
+    [ {|{"multipleOf":1e30}|}; {|{"maximum":2.5}|}; {|{"minProperties":-1}|} ];
+  (* in-range integral floats still narrow under the lenient rules *)
+  match Jschema.Parse.of_string {|{"minimum":4e2}|} with
+  | Ok s ->
+    Alcotest.(check bool) "narrowed bound applies" true
+      (Jschema.Validate.validates s (Value.Num 400));
+    Alcotest.(check bool) "narrowed bound rejects below" false
+      (Jschema.Validate.validates s (Value.Num 399))
+  | Error m -> Alcotest.failf "integral float must narrow: %s" m
+
+let test_duplicate_keywords_rejected () =
+  (* the text route rejects duplicate keys at the JSON layer already;
+     pre-fix, [of_value] silently conjoined a keyword smuggled in twice
+     through a programmatically built value *)
+  let dup =
+    Value.Obj [ ("type", Value.Str "string"); ("type", Value.Str "number") ]
+  in
+  (match Jschema.Parse.of_value dup with
+  | Error m ->
+    Alcotest.(check bool) ("names the keyword: " ^ m) true
+      (msg_contains {|"type"|} m)
+  | Ok _ -> Alcotest.fail "duplicate keyword must be rejected");
+  (* ... anywhere in the tree, not just at the root *)
+  let nested =
+    Value.Obj
+      [ ("properties",
+         Value.Obj
+           [ ("a",
+              Value.Obj [ ("minimum", Value.Num 1); ("minimum", Value.Num 2) ])
+           ]) ]
+  in
+  (match Jschema.Parse.of_value nested with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested duplicate keyword must be rejected");
+  (* negative or non-numeric bounds cannot ride in through of_value *)
+  (match Jschema.Parse.of_value (Value.Obj [ ("minimum", Value.Num (-5)) ]) with
+  | Error m ->
+    Alcotest.(check bool) ("mentions natural: " ^ m) true
+      (msg_contains "natural" m)
+  | Ok _ -> Alcotest.fail "negative bound must be rejected");
+  match Jschema.Parse.of_value (Value.Obj [ ("maxProperties", Value.Num 3) ]) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "plain nat bound rejected: %s" m
+
 let test_ref_cycles () =
   (match
      Jschema.Parse.of_string
@@ -308,6 +370,9 @@ let () =
          QCheck_alcotest.to_alcotest prop_infer_roundtrips_as_json ]);
       ("parsing",
        [ Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "malformed numerics" `Quick test_malformed_numerics;
+         Alcotest.test_case "duplicate keywords" `Quick
+           test_duplicate_keywords_rejected;
          Alcotest.test_case "$ref cycles" `Quick test_ref_cycles;
          Alcotest.test_case "to_value roundtrip" `Quick test_to_value_roundtrip;
          Alcotest.test_case "lenient booleans" `Quick test_lenient_booleans ]) ]

@@ -1,0 +1,329 @@
+(* Tests for Validate.Plan.run_stream: streaming schema validation over
+   the token stream.  The decided relation must be exactly
+   run_tree ∘ Tree.of_string (hence also the interpreted
+   Validate.validates), with byte-identical rendered errors on
+   malformed documents and matching budget-exhaustion outcomes. *)
+
+module Value = Jsont.Value
+module Parser = Jsont.Parser
+module Printer = Jsont.Printer
+module Tree = Jsont.Tree
+module Plan = Jschema.Validate.Plan
+
+let plan_of text = Plan.compile (Jschema.Parse.of_string_exn text)
+
+let render e = Format.asprintf "%a" Parser.pp_error e
+
+(* both engines, surfaced through the same (verdict | rendered error)
+   shape so outcomes can be compared byte for byte *)
+let via_stream plan text =
+  match Parser.wrap (fun () -> Plan.run_stream plan text) with
+  | Ok ok -> Ok ok
+  | Error e -> Error (render e)
+
+let via_tree plan text =
+  match Tree.of_string text with
+  | Ok t -> Ok (Plan.run_tree plan t)
+  | Error e -> Error (render e)
+
+let check_agree ?(schema_text = "") plan text =
+  let s = via_stream plan text and t = via_tree plan text in
+  let pp = function
+    | Ok b -> Printf.sprintf "Ok %b" b
+    | Error m -> "Error " ^ m
+  in
+  if s <> t then
+    Alcotest.failf "stream %s <> tree %s on %s (schema %s)" (pp s) (pp t)
+      (if String.length text > 200 then String.sub text 0 200 ^ "…" else text)
+      schema_text
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 keyword cases: every keyword, both verdicts                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_keyword_cases () =
+  List.iter
+    (fun (keyword, schema_text, cases) ->
+      let plan = plan_of schema_text in
+      List.iter
+        (fun (doc_text, expected) ->
+          (match via_stream plan doc_text with
+          | Ok got ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s" keyword doc_text)
+              expected got
+          | Error m ->
+            Alcotest.failf "%s: stream error %s on %s" keyword m doc_text);
+          check_agree ~schema_text plan doc_text)
+        cases)
+    Jworkload.Catalog.keyword_cases
+
+(* ------------------------------------------------------------------ *)
+(* Three-way fuzz: run_stream = run_tree = interpreted validates       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_catalog () =
+  let schema = Jschema.Parse.of_string_exn Jworkload.Catalog.catalog_schema in
+  let plan = Plan.compile schema in
+  let rng = Jworkload.Prng.create 4242 in
+  for i = 1 to 500 do
+    let doc = Jworkload.Catalog.catalog_doc rng in
+    let text = Value.to_string doc in
+    match via_stream plan text with
+    | Error m -> Alcotest.failf "case %d: stream error %s" i m
+    | Ok got ->
+      let tree = Plan.run_tree plan (Tree.of_string_exn text) in
+      let interp = Jschema.Validate.validates schema doc in
+      if got <> tree || tree <> interp then
+        Alcotest.failf "case %d: stream=%b tree=%b interp=%b" i got tree interp
+  done
+
+let test_fuzz_generated () =
+  (* random documents against random schema/formula-derived schemas:
+     exercises shapes the catalog generator never produces *)
+  let rng = Jworkload.Prng.create 777 in
+  let cfg =
+    { Jworkload.Gen_formula.default with
+      Jworkload.Gen_formula.size = 8;
+      allow_nondet = true }
+  in
+  let checked = ref 0 in
+  for i = 1 to 500 do
+    let jsl = Jworkload.Gen_formula.jsl rng cfg in
+    let schema =
+      { Jschema.Schema.definitions = []; root = Jschema.Of_jsl.schema jsl }
+    in
+    match Jschema.Schema.well_formed schema with
+    | Error _ -> ()
+    | Ok () ->
+      let plan = Plan.compile schema in
+      let doc = Jworkload.Gen_json.sized rng (1 + Jworkload.Prng.int rng 80) in
+      let text = Value.to_string doc in
+      incr checked;
+      (match via_stream plan text with
+      | Error m -> Alcotest.failf "case %d: stream error %s" i m
+      | Ok got ->
+        let tree = Plan.run_tree plan (Tree.of_string_exn text) in
+        let interp = Jschema.Validate.validates schema doc in
+        if got <> tree || tree <> interp then
+          Alcotest.failf "case %d: stream=%b tree=%b interp=%b on %s" i got
+            tree interp text)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough well-formed schemas (%d/500)" !checked)
+    true (!checked > 400)
+
+(* ------------------------------------------------------------------ *)
+(* Malformed documents: rendered errors byte-identical to the tree path *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_identity () =
+  let plan = plan_of Jworkload.Catalog.catalog_schema in
+  let cases =
+    [ {|{"a":1,}|}; {|[1,2|}; {|{"a" 1}|}; "nul"; {|{"a":1,"a":2}|};
+      {|[1, -3]|}; {|"unterminated|}; {|{"a":tru}|}; {|[1,2]]|};
+      {|{"\ud800x":1}|}; ""; "}"; "true"; "null"; "-3"; "1.5"; {|{"k":}|};
+      {|[,]|}; {|{"a":1 "b":2}|}; {|{1:2}|}; {|{"id": 1e30}|};
+      {|{"deep":{"deeper":{"x":[1,{"y":tru}]}}}|} ]
+  in
+  List.iter (fun text -> check_agree plan text) cases;
+  (* and with a mutation sweep over a well-formed document: truncations
+     and byte injections at every offset *)
+  let rng = Jworkload.Prng.create 99 in
+  let base = Value.to_string (Jworkload.Catalog.catalog_doc rng) in
+  let base = String.sub base 0 (min 400 (String.length base)) in
+  for cut = 0 to String.length base - 1 do
+    check_agree plan (String.sub base 0 cut)
+  done;
+  String.iteri
+    (fun i _ ->
+      if i mod 7 = 0 then begin
+        let b = Bytes.of_string base in
+        Bytes.set b i '}';
+        check_agree plan (Bytes.to_string b)
+      end)
+    base
+
+(* ------------------------------------------------------------------ *)
+(* Budget behavior                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_depth_budget_identity () =
+  (* the depth ceiling follows document nesting with parser-identical
+     positions: the rendered exhaustion error matches the tree path *)
+  let plan = plan_of {|{"type":"array"}|} in
+  let deep =
+    let b = Buffer.create 512 in
+    for _ = 1 to 100 do Buffer.add_char b '[' done;
+    Buffer.add_char b '1';
+    for _ = 1 to 100 do Buffer.add_char b ']' done;
+    Buffer.contents b
+  in
+  let stream =
+    match
+      Parser.wrap (fun () ->
+          Plan.run_stream ~budget:(Obs.Budget.depth_limited 50) plan deep)
+    with
+    | Ok ok -> Alcotest.failf "depth 50 must exhaust, got %b" ok
+    | Error e -> render e
+  in
+  let tree =
+    match Tree.of_string ~budget:(Obs.Budget.depth_limited 50) deep with
+    | Ok _ -> Alcotest.fail "depth 50 must exhaust the tree builder"
+    | Error e -> render e
+  in
+  Alcotest.(check string) "depth exhaustion error identity" tree stream;
+  (* a generous ceiling admits the document on both paths *)
+  match
+    Parser.wrap (fun () ->
+        Plan.run_stream ~budget:(Obs.Budget.depth_limited 500) plan deep)
+  with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "deep array must validate"
+  | Error e -> Alcotest.failf "generous ceiling failed: %s" (render e)
+
+let test_fuel_budget () =
+  (* run_stream fuses parse and validation fuel into one budget; the
+     contract is coarser than byte identity: ample fuel completes with
+     the tree verdict, starvation raises a budget error, never a wrong
+     verdict *)
+  let plan = plan_of Jworkload.Catalog.catalog_schema in
+  let rng = Jworkload.Prng.create 5 in
+  let text = Value.to_string (Jworkload.Catalog.catalog_doc rng) in
+  let expected = Plan.run_tree plan (Tree.of_string_exn text) in
+  (match
+     Parser.wrap (fun () ->
+         Plan.run_stream ~budget:(Obs.Budget.create ~fuel:1_000_000 ()) plan
+           text)
+   with
+  | Ok got -> Alcotest.(check bool) "ample fuel completes" expected got
+  | Error e -> Alcotest.failf "ample fuel exhausted: %s" (render e));
+  match
+    Parser.wrap (fun () ->
+        Plan.run_stream ~budget:(Obs.Budget.create ~fuel:5 ()) plan text)
+  with
+  | Ok _ -> Alcotest.fail "5 fuel must not cover a catalog document"
+  | Error e ->
+    let m = render e in
+    Alcotest.(check bool) ("mentions fuel: " ^ m) true
+      (try
+         ignore (String.index m 'f');
+         (* "fuel" appears in the budget description *)
+         let rec has i =
+           i + 4 <= String.length m && (String.sub m i 4 = "fuel" || has (i + 1))
+         in
+         has 0
+       with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Spill paths: uniqueItems, container enums, $ref sharing             *)
+(* ------------------------------------------------------------------ *)
+
+let with_metrics f =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was)
+    f
+
+let test_spill_unique_items () =
+  with_metrics (fun () ->
+      let plan = plan_of {|{"type":"array","uniqueItems":true}|} in
+      (match via_stream plan {|[1,2,[3,{"a":1}],"x"]|} with
+      | Ok true -> ()
+      | other ->
+        Alcotest.failf "distinct items must validate (%s)"
+          (match other with Ok b -> string_of_bool b | Error m -> m));
+      (match via_stream plan {|[1,2,{"a":[1]},2]|} with
+      | Ok false -> ()
+      | other ->
+        Alcotest.failf "duplicate items must fail (%s)"
+          (match other with Ok b -> string_of_bool b | Error m -> m));
+      Alcotest.(check bool) "spill counted" true
+        (Obs.Metrics.counter_value "validate.stream.spills" > 0))
+
+let test_spill_container_enum () =
+  let plan = plan_of {|{"enum":[[1,2],{"k":"v"},7,"s"]}|} in
+  List.iter
+    (fun (text, expected) ->
+      match via_stream plan text with
+      | Ok got ->
+        Alcotest.(check bool) ("enum " ^ text) expected got;
+        check_agree plan text
+      | Error m -> Alcotest.failf "enum %s: %s" text m)
+    [ ("[1,2]", true); ({|{"k":"v"}|}, true); ("7", true); ({|"s"|}, true);
+      ("[1,3]", false); ({|{"k":"w"}|}, false); ("8", false); ("[]", false) ]
+
+let test_spill_ref_sharing () =
+  let plan = plan_of (Jworkload.Catalog.ref_sharing_schema 12) in
+  let text = Value.to_string Jworkload.Catalog.ref_sharing_doc in
+  check_agree plan text
+
+let test_skip_metrics () =
+  with_metrics (fun () ->
+      (* an unconstrained subtree is fast-forwarded, and the skipped
+         bytes are accounted *)
+      let plan =
+        plan_of {|{"type":"object","properties":{"a":{"type":"number"}}}|}
+      in
+      (match
+         via_stream plan {|{"a":1,"pad":[[[["deep",{"k":"v"}]]],"tail"]}|}
+       with
+      | Ok true -> ()
+      | other ->
+        Alcotest.failf "doc must validate (%s)"
+          (match other with Ok b -> string_of_bool b | Error m -> m));
+      Alcotest.(check bool) "skipped bytes counted" true
+        (Obs.Metrics.counter_value "validate.stream.skipped_bytes" > 0))
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON line independence: a bad line must not poison its neighbours *)
+(* ------------------------------------------------------------------ *)
+
+let test_ndjson_fault_folding () =
+  let plan = plan_of {|{"type":"object","required":["a"]}|} in
+  let lines =
+    [ {|{"a":1}|}; {|{"a":1,}|} (* malformed *); {|{"b":2}|} (* invalid *);
+      "[1,2" (* truncated *); {|{"a":{"x":[1,2]}}|} ]
+  in
+  let results =
+    List.map
+      (fun line ->
+        match
+          Parser.wrap (fun () ->
+              Plan.run_stream ~budget:(Obs.Budget.create ~fuel:10_000 ()) plan
+                line)
+        with
+        | Ok ok -> if ok then "valid" else "INVALID"
+        | Error _ -> "error"
+      )
+      lines
+  in
+  Alcotest.(check (list string)) "per-line outcomes, later lines unaffected"
+    [ "valid"; "error"; "INVALID"; "error"; "valid" ]
+    results
+
+let () =
+  Alcotest.run "stream_validate"
+    [ ("agreement",
+       [ Alcotest.test_case "Table 1 keyword cases" `Quick test_keyword_cases;
+         Alcotest.test_case "catalog fuzz, 500 docs" `Quick test_fuzz_catalog;
+         Alcotest.test_case "generated schemas, 500 pairs" `Quick
+           test_fuzz_generated ]);
+      ("errors",
+       [ Alcotest.test_case "byte-identical rendered errors" `Quick
+           test_error_identity ]);
+      ("budget",
+       [ Alcotest.test_case "depth exhaustion identity" `Quick
+           test_depth_budget_identity;
+         Alcotest.test_case "fuel starvation" `Quick test_fuel_budget ]);
+      ("spill",
+       [ Alcotest.test_case "uniqueItems" `Quick test_spill_unique_items;
+         Alcotest.test_case "container enum" `Quick test_spill_container_enum;
+         Alcotest.test_case "$ref sharing" `Quick test_spill_ref_sharing;
+         Alcotest.test_case "skip accounting" `Quick test_skip_metrics ]);
+      ("ndjson",
+       [ Alcotest.test_case "line-fault folding" `Quick
+           test_ndjson_fault_folding ]) ]
