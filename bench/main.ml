@@ -637,12 +637,29 @@ let strm () =
   let texts =
     Array.init 200 (fun _ -> Value.to_string (Jworkload.Catalog.catalog_doc rng))
   in
+  (* a feed lexer delivering [text] in fixed-size chunks, as the
+     chunked CLI/network path would *)
+  let chunked_lexer text chunk =
+    let pos = ref 0 in
+    Jsont.Lexer.create_feed
+      ~refill:(fun lx ->
+        if !pos >= String.length text then Jsont.Lexer.close lx
+        else begin
+          let n = min chunk (String.length text - !pos) in
+          Jsont.Lexer.feed_string lx (String.sub text !pos n);
+          pos := !pos + n
+        end)
+      ()
+  in
   Array.iter
     (fun text ->
       let s = Jschema.Validate.Plan.run_stream plan text in
       let t = Jschema.Validate.Plan.run_tree plan (Tree.of_string_exn text) in
       let o = Jschema.Validate.validates schema (Jsont.Parser.parse_exn text) in
-      if not (s = t && t = o) then all_agree := false)
+      let f =
+        Jschema.Validate.Plan.run_lexer plan (chunked_lexer text 7)
+      in
+      if not (s = t && t = o && o = f) then all_agree := false)
     texts;
   let n = float_of_int (Array.length texts) in
   let ns_vstream =
@@ -659,8 +676,18 @@ let strm () =
           texts)
   in
   row "%-36s %12s %14s\n" "engine" "ns/doc" "docs/sec";
+  let ns_vfeed =
+    measure_ns ~name:"bench.strm.validate_feed" (fun () ->
+        Array.iter
+          (fun text ->
+            ignore
+              (Jschema.Validate.Plan.run_lexer plan (chunked_lexer text 4096)))
+          texts)
+  in
   row "%-36s %12.0f %14.0f\n" "run_stream (string input)" (ns_vstream /. n)
     (n /. (ns_vstream /. 1e9));
+  row "%-36s %12.0f %14.0f\n" "run_lexer (4 KiB feed chunks)" (ns_vfeed /. n)
+    (n /. (ns_vfeed /. 1e9));
   row "%-36s %12.0f %14.0f\n" "of_string + run_tree" (ns_vtree /. n)
     (n /. (ns_vtree /. 1e9));
 

@@ -300,13 +300,22 @@ let validate_cmd =
            ~doc:"Validate straight off the token stream without materializing \
                  documents (memory stays proportional to nesting depth, not \
                  document size).  With $(b,--files-from), each listed file is \
-                 one streamed document and output is unchanged; otherwise the \
-                 input is NDJSON — one document per line — and each line \
-                 prints 'path:line<TAB>result', bad lines folding to error \
-                 results without sinking their neighbours.  Requires the \
-                 compiled plan.")
+                 one streamed document read in $(b,--chunk-bytes) slices and \
+                 fed to the resumable lexer; otherwise the input is NDJSON — \
+                 one document per line — and each line prints \
+                 'path:line<TAB>result', bad lines folding to error results \
+                 without sinking their neighbours.  Requires the compiled \
+                 plan.")
   in
-  let run obs schema_file via_jsl no_compile stream files_from files =
+  let chunk_bytes_arg =
+    Arg.(value & opt int 65536 & info [ "chunk-bytes" ] ~docv:"N"
+           ~doc:"Chunk size in bytes for $(b,--stream) input.  Verdicts, \
+                 errors and output bytes are identical for every chunk size \
+                 (the lexer resumes tokens split across chunk boundaries); \
+                 only peak input memory and syscall count change.")
+  in
+  let run obs schema_file via_jsl no_compile stream chunk_bytes files_from
+      files =
     wrap (fun () ->
         let schema =
           match Jschema.Parse.of_string (read_input schema_file) with
@@ -322,6 +331,7 @@ let validate_cmd =
           failwith
             "--stream validates through the compiled plan; drop \
              --via-jsl/--no-compile";
+        if chunk_bytes < 1 then failwith "--chunk-bytes must be at least 1";
         (* The streaming checker takes the raw text of one document and
            fuses parse and validation into a single pass under a single
            budget; parse failures are rendered exactly like the
@@ -350,8 +360,37 @@ let validate_cmd =
           (* force outside the batch: lazy thunks are not domain-safe *)
           let check_path =
             if stream then begin
-              let check = Lazy.force stream_check in
-              fun path -> check (read_input path)
+              (* each file is one streamed document, read in
+                 [--chunk-bytes] slices and fed to the resumable lexer:
+                 the document is never held in memory, and verdicts /
+                 errors match the whole-string path byte for byte *)
+              let plan =
+                Jschema.Validate.Plan.compile ~budget:obs.budget schema
+              in
+              let check_channel ic =
+                let chunk = Bytes.create chunk_bytes in
+                let refill lx =
+                  Obs.Metrics.incr "validate.feed.await";
+                  let n = In_channel.input ic chunk 0 (Bytes.length chunk) in
+                  if n = 0 then Jsont.Lexer.close lx
+                  else begin
+                    Obs.Metrics.incr "validate.feed.chunks";
+                    Jsont.Lexer.feed lx chunk 0 n
+                  end
+                in
+                let lx = Jsont.Lexer.create_feed ~refill () in
+                match
+                  Jsont.Parser.wrap (fun () ->
+                      Jschema.Validate.Plan.run_lexer
+                        ~budget:(obs.fresh_budget ()) plan lx)
+                with
+                | Ok ok -> ok
+                | Error e ->
+                  failwith (Format.asprintf "%a" Jsont.Parser.pp_error e)
+              in
+              fun path ->
+                if path = "-" then check_channel stdin
+                else In_channel.with_open_bin path check_channel
             end
             else if via_jsl then begin
               let jsl = Lazy.force jsl in
@@ -425,16 +464,43 @@ let validate_cmd =
             Printf.printf "%s:%d\t%s\n" path lineno result
           in
           if obs.jobs <= 1 then begin
+            (* read [--chunk-bytes] slices and split lines by hand:
+               byte-identical to [In_channel.input_line] (only '\n'
+               delimits; an unterminated last line still counts), with
+               peak input memory following the chunk size plus the
+               longest line instead of the file *)
             let process ic =
+              let chunk = Bytes.create chunk_bytes in
+              let carry = Buffer.create 256 in
               let lineno = ref 0 in
+              let handle line =
+                incr lineno;
+                if String.trim line <> "" then emit !lineno (check_line line)
+              in
               let rec loop () =
-                match In_channel.input_line ic with
-                | None -> ()
-                | Some line ->
-                  incr lineno;
-                  if String.trim line <> "" then
-                    emit !lineno (check_line line);
+                let n = In_channel.input ic chunk 0 (Bytes.length chunk) in
+                if n = 0 then begin
+                  if Buffer.length carry > 0 then begin
+                    let line = Buffer.contents carry in
+                    Buffer.clear carry;
+                    handle line
+                  end
+                end
+                else begin
+                  Obs.Metrics.incr "validate.feed.chunks";
+                  let start = ref 0 in
+                  for i = 0 to n - 1 do
+                    if Bytes.get chunk i = '\n' then begin
+                      Buffer.add_subbytes carry chunk !start (i - !start);
+                      let line = Buffer.contents carry in
+                      Buffer.clear carry;
+                      handle line;
+                      start := i + 1
+                    end
+                  done;
+                  Buffer.add_subbytes carry chunk !start (n - !start);
                   loop ()
+                end
               in
               loop ()
             in
@@ -493,7 +559,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate documents against a JSON Schema")
     Term.(const run $ obs_term $ schema_arg $ via_jsl $ no_compile $ stream
-          $ files_from_arg $ input_arg)
+          $ chunk_bytes_arg $ files_from_arg $ input_arg)
 
 (* ---- sat --------------------------------------------------------------------- *)
 

@@ -187,7 +187,10 @@ let parse_int st =
   done;
   if st.pos = start || (st.pos = start + 1 && st.input.[start] = '-') then
     fail st "expected an integer";
-  int_of_string (String.sub st.input start (st.pos - start))
+  let text = String.sub st.input start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> i
+  | None -> fail st "integer %s out of range" text
 
 let parse_bare_key st =
   let start = st.pos in

@@ -528,7 +528,10 @@ let parse_nat st =
     st.pos <- st.pos + 1
   done;
   if st.pos = start then fail st "expected a number";
-  int_of_string (String.sub st.input start (st.pos - start))
+  let text = String.sub st.input start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> i
+  | None -> fail st "number %s out of range" text
 
 let parse_ident st =
   skip_ws st;

@@ -18,26 +18,90 @@ type token =
 
 exception Error of position * string
 
+(* The resumable feed core.  One [t] serves both modes:
+
+   - one-shot ([create]): the whole input is the window and the lexer
+     is born closed, so every scan below behaves exactly like the
+     historical string lexer — no [`Await] is ever produced;
+   - feed ([create_feed]): bytes arrive in chunks via [feed].  A scan
+     that runs off the window while the lexer is still open raises the
+     internal [Need_input]; the pull entry points roll the cursor back
+     to the token start and report [`Await], and the next attempt
+     rescans the token from its first byte once more input is present.
+     The retained state across a chunk boundary is therefore exactly
+     the pending token's bytes (partial escapes, a lone high surrogate,
+     an unterminated number, split UTF-8 sequences — all of it), which
+     is what makes a token split at any byte offset lex identically to
+     the one-shot path: the same code scans the same byte run either
+     way.
+
+   The window is compacted on [feed]: everything before the cursor has
+   been consumed (an [`Await] rolls the cursor back first), so memory
+   follows the largest in-flight token plus one chunk, never the
+   stream. *)
 type t = {
-  input : string;
-  mutable pos : int;
+  mutable buf : Bytes.t;  (* window [base, base + len) of the input *)
+  mutable base : int;  (* global byte offset of buf.[0] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable pos : int;  (* global cursor *)
   mutable line : int;
-  mutable bol : int;  (* offset of the beginning of the current line *)
+  mutable bol : int;  (* global offset of the beginning of the current line *)
+  mutable closed : bool;
   mutable lookahead : (position * token) option;
+  refill : (t -> unit) option;
   scratch : Buffer.t;  (* shared decode buffer for string literals *)
 }
 
+(* Internal: the window ran dry mid-scan and the lexer is still open.
+   Never escapes the pull entry points. *)
+exception Need_input
+
 let create input =
-  { input; pos = 0; line = 1; bol = 0; lookahead = None;
+  (* The one-shot window aliases the input string without copying:
+     the buffer is only ever written by [feed], which a closed lexer
+     rejects. *)
+  { buf = Bytes.unsafe_of_string input;
+    base = 0;
+    len = String.length input;
+    pos = 0;
+    line = 1;
+    bol = 0;
+    closed = true;
+    lookahead = None;
+    refill = None;
     scratch = Buffer.create 64 }
+
+let create_feed ?refill () =
+  { buf = Bytes.create 256;
+    base = 0;
+    len = 0;
+    pos = 0;
+    line = 1;
+    bol = 0;
+    closed = false;
+    lookahead = None;
+    refill;
+    scratch = Buffer.create 64 }
+
+(* global offset one past the last byte currently in the window *)
+let limit lx = lx.base + lx.len
+let get lx i = Bytes.get lx.buf (i - lx.base)
 
 let position lx = { line = lx.line; col = lx.pos - lx.bol + 1; offset = lx.pos }
 
 let error lx fmt =
   Format.kasprintf (fun s -> raise (Error (position lx, s))) fmt
 
-let is_eof lx = lx.pos >= String.length lx.input
-let cur lx = lx.input.[lx.pos]
+(* "Is the cursor at end of input?" is unanswerable in feed mode until
+   [close]: with the window dry and the stream open the scan must
+   suspend, which is exactly the [Need_input] raise — every EOF-probing
+   call site below inherits resumability from this one function. *)
+let is_eof lx =
+  if lx.pos < limit lx then false
+  else if lx.closed then true
+  else raise Need_input
+
+let cur lx = get lx lx.pos
 
 let advance lx =
   if not (is_eof lx) then begin
@@ -58,9 +122,13 @@ let rec skip_ws lx =
 
 let expect_word lx word token =
   let n = String.length word in
+  (* fewer than [n] bytes in an open window could still complete the
+     word; fewer in a closed one (or a mismatch) is the same error the
+     one-shot lexer reports on the full input *)
+  if lx.pos + n > limit lx && not lx.closed then raise Need_input;
   if
-    lx.pos + n <= String.length lx.input
-    && String.sub lx.input lx.pos n = word
+    lx.pos + n <= limit lx
+    && Bytes.sub_string lx.buf (lx.pos - lx.base) n = word
   then begin
     for _ = 1 to n do
       advance lx
@@ -110,33 +178,36 @@ let add_utf8 buf cp =
    value use it to avoid the decode work. *)
 let read_string ?(decode = true) lx =
   advance lx (* opening quote *);
-  let input = lx.input in
-  let n = String.length input in
+  let lim = limit lx in
   (* Plain-segment fast path: most literals contain no escapes, so scan
      for the closing quote with direct index arithmetic and cut a single
      substring.  String bodies cannot contain raw newlines (control
      characters are rejected), so line accounting is unaffected. *)
   let i = ref lx.pos in
   while
-    !i < n
+    !i < lim
     &&
-    let c = input.[!i] in
+    let c = get lx !i in
     c <> '"' && c <> '\\' && Char.code c >= 0x20
   do
     incr i
   done;
-  if !i < n && input.[!i] = '"' then begin
-    let s = if decode then String.sub input lx.pos (!i - lx.pos) else "" in
+  if !i < lim && get lx !i = '"' then begin
+    let s =
+      if decode then Bytes.sub_string lx.buf (lx.pos - lx.base) (!i - lx.pos)
+      else ""
+    in
     lx.pos <- !i + 1;
     s
   end
   else begin
-    (* an escape, a control character or EOF ahead: general path,
-       decoding into the lexer's shared scratch buffer (one allocation
-       per lexer, not per literal) *)
+    (* an escape, a control character or the window's edge ahead:
+       general path, decoding into the lexer's shared scratch buffer
+       (one allocation per lexer, not per literal) *)
     let buf = lx.scratch in
     Buffer.clear buf;
-    if decode then Buffer.add_substring buf input lx.pos (!i - lx.pos);
+    if decode then
+      Buffer.add_subbytes buf lx.buf (lx.pos - lx.base) (!i - lx.pos);
     lx.pos <- !i;
     let rec go () =
       if is_eof lx then error lx "unterminated string literal";
@@ -163,11 +234,11 @@ let read_string ?(decode = true) lx =
           let hi = read_u16 lx in
           if hi >= 0xD800 && hi <= 0xDBFF then begin
             (* high surrogate: a \uXXXX low surrogate must follow *)
-            if
-              is_eof lx || cur lx <> '\\'
-              || lx.pos + 1 >= String.length lx.input
-              || lx.input.[lx.pos + 1] <> 'u'
-            then error lx "high surrogate not followed by \\u escape";
+            if is_eof lx || cur lx <> '\\' then
+              error lx "high surrogate not followed by \\u escape";
+            if lx.pos + 1 >= limit lx && not lx.closed then raise Need_input;
+            if lx.pos + 1 >= limit lx || get lx (lx.pos + 1) <> 'u' then
+              error lx "high surrogate not followed by \\u escape";
             advance lx;
             advance lx;
             let lo = read_u16 lx in
@@ -222,8 +293,16 @@ let read_number lx =
       advance lx
     done
   end;
-  let text = String.sub lx.input start (lx.pos - start) in
-  if !is_float then Float (float_of_string text)
+  let text = Bytes.sub_string lx.buf (start - lx.base) (lx.pos - start) in
+  if !is_float then begin
+    let f = float_of_string text in
+    (* [1e999] overflows to [infinity] (and [-1e999] to its negative),
+       which nothing downstream can represent or re-serialize as JSON —
+       reject it here, uniformly across the tree, stream and schema
+       paths, like an integer literal out of range *)
+    if Float.is_finite f then Float f
+    else error lx "number literal %s out of range" text
+  end
   else
     match int_of_string_opt text with
     (* [-0] is signed, not a natural: classify by the written sign, so
@@ -267,25 +346,91 @@ let next_token ?(decode_strings = true) lx =
     in
     (pos, tok)
 
-let next lx =
-  match lx.lookahead with
-  | Some tok ->
-    lx.lookahead <- None;
-    tok
-  | None -> next_token lx
+(* Scan one token, rolling the cursor back to the token start when the
+   window ran dry: after more bytes are fed the retry rescans the token
+   from its first byte, so its full byte run is lexed exactly as the
+   one-shot path lexes it. *)
+let scan ?decode_strings lx =
+  let pos = lx.pos and line = lx.line and bol = lx.bol in
+  match next_token ?decode_strings lx with
+  | tok -> Some tok
+  | exception Need_input ->
+    lx.pos <- pos;
+    lx.line <- line;
+    lx.bol <- bol;
+    None
 
-let next_skip lx =
+let feed lx bytes off n =
+  if lx.closed then invalid_arg "Jsont.Lexer.feed: the lexer is closed";
+  if off < 0 || n < 0 || off + n > Bytes.length bytes then
+    invalid_arg "Jsont.Lexer.feed: invalid byte range";
+  (* compact: everything before the cursor has been consumed (a
+     suspended scan rolled the cursor back to its token start) *)
+  let consumed = lx.pos - lx.base in
+  if consumed > 0 then begin
+    Bytes.blit lx.buf consumed lx.buf 0 (lx.len - consumed);
+    lx.base <- lx.pos;
+    lx.len <- lx.len - consumed
+  end;
+  let need = lx.len + n in
+  if need > Bytes.length lx.buf then begin
+    let cap = ref (max 256 (Bytes.length lx.buf)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let grown = Bytes.create !cap in
+    Bytes.blit lx.buf 0 grown 0 lx.len;
+    lx.buf <- grown
+  end;
+  Bytes.blit bytes off lx.buf lx.len n;
+  lx.len <- need
+
+let feed_string lx s = feed lx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let close lx = lx.closed <- true
+
+let pull lx =
+  match lx.lookahead with
+  | Some (_, Eof) ->
+    lx.lookahead <- None;
+    `End
+  | Some tok ->
+    lx.lookahead <- None;
+    `Token tok
+  | None -> (
+    match scan lx with
+    | None -> `Await
+    | Some (_, Eof) -> `End
+    | Some tok -> `Token tok)
+
+let rec next_with ~decode lx =
   match lx.lookahead with
   | Some tok ->
     lx.lookahead <- None;
     tok
-  | None -> next_token ~decode_strings:false lx
+  | None -> (
+    match scan ~decode_strings:decode lx with
+    | Some tok -> tok
+    | None ->
+      (match lx.refill with
+      | None ->
+        invalid_arg
+          "Jsont.Lexer: token stream awaiting input (feed more bytes or close)"
+      | Some f ->
+        let lim = limit lx in
+        f lx;
+        if limit lx = lim && not lx.closed then
+          invalid_arg "Jsont.Lexer: refill fed no bytes and did not close");
+      next_with ~decode lx)
+
+let next lx = next_with ~decode:true lx
+let next_skip lx = next_with ~decode:false lx
 
 let peek lx =
   match lx.lookahead with
   | Some tok -> tok
   | None ->
-    let tok = next_token lx in
+    let tok = next lx in
     lx.lookahead <- Some tok;
     tok
 
@@ -294,7 +439,7 @@ let offset lx =
   | Some (pos, _) -> pos.offset
   | None -> lx.pos
 
-let remaining lx = String.length lx.input - offset lx
+let remaining lx = limit lx - offset lx
 
 let pp_token fmt = function
   | Lbrace -> Format.pp_print_string fmt "'{'"

@@ -105,7 +105,11 @@ let of_string_exn_inner input =
       done;
       let text = String.sub input start (!pos - start) in
       if text = "-" then fail "expected digits after '-'";
-      let i = int_of_string text in
+      let i =
+        match int_of_string_opt text with
+        | Some i -> i
+        | None -> fail "index %s out of range" text
+      in
       (* [-0] has no meaning in the paper's natural-number index model:
          positions are naturals, and the negative form is only accepted
          as the from-the-end convention, which needs a nonzero offset *)

@@ -116,6 +116,12 @@ let quoted_name st =
   go ();
   Buffer.contents buf
 
+(* RFC 9535 §2.3.3/§2.3.4: indices and slice bounds are I-JSON exact
+   integers, i.e. within [-(2^53)+1, 2^53-1].  Anything outside —
+   including literals too large for [int_of_string] — is a positioned
+   parse error, never an escaping [Failure]. *)
+let ijson_max = (1 lsl 53) - 1
+
 let int_opt st =
   let start = st.pos in
   if peek st = Some '-' then advance st;
@@ -126,7 +132,11 @@ let int_opt st =
     st.pos <- start;
     None
   end
-  else Some (int_of_string (String.sub st.input start (st.pos - start)))
+  else
+    let text = String.sub st.input start (st.pos - start) in
+    match int_of_string_opt text with
+    | Some i when i >= -ijson_max && i <= ijson_max -> Some i
+    | Some _ | None -> bad st "index %s outside the I-JSON range ±(2^53-1)" text
 
 (* A slice [i:j) RFC 9535-style: the end is exclusive, and negative
    bounds are offset by the array's arity at evaluation time.  Encoded
@@ -225,7 +235,11 @@ let bracket st : Jnl.path =
       | Ok f -> Jnl.Test f
       | Error m -> bad st "bad filter: %s" m)
     | Some ('0' .. '9' | '-') -> (
-      let i = Option.get (int_opt st) in
+      let i =
+        match int_opt st with
+        | Some i -> i
+        | None -> bad st "expected digits after '-'"
+      in
       match peek st with
       | Some ':' ->
         advance st;

@@ -133,7 +133,11 @@ let rec dia_path (p : path) (inner : Jsl.t) : Jsl.t =
   | seg :: rest ->
     let deeper = dia_path rest inner in
     if all_digits seg then
-      Jsl.Or (Jsl.dia_key seg deeper, Jsl.dia_idx (int_of_string seg) deeper)
+      (* a digit run too large for [int] cannot be an array position,
+         but it is still a perfectly good object key *)
+      match int_of_string_opt seg with
+      | Some i -> Jsl.Or (Jsl.dia_key seg deeper, Jsl.dia_idx i deeper)
+      | None -> Jsl.dia_key seg deeper
     else Jsl.dia_key seg deeper
 
 let rec filter_to_jsl (f : filter) : Jsl.t = Jsl.conj (List.map cond_to_jsl f)

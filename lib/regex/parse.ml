@@ -155,7 +155,10 @@ and parse_post st =
           advance st
         done;
         if st.pos = start then fail st "expected a number in {m,n}";
-        int_of_string (String.sub st.input start (st.pos - start))
+        let text = String.sub st.input start (st.pos - start) in
+        match int_of_string_opt text with
+        | Some i -> i
+        | None -> fail st "repetition count %s out of range" text
       in
       let m = number () in
       let n =

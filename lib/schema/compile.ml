@@ -692,9 +692,8 @@ and spill st p requested depth =
     requested;
   tbl
 
-let run_stream ?(budget = Obs.Budget.unlimited) ?(mode = `Strict) p input =
+let run_lexer ?(budget = Obs.Budget.unlimited) ?(mode = `Strict) p lx =
   Obs.Metrics.incr "validate.stream.runs";
-  let lx = Lexer.create input in
   let st =
     { s_budget = budget;
       s_mode = mode;
@@ -705,3 +704,6 @@ let run_stream ?(budget = Obs.Budget.unlimited) ?(mode = `Strict) p input =
   let pos, tok = Lexer.next lx in
   if tok <> Lexer.Eof then Parser.unexpected pos tok "end of input";
   Hashtbl.find tbl p.root
+
+let run_stream ?budget ?mode p input =
+  run_lexer ?budget ?mode p (Lexer.create input)

@@ -100,3 +100,16 @@ val run_stream :
     exhaustion inside the streaming/parsing layers,
     @raise Obs.Budget.Exhausted from a spilled {!run_tree} execution,
     @raise Jsont.Lexer.Error on lexical errors. *)
+
+val run_lexer :
+  ?budget:Obs.Budget.t -> ?mode:[ `Strict | `Lenient ] -> t -> Jsont.Lexer.t
+  -> bool
+(** [run_lexer p lx] is {!run_stream} over an existing lexer: the
+    document is whatever token stream [lx] yields up to [Eof].
+    [run_stream p input = run_lexer p (Lexer.create input)].
+
+    With a {!Jsont.Lexer.create_feed} lexer carrying a [refill]
+    callback this validates a chunked byte stream — stdin, a socket, a
+    file read in fixed-size slices — without ever holding the document
+    in memory, and (by the lexer's resumption contract) with verdicts,
+    errors and fuel charges byte-identical to the one-shot path. *)

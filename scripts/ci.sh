@@ -307,6 +307,37 @@ case $nd1 in
      exit 1 ;;
 esac
 
+# Resumable feed lexer wiring: chunked reads must be invisible in the
+# output.  Adversarially small chunks (7 bytes — every token crosses a
+# boundary) vs the default 64 KiB vs the tree path, on both the NDJSON
+# corpus and the per-file stream route; all output bytes identical.
+nd7=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --chunk-bytes 7 "$nd") || true
+nd64k=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --chunk-bytes 65536 "$nd") || true
+if [ "$nd7" != "$nd1" ] || [ "$nd64k" != "$nd1" ]; then
+  echo "FAIL: NDJSON --chunk-bytes 7 / 65536 output differs from default" >&2
+  printf '%s\n---\n%s\n' "$nd7" "$nd64k" >&2
+  exit 1
+fi
+sf7_status=0
+sf7=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --chunk-bytes 7 --files-from "$sdir/list") || sf7_status=$?
+if [ "$sf7" != "$s_tree" ] || [ "$sf7_status" != 1 ]; then
+  echo "FAIL: --files-from --chunk-bytes 7 differs from tree path (exit $sf7_status)" >&2
+  printf '%s\n---\n%s\n' "$s_tree" "$sf7" >&2
+  exit 1
+fi
+# chunked stdin: the feed path reading "-"
+std7=$(timeout 120 "$JSONLOGIC" validate -s "$sdir/schema.json" \
+  --stream --chunk-bytes 7 - < "$nd") || true
+if [ "$std7" != "$(printf '%s' "$nd1" | sed "s|^$nd:|-:|")" ]; then
+  echo "FAIL: chunked stdin NDJSON differs from file path output" >&2
+  printf '%s\n---\n%s\n' "$std7" "$nd1" >&2
+  exit 1
+fi
+echo "feed-lexer chunk-size identity gate passed"
+
 # Streaming RSS ceiling: validating ~100 MB of NDJSON must complete
 # inside a 512 MB address-space limit — streaming memory follows the
 # longest line, not the file (ulimit -v in a subshell so the limit

@@ -71,7 +71,12 @@ let must_reject =
     ("n_dot_no_digits", "1.");
     ("n_comment", "[1] // nope");
     ("n_nan", "NaN");
-    ("n_infinity", "Infinity") ]
+    ("n_infinity", "Infinity");
+    (* overflow to ±infinity is a lexical error, not a silent infinity
+       that would re-serialize as non-JSON *)
+    ("n_number_overflow", "1e999");
+    ("n_number_overflow_negative", "-1e999");
+    ("n_number_overflow_int", "123456789012345678901234567890") ]
 
 (* implementation-defined under the paper's restricted model: full JSON
    accepts these, the strict mode does not; lenient mode folds the

@@ -77,7 +77,9 @@ let test_parser_errors () =
       match Jnl.parse s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected parse error on %S" s)
-    [ ""; "<"; "<.a"; "eq(.a)"; "<.a>>"; "!"; "<.a> &"; "eq(,1)" ]
+    [ ""; "<"; "<.a"; "eq(.a)"; "<.a>>"; "!"; "<.a> &"; "eq(,1)";
+      (* regression: oversized integers escaped as Failure, not Error *)
+      "<.a[99999999999999999999]>"; "<.a[0:99999999999999999999]>" ]
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation on the Figure 1 document                                  *)

@@ -872,6 +872,326 @@ let prop_direct_differential =
       trees_identical (Tree.of_string_exn text)
         (Tree.of_value (Parser.parse_exn text)))
 
+(* ------------------------------------------------------------------ *)
+(* Resumable feed lexer: chunk-boundary differential                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The feed contract: a token split at ANY byte offset lexes
+   identically — token, position, error, everything — to one-shot
+   lexing of the concatenated input.  These tests enforce it
+   differentially: same corpus, every split point, plus random
+   multi-splits, over tokens, errors, trees, fuel and stream-validation
+   verdicts. *)
+
+type lex_outcome = {
+  lex_toks : (Lexer.position * Lexer.token) list;
+  lex_err : (Lexer.position * string) option;
+}
+
+let oneshot_outcome input =
+  let lx = Lexer.create input in
+  let rec go acc =
+    match Lexer.next lx with
+    | _, Lexer.Eof -> { lex_toks = List.rev acc; lex_err = None }
+    | t -> go (t :: acc)
+    | exception Lexer.Error (p, m) ->
+      { lex_toks = List.rev acc; lex_err = Some (p, m) }
+  in
+  go []
+
+let feed_outcome chunks =
+  let lx = Lexer.create_feed () in
+  let acc = ref [] and err = ref None and stop = ref false in
+  let drain () =
+    let rec go () =
+      if not !stop then
+        match Lexer.pull lx with
+        | `Token t ->
+          acc := t :: !acc;
+          go ()
+        | `Await -> ()
+        | `End -> stop := true
+        | exception Lexer.Error (p, m) ->
+          err := Some (p, m);
+          stop := true
+    in
+    go ()
+  in
+  drain ();
+  List.iter
+    (fun c ->
+      if not !stop then begin
+        Lexer.feed_string lx c;
+        drain ()
+      end)
+    chunks;
+  if not !stop then begin
+    Lexer.close lx;
+    drain ()
+  end;
+  { lex_toks = List.rev !acc; lex_err = !err }
+
+let pp_lex_outcome fmt o =
+  List.iter
+    (fun ((p : Lexer.position), t) ->
+      Format.fprintf fmt "%d:%d:%d %a; " p.line p.col p.offset Lexer.pp_token t)
+    o.lex_toks;
+  match o.lex_err with
+  | None -> Format.fprintf fmt "<ok>"
+  | Some (p, m) -> Format.fprintf fmt "error %d:%d:%d %s" p.line p.col p.offset m
+
+let check_feed_matches name input chunks =
+  let a = oneshot_outcome input and b = feed_outcome chunks in
+  if a.lex_toks <> b.lex_toks || a.lex_err <> b.lex_err then
+    Alcotest.failf "feed differs from one-shot (%s) on %S:@.one-shot: %a@.feed: %a"
+      name input pp_lex_outcome a pp_lex_outcome b
+
+(* valid and invalid documents exercising every stateful corner of the
+   lexer: escapes, surrogate pairs, raw multi-byte UTF-8, deep nesting,
+   long numbers, keyword literals, dangling tokens of each kind *)
+let feed_corpus =
+  [ figure1;
+    {|{"k":"a\n\tA\\\" b","u":"é中"}|};
+    {|"𝄞 ok 😀"|};
+    "[\"h\xc3\xa9llo\", \"\xe6\x97\xa5\xe6\x9c\xac\", \"\xf0\x9f\x90\x98\xf0\x9f\x90\x98\"]";
+    String.make 30 '[' ^ "0" ^ String.make 30 ']';
+    {|[0, -0, 123456789012345678, 4611686018427387903, 0.5, 1.25e10, 3.141592653589793e-10, 2E+2]|};
+    {|[true,false,null,{},[]]|};
+    "  { \"a\" : [ 1 ,\n 2 ] }\n";
+    "";
+    "   ";
+    {|{"a":tru|};
+    {|{"a":truX}|};
+    {|"abc|};
+    {|"a\q"|};
+    {|"a\u12"|};
+    {|"\ud834x"|};
+    {|"\ud834A"|};
+    {|"\udd1e"|};
+    "\"ctl\x01\"";
+    "1e999";
+    "-1e999";
+    "1e";
+    "1.";
+    "-";
+    "[1,2";
+    "{,}";
+    "nul";
+    "tr";
+    "123456789012345678901234567890" ]
+
+let test_feed_every_split () =
+  List.iter
+    (fun input ->
+      let n = String.length input in
+      for k = 0 to n do
+        check_feed_matches
+          (Printf.sprintf "split at %d" k)
+          input
+          [ String.sub input 0 k; String.sub input k (n - k) ]
+      done)
+    feed_corpus
+
+let test_feed_byte_at_a_time () =
+  List.iter
+    (fun input ->
+      check_feed_matches "1-byte chunks" input
+        (List.init (String.length input) (fun i -> String.make 1 input.[i])))
+    feed_corpus
+
+let random_chunks rng input =
+  let n = String.length input in
+  let rec cuts acc i =
+    if i >= n then List.rev acc
+    else
+      let j = min n (i + 1 + Jworkload.Prng.int rng 7) in
+      cuts (String.sub input i (j - i) :: acc) j
+  in
+  cuts [] 0
+
+let test_feed_random_splits () =
+  let rng = Jworkload.Prng.create 99 in
+  let corpus = Array.of_list feed_corpus in
+  for _ = 1 to 200 do
+    let input = corpus.(Jworkload.Prng.int rng (Array.length corpus)) in
+    check_feed_matches "random chunks" input (random_chunks rng input)
+  done;
+  (* and on generated documents, pretty and compact *)
+  for _ = 1 to 60 do
+    let doc = Jworkload.Gen_json.sized rng (1 + Jworkload.Prng.int rng 200) in
+    let text =
+      if Jworkload.Prng.bool rng then Printer.compact doc
+      else Printer.pretty doc
+    in
+    check_feed_matches "random doc" text (random_chunks rng text)
+  done
+
+(* A feed lexer driven by a refill callback delivering [chunk]-byte
+   slices of [input]: the blocking adapter the Parser/Tree/validator
+   machinery consumes. *)
+let chunked_lexer input chunk =
+  let pos = ref 0 in
+  Lexer.create_feed
+    ~refill:(fun lx ->
+      if !pos >= String.length input then Lexer.close lx
+      else begin
+        let n = min chunk (String.length input - !pos) in
+        Lexer.feed_string lx (String.sub input !pos n);
+        pos := !pos + n
+      end)
+    ()
+
+let test_feed_tree_differential () =
+  let rng = Jworkload.Prng.create 2026 in
+  let texts =
+    feed_corpus
+    @ List.init 30 (fun i ->
+          Printer.compact (Jworkload.Gen_json.sized rng (1 + (i * 13))))
+  in
+  List.iter
+    (fun text ->
+      List.iter
+        (fun chunk ->
+          let oneshot = Tree.of_string text in
+          let fed =
+            Parser.wrap (fun () ->
+                let lx = chunked_lexer text chunk in
+                let t = Tree.of_lexer_exn ~budget:Obs.Budget.unlimited lx in
+                (* of_lexer_exn leaves trailing input to the caller;
+                   match of_string's end-of-input check by hand *)
+                (match Lexer.next lx with
+                | _, Lexer.Eof -> ()
+                | pos, tok -> Parser.unexpected pos tok "end of input");
+                t)
+          in
+          match (oneshot, fed) with
+          | Ok a, Ok b ->
+            if not (trees_identical a b) then
+              Alcotest.failf "chunked tree differs (chunk %d) on %S" chunk text
+          | Error e1, Error e2 ->
+            Alcotest.(check string)
+              (Printf.sprintf "chunked error agrees (chunk %d) on %S" chunk
+                 text)
+              (render_error e1) (render_error e2)
+          | Ok _, Error e ->
+            Alcotest.failf "one-shot ok, chunked rejected %S: %s" text
+              (render_error e)
+          | Error e, Ok _ ->
+            Alcotest.failf "one-shot rejected %S (%s), chunked ok" text
+              (render_error e))
+        [ 1; 2; 3; 7; 64 ])
+    texts
+
+(* Fuel parity: the chunked route must charge exactly the fuel the
+   one-shot route charges — checked by agreement at every exact fuel
+   threshold around a document's total draw. *)
+let test_feed_fuel_parity () =
+  let rng = Jworkload.Prng.create 11 in
+  let doc = Jworkload.Gen_json.sized rng 120 in
+  let text = Printer.compact doc in
+  let nodes = Value.size doc in
+  List.iter
+    (fun fuel ->
+      let oneshot =
+        match Tree.of_string ~budget:(Obs.Budget.create ~fuel ()) text with
+        | Ok _ -> None
+        | Error e -> Some (render_error e)
+      in
+      let fed =
+        match
+          Parser.wrap (fun () ->
+              Tree.of_lexer_exn
+                ~budget:(Obs.Budget.create ~fuel ())
+                (chunked_lexer text 3))
+        with
+        | Ok _ -> None
+        | Error e -> Some (render_error e)
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "fuel %d parity" fuel)
+        oneshot fed)
+    (List.init 8 (fun i -> max 1 ((2 * nodes) - 4 + i)) @ [ 1; 2; 3; nodes ])
+
+let test_feed_misuse () =
+  (* feeding a closed lexer is a programming error *)
+  let lx = Lexer.create_feed () in
+  Lexer.close lx;
+  (match Lexer.feed_string lx "1" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "feed after close should raise Invalid_argument");
+  (* pulling past the buffered bytes without a refill callback cannot
+     block, so the blocking API refuses *)
+  let lx = Lexer.create_feed () in
+  Lexer.feed_string lx "[1,";
+  (match Lexer.next lx with
+  | _, Lexer.Lbracket -> ()
+  | _ -> Alcotest.fail "expected '['");
+  ignore (Lexer.next lx) (* Nat 1 *);
+  ignore (Lexer.next lx) (* ',' *);
+  (match Lexer.next lx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "next past the window should raise Invalid_argument");
+  (* a refill that makes no progress is detected, not looped on *)
+  let lx = Lexer.create_feed ~refill:(fun _ -> ()) () in
+  match Lexer.next lx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no-progress refill should raise Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Number overflow: 1e999 is an error, not infinity                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_number_overflow () =
+  List.iter
+    (fun text ->
+      match Lexer.tokenize text with
+      | _ -> Alcotest.failf "expected overflow error on %S" text
+      | exception Lexer.Error (_, m) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions range on %S" text)
+          true
+          (contains_substring ~sub:"out of range" m))
+    [ "1e999"; "-1e999"; "1e309"; "-1.5e400"; "[0, 12e999]" ];
+  (* the tree and stream routes reject identically (same lexer) *)
+  (match Tree.of_string "[1e999]" with
+  | Ok _ -> Alcotest.fail "tree route accepted 1e999"
+  | Error e ->
+    Alcotest.(check bool) "tree route positions the error" true
+      (contains_substring ~sub:"out of range" (render_error e)));
+  (match Parser.parse ~mode:`Lenient "-1e999" with
+  | Ok _ -> Alcotest.fail "lenient parse accepted -1e999"
+  | Error e ->
+    Alcotest.(check bool) "lenient parse rejects -1e999" true
+      (contains_substring ~sub:"out of range" (render_error e)));
+  (* boundary: the largest finite double still lexes as a float... *)
+  (match Lexer.tokenize "1e308" with
+  | [ (_, Lexer.Float f); (_, Lexer.Eof) ] ->
+    Alcotest.(check bool) "1e308 finite" true (Float.is_finite f)
+  | _ -> Alcotest.fail "1e308 should lex as one float");
+  (* ...underflow to zero stays a value, not an error *)
+  (match Lexer.tokenize "1e-999" with
+  | [ (_, Lexer.Float f); (_, Lexer.Eof) ] ->
+    Alcotest.(check (float 0.0)) "1e-999 underflows to 0" 0.0 f
+  | _ -> Alcotest.fail "1e-999 should lex as one float");
+  (* round-trip: admitted numbers still print back to themselves *)
+  let v = Parser.parse_exn ~mode:`Lenient "[2e2, 9.007199254740991e15]" in
+  Alcotest.(check string) "narrowed round-trip"
+    "[200,9007199254740991]" (Printer.compact v)
+
+(* pointer indices too large for [int] are a parse error, not a
+   [Failure] escaping [of_string] (regression: raising int_of_string) *)
+let test_pointer_index_overflow () =
+  match Pointer.of_string "[99999999999999999999]" with
+  | Ok _ -> Alcotest.fail "oversized pointer index accepted"
+  | Error m ->
+    Alcotest.(check bool) "positioned message" true
+      (contains_substring ~sub:"out of range" m)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip;
@@ -926,6 +1246,17 @@ let () =
          Alcotest.test_case "error agreement" `Quick test_direct_error_agreement;
          Alcotest.test_case "depth agreement" `Quick test_direct_depth_agreement;
          Alcotest.test_case "fuel agreement" `Quick test_direct_fuel_agreement ]);
+      ("feed lexer",
+       [ Alcotest.test_case "every split point" `Quick test_feed_every_split;
+         Alcotest.test_case "byte at a time" `Quick test_feed_byte_at_a_time;
+         Alcotest.test_case "random multi-splits" `Quick test_feed_random_splits;
+         Alcotest.test_case "chunked tree differential" `Quick
+           test_feed_tree_differential;
+         Alcotest.test_case "chunked fuel parity" `Quick test_feed_fuel_parity;
+         Alcotest.test_case "misuse" `Quick test_feed_misuse;
+         Alcotest.test_case "number overflow" `Quick test_number_overflow;
+         Alcotest.test_case "pointer index overflow" `Quick
+           test_pointer_index_overflow ]);
       ("xml coding",
        [ Alcotest.test_case "basics" `Quick test_xml_coding ]);
       ("diff",

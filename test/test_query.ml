@@ -267,6 +267,46 @@ let test_jsonpath_errors () =
       {|$['a\uDC00']|}; {|$['a\u12']|}; {|$['unterminated|};
       "$.store.book[?(eq(.a, \"x\")]" ]
 
+(* regression: index literals the machine int cannot hold escaped as
+   [Failure _] from the raising [int_of_string]; RFC 9535 pins the
+   valid range to I-JSON's ±(2^53-1), outside of which parsing must
+   fail with a positioned error *)
+let test_jsonpath_index_bounds () =
+  List.iter
+    (fun p ->
+      match Jquery.Jsonpath.parse p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected out-of-range error on %s" p)
+    [ "$[99999999999999999999]"; "$[-99999999999999999999]";
+      "$[9007199254740992]"; "$[-9007199254740992]";
+      "$[0:99999999999999999999]"; "$[99999999999999999999:]";
+      (* a bare '-' with no digits used to crash [Option.get] *)
+      "$[-]"; "$[-:2]" ];
+  (* the extremes of the valid range still parse *)
+  List.iter
+    (fun p ->
+      match Jquery.Jsonpath.parse p with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "in-range index rejected (%s): %s" p m)
+    [ "$[9007199254740991]"; "$[-9007199254740991]"; "$[0:9007199254740991]" ]
+
+(* regression: a digit-run path segment too large for [int] raised
+   [Failure] out of the Mongo→JSL translation; it can only name an
+   object key, never an array position *)
+let test_mongo_numeric_segment_overflow () =
+  let f =
+    Jquery.Mongo.parse_string_exn {|{"a.99999999999999999999": 5}|}
+  in
+  let jsl = Jquery.Mongo.to_jsl f (* raised Failure pre-fix *) in
+  let doc = parse_doc {|{"a": {"99999999999999999999": 5}}|} in
+  Alcotest.(check bool) "oversized digit segment addresses the key" true
+    (Jquery.Mongo.matches f doc);
+  Alcotest.(check bool) "JSL translation agrees" true
+    (Jlogic.Jsl.validates doc jsl);
+  let doc2 = parse_doc {|{"a": {"x": 5}}|} in
+  Alcotest.(check bool) "no match elsewhere" false
+    (Jquery.Mongo.matches f doc2 || Jlogic.Jsl.validates doc2 jsl)
+
 let test_jsonpath_negative_slices () =
   (* RFC 9535: negative slice bounds offset by the array's length *)
   Alcotest.(check (list string)) "[-2:] last two"
@@ -377,6 +417,8 @@ let () =
            test_mixed_type_comparisons;
          Alcotest.test_case "$exists on indices and missing paths" `Quick
            test_exists_on_indices;
+         Alcotest.test_case "numeric segment overflow" `Quick
+           test_mongo_numeric_segment_overflow;
          Alcotest.test_case "matches = JSL = JNL translation" `Quick
            test_translation_differential;
          Alcotest.test_case "projection (§6)" `Quick test_projection ]);
@@ -384,6 +426,8 @@ let () =
        [ Alcotest.test_case "basics" `Quick test_jsonpath_basics;
          Alcotest.test_case "filters" `Quick test_jsonpath_filter;
          Alcotest.test_case "errors" `Quick test_jsonpath_errors;
+         Alcotest.test_case "index bounds (I-JSON)" `Quick
+           test_jsonpath_index_bounds;
          Alcotest.test_case "negative slices" `Quick test_jsonpath_negative_slices;
          Alcotest.test_case "empty slices" `Quick test_jsonpath_empty_slices;
          Alcotest.test_case "quoted parens in filters" `Quick

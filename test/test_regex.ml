@@ -111,9 +111,13 @@ let test_anchors_and_escapes () =
   (match Rexp.Parse.parse "*a" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "leading star should fail");
-  match Rexp.Parse.parse "[z-a]" with
+  (match Rexp.Parse.parse "[z-a]" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "inverted range should fail"
+  | Ok _ -> Alcotest.fail "inverted range should fail");
+  (* regression: an oversized repetition count escaped as Failure *)
+  match Rexp.Parse.parse "a{99999999999999999999}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized repetition count should fail"
 
 (* ------------------------------------------------------------------ *)
 (* Language algebra                                                     *)

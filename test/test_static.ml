@@ -34,7 +34,9 @@ let test_jsl_parser () =
       match Jsl.parse s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected error on %S" s)
-    [ ""; "Min()"; "dia"; "dia(abc)true"; "~(oops)"; "Obj &"; "Frob" ]
+    [ ""; "Min()"; "dia"; "dia(abc)true"; "~(oops)"; "Obj &"; "Frob";
+      (* regression: oversized naturals escaped as Failure, not Error *)
+      "dia[99999999999999999999]Int"; "MultOf(99999999999999999999)" ]
 
 let gen_jsl =
   let open QCheck.Gen in

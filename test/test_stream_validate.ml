@@ -305,6 +305,110 @@ let test_ndjson_fault_folding () =
     [ "valid"; "error"; "INVALID"; "error"; "valid" ]
     results
 
+(* ------------------------------------------------------------------ *)
+(* Chunked feed: run_lexer over a refill lexer = run_stream             *)
+(* ------------------------------------------------------------------ *)
+
+(* A feed lexer delivering [chunks] one refill at a time (empty chunks
+   are coalesced forward: a refill must feed at least one byte or
+   close). *)
+let chunks_lexer chunks =
+  let rest = ref chunks in
+  Jsont.Lexer.create_feed
+    ~refill:(fun lx ->
+      let rec go () =
+        match !rest with
+        | [] -> Jsont.Lexer.close lx
+        | c :: tl ->
+          rest := tl;
+          if c = "" then go () else Jsont.Lexer.feed_string lx c
+      in
+      go ())
+    ()
+
+let slices text size =
+  let n = String.length text in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else go (i + size) (String.sub text i (min size (n - i)) :: acc)
+  in
+  go 0 []
+
+let via_feed ?budget plan chunks =
+  match
+    Parser.wrap (fun () -> Plan.run_lexer ?budget plan (chunks_lexer chunks))
+  with
+  | Ok ok -> Ok ok
+  | Error e -> Error (render e)
+
+let check_feed_agree plan text chunks tag =
+  let oneshot = via_stream plan text and fed = via_feed plan chunks in
+  if oneshot <> fed then
+    let pp = function
+      | Ok b -> Printf.sprintf "Ok %b" b
+      | Error m -> "Error " ^ m
+    in
+    Alcotest.failf "chunked %s <> one-shot %s (%s) on %s" (pp fed) (pp oneshot)
+      tag text
+
+let test_feed_keyword_cases () =
+  List.iter
+    (fun (keyword, schema_text, cases) ->
+      let plan = plan_of schema_text in
+      List.iter
+        (fun (doc_text, _) ->
+          List.iter
+            (fun size ->
+              check_feed_agree plan doc_text (slices doc_text size)
+                (Printf.sprintf "%s, %d-byte chunks" keyword size))
+            [ 1; 7 ])
+        cases)
+    Jworkload.Catalog.keyword_cases
+
+let test_feed_every_split () =
+  (* catalog document and malformed cases, split at every byte offset —
+     including splits inside spilled subtrees, skipped subtrees, string
+     escapes and numbers *)
+  let plan = plan_of Jworkload.Catalog.catalog_schema in
+  let rng = Jworkload.Prng.create 31 in
+  let doc = Value.to_string (Jworkload.Catalog.catalog_doc rng) in
+  let doc =
+    if String.length doc > 300 then String.sub doc 0 300 else doc
+  in
+  let cases =
+    [ doc; {|{"a":tru}|}; {|[1, -3]|}; {|{"id": 1e30}|}; {|{"id": 1e999}|};
+      {|{"tags":["a","a"]}|}; "" ]
+  in
+  List.iter
+    (fun text ->
+      let n = String.length text in
+      for k = 0 to n do
+        check_feed_agree plan text
+          [ String.sub text 0 k; String.sub text k (n - k) ]
+          (Printf.sprintf "split at %d" k)
+      done)
+    cases
+
+let test_feed_fuel_identity () =
+  (* fuel charges must be identical, not merely order-compatible:
+     compare rendered outcomes at every exact fuel value up to the
+     document's full draw *)
+  let plan = plan_of {|{"type":"object","properties":{"a":{"type":"array","items":{"type":"integer"}}}}|} in
+  let text = {|{"a":[1,2,3],"skip":{"x":[true,"s"]}}|} in
+  for fuel = 1 to 40 do
+    let budget () = Obs.Budget.create ~fuel () in
+    let oneshot =
+      match
+        Parser.wrap (fun () -> Plan.run_stream ~budget:(budget ()) plan text)
+      with
+      | Ok ok -> Ok ok
+      | Error e -> Error (render e)
+    in
+    let fed = via_feed ~budget:(budget ()) plan (slices text 3) in
+    if oneshot <> fed then
+      Alcotest.failf "fuel %d: chunked and one-shot outcomes differ" fuel
+  done
+
 let () =
   Alcotest.run "stream_validate"
     [ ("agreement",
@@ -324,6 +428,12 @@ let () =
          Alcotest.test_case "container enum" `Quick test_spill_container_enum;
          Alcotest.test_case "$ref sharing" `Quick test_spill_ref_sharing;
          Alcotest.test_case "skip accounting" `Quick test_skip_metrics ]);
+      ("feed",
+       [ Alcotest.test_case "keyword cases, chunked" `Quick
+           test_feed_keyword_cases;
+         Alcotest.test_case "every split point" `Quick test_feed_every_split;
+         Alcotest.test_case "exact fuel identity" `Quick
+           test_feed_fuel_identity ]);
       ("ndjson",
        [ Alcotest.test_case "line-fault folding" `Quick
            test_ndjson_fault_folding ]) ]
