@@ -1228,6 +1228,145 @@ let validate_exp () =
   row "\nvalidate agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
   if not !all_agree then exit 1
 
+(* ---- serve: the validation daemon ------------------------------------------- *)
+
+(* Load generator for [jsonlogic serve]: requests/sec against a live
+   daemon as client connections scale, cold plan cache (a compile per
+   request) against warm (content-hash hit), and an agreement gate
+   checking every daemon verdict — catalog corpus plus malformed
+   documents — against the in-process stream checker the CLI uses.
+   The warm path must clear 2x cold: that is the cache earning its
+   keep, gated like the other agreement modes. *)
+let serve_exp () =
+  row "== serve: validation-as-a-service (daemon, plan cache) ==\n";
+  let schema_text = Jworkload.Catalog.catalog_schema in
+  let rng = Jworkload.Prng.create 77 in
+  let docs =
+    Array.init 160 (fun _ ->
+        Value.to_string (Jworkload.Catalog.catalog_doc rng))
+  in
+  let malformed =
+    [| "{"; "{\"sku\":"; "[1,2"; "tru"; "12 34"; ""; "{\"sku\":01}" |]
+  in
+  let sock = Filename.temp_file "jserve_bench" ".sock" in
+  Sys.remove sock;
+  let cfg = Jserve.Server.default_config (`Unix sock) in
+  let cfg = { cfg with Jserve.Server.jobs = 4 } in
+  let srv = Jserve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Jserve.Server.stop srv;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let endpoint = Jserve.Server.endpoint srv in
+      let with_client f =
+        let c = Jserve.Client.connect endpoint in
+        Fun.protect ~finally:(fun () -> Jserve.Client.close c) (fun () -> f c)
+      in
+      let unwrap = function
+        | Ok v -> v
+        | Error m -> failwith ("daemon error: " ^ m)
+      in
+
+      (* -- agreement gate: daemon verdicts vs the CLI stream checker -- *)
+      let plan =
+        Jschema.Validate.Plan.compile (Jschema.Parse.of_string_exn schema_text)
+      in
+      let cli_cell doc =
+        match
+          Jsont.Parser.wrap (fun () ->
+              Jschema.Validate.Plan.run_stream
+                ~budget:(Obs.Budget.create ()) plan doc)
+        with
+        | Ok true -> "valid"
+        | Ok false -> "INVALID"
+        | Error e -> "error: " ^ Format.asprintf "%a" Jsont.Parser.pp_error e
+      in
+      let all_agree = ref true in
+      with_client (fun c ->
+          let id = unwrap (Jserve.Client.put_schema c schema_text) in
+          Array.iter
+            (fun doc ->
+              let daemon =
+                unwrap (Jserve.Client.validate c ~schema_id:id doc)
+              in
+              let cli = cli_cell doc in
+              if daemon <> cli then begin
+                all_agree := false;
+                row "DISAGREE daemon=%S cli=%S on %s\n" daemon cli
+                  (String.sub doc 0 (min 40 (String.length doc)))
+              end)
+            (Array.append docs malformed));
+
+      (* -- cold vs warm plan cache -- *)
+      let time_per_request label metric n f =
+        let t0 = Obs.Budget.now_mono () in
+        f ();
+        let dt = Obs.Budget.now_mono () -. t0 in
+        let ns = dt /. float_of_int n *. 1e9 in
+        Obs.Metrics.observe_ns metric ns;
+        row "%-36s %12.0f ns/request %10.0f req/s\n" label ns
+          (float_of_int n /. dt);
+        ns
+      in
+      let cold_docs = Array.sub docs 0 24 in
+      let ns_cold =
+        with_client (fun c ->
+            time_per_request "cold cache (FLUSH + inline schema)"
+              "bench.serve.cold" (Array.length cold_docs) (fun () ->
+                Array.iter
+                  (fun doc ->
+                    ignore (unwrap (Jserve.Client.flush c));
+                    ignore
+                      (unwrap
+                         (Jserve.Client.validate_inline c ~schema:schema_text
+                            doc)))
+                  cold_docs))
+      in
+      let ns_warm =
+        with_client (fun c ->
+            let id = unwrap (Jserve.Client.put_schema c schema_text) in
+            time_per_request "warm cache (VALIDATE by schema-id)"
+              "bench.serve.warm" (Array.length docs) (fun () ->
+                Array.iter
+                  (fun doc ->
+                    ignore (unwrap (Jserve.Client.validate c ~schema_id:id doc)))
+                  docs))
+      in
+      let speedup = ns_cold /. ns_warm in
+      row "warm speedup over cold: %.1fx (gate: >= 2x)\n" speedup;
+
+      (* -- requests/sec as connections scale (warm cache) -- *)
+      row "\n%-14s %14s\n" "connections" "req/s";
+      let schema_id = Jserve.Plan_cache.id_of_schema schema_text in
+      List.iter
+        (fun conns ->
+          let per_conn = 120 in
+          let t0 = Obs.Budget.now_mono () in
+          let workers =
+            List.init conns (fun k ->
+                Domain.spawn (fun () ->
+                    with_client (fun c ->
+                        for i = 0 to per_conn - 1 do
+                          ignore
+                            (unwrap
+                               (Jserve.Client.validate c ~schema_id
+                                  docs.((k + i) mod Array.length docs)))
+                        done)))
+          in
+          List.iter Domain.join workers;
+          let dt = Obs.Budget.now_mono () -. t0 in
+          let rps = float_of_int (conns * per_conn) /. dt in
+          Obs.Metrics.add
+            (Printf.sprintf "bench.serve.rps.c%d" conns)
+            (int_of_float rps);
+          row "%-14d %14.0f\n" conns rps)
+        [ 1; 2; 4 ];
+
+      row "\nserve agreement: %s\n"
+        (if !all_agree then "COMPLETE" else "BROKEN");
+      if (not !all_agree) || speedup < 2.0 then exit 1)
+
 (* ---- driver ----------------------------------------------------------------- *)
 
 let experiments =
@@ -1235,7 +1374,7 @@ let experiments =
     ("p4", p4); ("p5", p5); ("p6", p6); ("p7", p7); ("p9", p9); ("t1", t1);
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp);
     ("index", index_exp); ("ingest", ingest); ("batch", batch);
-    ("validate", validate_exp) ]
+    ("validate", validate_exp); ("serve", serve_exp) ]
 
 let () =
   Obs.Metrics.set_enabled true;

@@ -683,6 +683,192 @@ let infer_cmd =
        ~doc:"Infer a JSON Schema from example documents (JSON lines or an array)")
     Term.(const run $ obs_term $ strict $ input_arg)
 
+(* ---- serve / client ---------------------------------------------------------- *)
+
+(* endpoint flags shared by [serve] and [client]; parsed under [wrap]
+   so bad values render as the usual `error: …` + exit 1 *)
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve on (or connect to) the Unix-domain socket $(docv).")
+
+let tcp_arg =
+  Arg.(value & opt (some string) None
+       & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Serve on (or connect to) TCP $(docv) (numeric host; port 0 \
+                 picks a free port).")
+
+let endpoint_of ~socket ~tcp : Jserve.Server.endpoint =
+  match (socket, tcp) with
+  | Some path, None -> `Unix path
+  | None, Some hp -> (
+    match String.rindex_opt hp ':' with
+    | Some i -> (
+      let host = String.sub hp 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> `Tcp (host, p)
+      | _ -> failwith ("bad port in --tcp " ^ hp))
+    | None -> failwith ("bad --tcp " ^ hp ^ " (want HOST:PORT)"))
+  | None, None -> failwith "one of --socket or --tcp is required"
+  | Some _, Some _ -> failwith "--socket and --tcp are mutually exclusive"
+
+let render_endpoint = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Plan-cache capacity: compiled schemas kept resident, \
+                   least-recently-used evicted beyond $(docv).")
+  in
+  let chunk_bytes_arg =
+    Arg.(value & opt int 65536
+         & info [ "chunk-bytes" ] ~docv:"BYTES"
+             ~doc:"Socket read size; request bodies are fed to the \
+                   streaming validator in slices of $(docv), so per-request \
+                   memory follows nesting depth plus one chunk.")
+  in
+  let max_body_arg =
+    Arg.(value & opt int (64 * 1024 * 1024)
+         & info [ "max-body" ] ~docv:"BYTES"
+             ~doc:"Largest declared schema/document body accepted.")
+  in
+  let run obs socket tcp cache_capacity chunk_bytes max_body_bytes =
+    wrap (fun () ->
+        if chunk_bytes < 1 then failwith "--chunk-bytes must be at least 1";
+        let listen = endpoint_of ~socket ~tcp in
+        let cfg =
+          { Jserve.Server.listen; jobs = obs.jobs; cache_capacity;
+            chunk_bytes; max_body_bytes; fresh_budget = obs.fresh_budget }
+        in
+        let srv = Jserve.Server.create cfg in
+        let stop _signal = Jserve.Server.request_stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        (* the ready line carries the actual endpoint (TCP port 0 is
+           resolved), so scripts can parse it instead of polling *)
+        Printf.printf "serving on %s\n%!"
+          (render_endpoint (Jserve.Server.endpoint srv));
+        Jserve.Server.run srv;
+        (* registries are domain-local: fold here so --metrics dumps
+           the serve counters from the main domain's at_exit hook *)
+        Jserve.Server.fold_counters srv)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the validation daemon: a socket service that compiles each \
+             schema once into a cached plan and streams request documents \
+             through it")
+    Term.(const run $ obs_term $ socket_arg $ tcp_arg $ cache_arg
+          $ chunk_bytes_arg $ max_body_arg)
+
+let client_cmd =
+  let schema_arg =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "schema" ] ~docv:"FILE"
+             ~doc:"Validate documents against this JSON Schema file.")
+  in
+  let inline =
+    Arg.(value & flag
+         & info [ "inline" ]
+             ~doc:"Send the schema bytes with every request (VALIDATEI) \
+                   instead of registering it once — the daemon's plan cache \
+                   still deduplicates by content hash.")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Treat the input as JSON lines and print one \
+                   'path:line<TAB>result' per document, byte-identical to \
+                   $(b,jsonlogic validate --stream).")
+  in
+  let ping_f =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe; prints 'pong'.")
+  in
+  let metrics_f =
+    Arg.(value & flag
+         & info [ "server-metrics" ]
+             ~doc:"Print the daemon's serve counters as one JSON line.")
+  in
+  let flush_f =
+    Arg.(value & flag
+         & info [ "flush" ] ~doc:"Empty the daemon's plan cache first.")
+  in
+  let shutdown_f =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the daemon to stop (drains in-flight requests) after \
+                   any other work this invocation does.")
+  in
+  let run _obs socket tcp schema_file inline stream ping_f metrics_f flush_f
+      shutdown_f files =
+    wrap (fun () ->
+        let endpoint = endpoint_of ~socket ~tcp in
+        let c = Jserve.Client.connect endpoint in
+        Fun.protect
+          ~finally:(fun () -> Jserve.Client.close c)
+          (fun () ->
+            let unwrap = function Ok s -> s | Error m -> failwith m in
+            if ping_f then print_endline (unwrap (Jserve.Client.ping c));
+            if flush_f then ignore (unwrap (Jserve.Client.flush c));
+            if metrics_f then
+              print_endline (unwrap (Jserve.Client.metrics c));
+            (match schema_file with
+            | None -> ()
+            | Some sf ->
+              let schema = read_input sf in
+              let check =
+                if inline then fun doc ->
+                  Jserve.Client.validate_inline c ~schema doc
+                else begin
+                  let id = unwrap (Jserve.Client.put_schema c schema) in
+                  fun doc -> Jserve.Client.validate c ~schema_id:id doc
+                end
+              in
+              let verdict doc = unwrap (check doc) in
+              let path = last_input files in
+              if stream then begin
+                (* mirror validate --stream exactly: count every line,
+                   skip trim-blank ones, exit 1 on any non-valid *)
+                let failures = ref 0 in
+                let lineno = ref 0 in
+                read_input path
+                |> String.split_on_char '\n'
+                |> List.iter (fun line ->
+                       incr lineno;
+                       if String.trim line <> "" then begin
+                         let r = verdict line in
+                         if r <> "valid" then incr failures;
+                         Printf.printf "%s:%d\t%s\n" path !lineno r
+                       end);
+                if !failures > 0 then begin
+                  if shutdown_f then
+                    ignore (unwrap (Jserve.Client.shutdown c));
+                  exit 1
+                end
+              end
+              else begin
+                let r = verdict (read_input path) in
+                print_endline r;
+                if r <> "valid" then begin
+                  if shutdown_f then
+                    ignore (unwrap (Jserve.Client.shutdown c));
+                  exit 1
+                end
+              end);
+            if shutdown_f then ignore (unwrap (Jserve.Client.shutdown c))))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running validation daemon: register schemas, validate \
+             documents, read counters, or shut it down")
+    Term.(const run $ obs_term $ socket_arg $ tcp_arg $ schema_arg $ inline
+          $ stream $ ping_f $ metrics_f $ flush_f $ shutdown_f $ input_arg)
+
 let () =
   let doc = "JSON data model, query logics and schema tools (Bourhis et al., PODS'17)" in
   let info = Cmd.info "jsonlogic" ~version:"1.0.0" ~doc in
@@ -690,4 +876,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; eval_cmd; select_cmd; find_cmd; validate_cmd; sat_cmd;
-            compat_cmd; examples_cmd; infer_cmd ]))
+            compat_cmd; examples_cmd; infer_cmd; serve_cmd; client_cmd ]))

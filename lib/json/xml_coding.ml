@@ -23,10 +23,18 @@ let rec encode (v : Value.t) : t =
             { tag = "pair"; label = Some k; text = None; children = [ encode v ] })
           kvs }
 
+(* Only decimal digit runs are numbers: [encode] writes [string_of_int]
+   of a natural, so that is all [decode] admits.  Bare
+   [int_of_string_opt] would also accept OCaml integer-literal syntax —
+   [0x1F], [0o17], [0b11], [1_000], a leading sign — none of which any
+   encoded tree can contain. *)
+let decimal_run s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
 let rec decode (x : t) : (Value.t, string) result =
   match (x.tag, x.text, x.children) with
   | "number", Some s, [] -> (
-    match int_of_string_opt s with
+    match (if decimal_run s then int_of_string_opt s else None) with
     | Some n when n >= 0 -> Ok (Value.Num n)
     | _ -> Error ("bad number text " ^ s))
   | "string", Some s, [] -> Ok (Value.Str s)

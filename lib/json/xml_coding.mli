@@ -30,7 +30,10 @@ type t = {
 
 val encode : Value.t -> t
 val decode : t -> (Value.t, string) result
-(** [decode (encode v) = Ok v] (property-tested). *)
+(** [decode (encode v) = Ok v] (property-tested).  Number text is
+    admitted only as a decimal digit run — exactly what {!encode} can
+    produce; OCaml integer-literal spellings ([0x1F], [0o17], [0b11],
+    [1_000], signs) are rejected. *)
 
 val lookup_key : t -> string -> t option
 (** [J\[key\]] under the coding: a linear scan of the children — the

@@ -2,12 +2,28 @@ type reason = Fuel | Depth | Deadline
 
 exception Exhausted of reason
 
+(* Deadlines are armed and checked against CLOCK_MONOTONIC, never the
+   wall clock: a long-lived daemon sees NTP steps, and a wall-clock
+   deadline would then fire spuriously (step forward) or defer
+   indefinitely (step back).  Both the arming read in [create] and the
+   checking read in [burn] go through the one [now_mono] function, so
+   the two can never mix time sources. *)
+let default_clock () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let clock = ref default_clock
+
+let now_mono () = !clock ()
+
+let set_clock_for_tests = function
+  | Some f -> clock := f
+  | None -> clock := default_clock
+
 type t = {
   mutable fuel : int;  (* remaining units; meaningful only when [fueled] *)
   fueled : bool;
   max_depth : int;
-  deadline : float;  (* absolute gettimeofday seconds; [infinity] = none *)
-  mutable tick : int;  (* burns since the last wall-clock read *)
+  deadline : float;  (* absolute [now_mono] seconds; [infinity] = none *)
+  mutable tick : int;  (* burns since the last clock read *)
 }
 
 let default_max_depth = 10_000
@@ -25,7 +41,7 @@ let create ?fuel ?(max_depth = default_max_depth) ?timeout_ms () =
   let deadline =
     match timeout_ms with
     | None -> infinity
-    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+    | Some ms -> now_mono () +. (float_of_int ms /. 1000.)
   in
   { fuel; fueled; max_depth; deadline; tick = 0 }
 
@@ -44,7 +60,7 @@ let burn t cost =
     t.tick <- t.tick + 1;
     if t.tick >= deadline_stride then begin
       t.tick <- 0;
-      if Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+      if now_mono () > t.deadline then raise (Exhausted Deadline)
     end
   end
 

@@ -13,9 +13,11 @@
       construction, the formula evaluators, the streaming skipper)
       check their current depth against it, so adversarially nested
       inputs yield a structured error instead of [Stack_overflow].
-    - {b deadline}: a wall-clock cutoff, checked periodically while
-      fuel is burned, so a stuck search fails fast instead of stalling
-      a request.
+    - {b deadline}: an elapsed-time cutoff measured on the {e monotonic}
+      clock ({!now_mono}), checked periodically while fuel is burned, so
+      a stuck search fails fast instead of stalling a request.  The
+      monotonic source matters for long-lived processes: an NTP step of
+      the wall clock neither fires a deadline early nor defers it.
 
     Budgets are cheap: an unlimited budget burns no memory traffic at
     all, a fuel/deadline budget costs one branch and one subtraction
@@ -48,7 +50,18 @@ val create :
   ?fuel:int -> ?max_depth:int -> ?timeout_ms:int -> unit -> t
 (** [create ()] limits depth to {!default_max_depth} and nothing else.
     [?fuel] enables node-count accounting; [?timeout_ms] arms a
-    wall-clock deadline measured from now. *)
+    deadline [timeout_ms] milliseconds of monotonic time from now. *)
+
+val now_mono : unit -> float
+(** Seconds on the monotonic clock (arbitrary epoch, never steps).
+    The {e only} time source deadlines are armed from and checked
+    against. *)
+
+val set_clock_for_tests : (unit -> float) option -> unit
+(** Replace ({!Some}) or restore ([None]) the clock behind
+    {!now_mono}.  Test apparatus: deadline regressions drive a stubbed
+    clock deterministically instead of sleeping.  Process-global; not
+    for production code. *)
 
 val max_depth : t -> int
 

@@ -58,8 +58,10 @@ let observe_ns name ns =
 let span name f =
   if not !on then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
-    let record () = observe_ns name ((Unix.gettimeofday () -. t0) *. 1e9) in
+    (* monotonic, like Budget deadlines: span durations in a long-lived
+       process must not absorb wall-clock steps *)
+    let t0 = Budget.now_mono () in
+    let record () = observe_ns name ((Budget.now_mono () -. t0) *. 1e9) in
     match f () with
     | v ->
       record ();

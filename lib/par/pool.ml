@@ -19,6 +19,7 @@ type t = {
   mutable closed : bool;
   mutable workers : unit Domain.t array;
   lanes : int;
+  stray : int Atomic.t;  (* task exceptions that escaped to the worker loop *)
 }
 
 let rec worker_loop pool =
@@ -30,9 +31,20 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
-    (* task bodies own their error handling (see [map]); a stray
-       exception must not kill the worker domain *)
-    (try task () with _ -> ());
+    (* Task bodies own their error handling (see [map]), so anything
+       arriving here is a stray: count it — silently swallowing hides
+       operator-grade failures forever.  Recoverable strays must not
+       kill the worker domain; resource-corruption ones
+       ([Out_of_memory], [Stack_overflow]) re-raise, ending this worker
+       so the failure surfaces at the {!shutdown} join instead of
+       looping over a corrupted stack or heap. *)
+    (match task () with
+    | () -> ()
+    | exception e -> (
+      Atomic.incr pool.stray;
+      match e with
+      | Out_of_memory | Stack_overflow -> raise e
+      | _ -> ()));
     worker_loop pool
   end
 
@@ -44,7 +56,8 @@ let create lanes =
       queue = Queue.create ();
       closed = false;
       workers = [||];
-      lanes }
+      lanes;
+      stray = Atomic.make 0 }
   in
   pool.workers <-
     Array.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
@@ -63,13 +76,29 @@ let submit pool task =
   Condition.signal pool.nonempty;
   Mutex.unlock pool.mutex
 
+let stray_exn_count pool = Atomic.get pool.stray
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.closed <- true;
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex;
-  Array.iter Domain.join pool.workers;
-  pool.workers <- [||]
+  (* join everything even if a worker died re-raising a non-recoverable
+     stray; surface the first such death after the pool is quiesced *)
+  let first_death = ref None in
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | () -> ()
+      | exception e -> if !first_death = None then first_death := Some e)
+    pool.workers;
+  pool.workers <- [||];
+  (* stray totals land in the coordinator's registry exactly once, at
+     the join — worker-domain registries are never merged on the
+     [submit] path *)
+  let n = Atomic.exchange pool.stray 0 in
+  if n > 0 then Obs.Metrics.add "par.pool.stray_exn" n;
+  match !first_death with Some e -> raise e | None -> ()
 
 let map pool f items =
   let n = Array.length items in

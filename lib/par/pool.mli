@@ -30,10 +30,22 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     are skipped.  [f] must not use the pool it runs on. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Low-level: enqueue one task for a worker domain.  Exceptions from
-    the task are swallowed — prefer {!map}.  @raise Invalid_argument
+(** Low-level: enqueue one task for a worker domain.  Tasks should
+    handle their own errors — prefer {!map}.  A task exception that
+    escapes to the worker loop is a {e stray}: it is counted
+    ({!stray_exn_count}, folded into counter [par.pool.stray_exn] at
+    {!shutdown}), then dropped if recoverable, or re-raised — killing
+    that worker so the failure surfaces at the {!shutdown} join — when
+    it is [Out_of_memory] or [Stack_overflow].  @raise Invalid_argument
     after {!shutdown}. *)
+
+val stray_exn_count : t -> int
+(** Task exceptions that have escaped to the worker loop so far (reset
+    to zero when {!shutdown} folds the total into the coordinator's
+    [par.pool.stray_exn] counter). *)
 
 val shutdown : t -> unit
 (** Drain the queue, join every worker domain.  Idempotent.  The pool
-    rejects {!submit}/{!map} afterwards. *)
+    rejects {!submit}/{!map} afterwards.  Re-raises the first
+    non-recoverable stray exception that killed a worker, after all
+    workers have been joined. *)

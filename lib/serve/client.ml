@@ -1,0 +1,97 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+  mutable closed : bool;
+}
+
+exception Server_gone
+
+let connect endpoint =
+  let domain, addr =
+    match endpoint with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  { fd; buf = Bytes.create 8192; pos = 0; len = 0; closed = false }
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let fd c = c.fd
+
+let send_raw c s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write c.fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Server_gone
+  in
+  go 0
+
+let send c request ~body =
+  send_raw c (Protocol.render_request request);
+  List.iter (send_raw c) body
+
+let read_line c =
+  let line = Buffer.create 64 in
+  let rec go () =
+    if c.pos >= c.len then begin
+      c.pos <- 0;
+      c.len <-
+        (match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> c.len
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          0);
+      if c.len = 0 then raise Server_gone
+    end;
+    match Bytes.index_from_opt c.buf c.pos '\n' with
+    | Some nl when nl < c.len ->
+      Buffer.add_subbytes line c.buf c.pos (nl - c.pos);
+      c.pos <- nl + 1;
+      Buffer.contents line
+    | _ ->
+      Buffer.add_subbytes line c.buf c.pos (c.len - c.pos);
+      c.pos <- c.len;
+      go ()
+  in
+  go ()
+
+let recv c = Protocol.parse_response (read_line c)
+
+let roundtrip c request ~body =
+  send c request ~body;
+  recv c
+
+let ping c = roundtrip c Protocol.Ping ~body:[]
+let metrics c = roundtrip c Protocol.Metrics ~body:[]
+let flush c = roundtrip c Protocol.Flush ~body:[]
+let shutdown c = roundtrip c Protocol.Shutdown ~body:[]
+
+let put_schema c bytes =
+  roundtrip c (Protocol.Schema (String.length bytes)) ~body:[ bytes ]
+
+let validate c ~schema_id doc =
+  roundtrip c
+    (Protocol.Validate { schema_id; len = String.length doc })
+    ~body:[ doc ]
+
+let validate_inline c ~schema doc =
+  roundtrip c
+    (Protocol.Validate_inline
+       { schema_len = String.length schema; doc_len = String.length doc })
+    ~body:[ schema; doc ]

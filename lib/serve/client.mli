@@ -1,0 +1,51 @@
+(** A minimal blocking client for the {!Server} wire protocol — what
+    the [jsonlogic client] subcommand, the fault-injection tests and
+    the [bench serve] load generator drive the daemon with.
+
+    Each call writes one request and reads one response line; [Ok]
+    carries the [OK]/[RESULT] payload, [Error] the [ERR] message.
+    {!send} / {!recv} split the two halves for pipelining: write [n]
+    requests back-to-back, then read [n] responses in order. *)
+
+type t
+
+val connect : Server.endpoint -> t
+(** @raise Unix.Unix_error when nothing listens there. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+exception Server_gone
+(** The daemon hung up before a full response line arrived. *)
+
+(** {1 One request, one response} *)
+
+val ping : t -> (string, string) result
+val put_schema : t -> string -> (string, string) result
+(** [put_schema c bytes] registers the schema; [Ok id] is its
+    content-hash id for subsequent {!validate} calls. *)
+
+val validate : t -> schema_id:string -> string -> (string, string) result
+(** [Ok verdict] with the CLI-identical verdict cell. *)
+
+val validate_inline : t -> schema:string -> string -> (string, string) result
+val metrics : t -> (string, string) result
+val flush : t -> (string, string) result
+val shutdown : t -> (string, string) result
+
+(** {1 Pipelining} *)
+
+val send : t -> Protocol.request -> body:string list -> unit
+(** Write the header line plus the body segments, without reading the
+    response. *)
+
+val recv : t -> (string, string) result
+(** Read the next response line.  @raise Server_gone at EOF mid-line or
+    before any byte. *)
+
+val send_raw : t -> string -> unit
+(** Write bytes verbatim — the fault-injection tests build truncated
+    and malformed frames with this. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket (for shutdown-half tricks in tests). *)

@@ -1,0 +1,72 @@
+type entry = { plan : Jschema.Validate.Plan.t; mutable stamp : int }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;  (* recency stamps; bumped under the mutex *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ~capacity =
+  { mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    capacity = max 1 capacity;
+    clock = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0 }
+
+let id_of_schema bytes = Digest.to_hex (Digest.string bytes)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | Some e ->
+        Atomic.incr t.hits;
+        t.clock <- t.clock + 1;
+        e.stamp <- t.clock;
+        Some e.plan
+      | None ->
+        Atomic.incr t.misses;
+        None)
+
+let evict_lru t =
+  (* O(size) sweep for the oldest stamp; the cache holds schemas, not
+     documents — tens of entries, not millions *)
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun id e ->
+      match !oldest with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> oldest := Some (id, e.stamp))
+    t.table;
+  match !oldest with
+  | Some (id, _) ->
+    Hashtbl.remove t.table id;
+    Atomic.incr t.evictions
+  | None -> ()
+
+let add t id plan =
+  locked t (fun () ->
+      t.clock <- t.clock + 1;
+      (match Hashtbl.find_opt t.table id with
+      | Some _ -> Hashtbl.remove t.table id
+      | None -> ());
+      Hashtbl.replace t.table id { plan; stamp = t.clock };
+      while Hashtbl.length t.table > t.capacity do
+        evict_lru t
+      done)
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+
+let flush t = locked t (fun () -> Hashtbl.reset t.table)
+
+let stats t =
+  (Atomic.get t.hits, Atomic.get t.misses, Atomic.get t.evictions)

@@ -1,0 +1,43 @@
+(** Content-hash-keyed cache of compiled validation plans.
+
+    The compile-once pipeline pays schema analysis once per schema
+    {e text}: the key is {!id_of_schema} — a digest of the exact
+    schema bytes — so a client that re-sends the same schema hits the
+    plan the first submission compiled, and two textually different
+    spellings of the same schema are (harmlessly) distinct entries.
+
+    Compiled plans are immutable and freely shared across domains; the
+    cache itself is a mutex-guarded LRU bounded by [capacity], so a
+    daemon fed an unbounded stream of distinct schemas holds at most
+    [capacity] plans — the eviction counter makes that pressure
+    visible.
+
+    Counters (returned by {!stats}, surfaced by the daemon as
+    [serve.plan_cache.hit]/[.miss]/[.evict]): a {!find} that returns a
+    plan is a hit, one that returns [None] a miss, and every entry
+    dropped by capacity pressure (not {!flush}) an eviction. *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] holds at most [max 1 capacity] plans. *)
+
+val id_of_schema : string -> string
+(** Digest of the schema bytes, in hex — the wire-visible schema-id. *)
+
+val find : t -> string -> Jschema.Validate.Plan.t option
+(** Look an id up, refreshing its recency.  Counts a hit or a miss. *)
+
+val add : t -> string -> Jschema.Validate.Plan.t -> unit
+(** Insert (or refresh) an entry, evicting the least-recently-used
+    entry while over capacity.  Racing inserts of the same id are
+    benign: both plans decide the same relation, last one stays. *)
+
+val size : t -> int
+(** Entries currently cached. *)
+
+val flush : t -> unit
+(** Drop every entry (not counted as evictions). *)
+
+val stats : t -> int * int * int
+(** [(hits, misses, evictions)] since creation. *)

@@ -1,0 +1,76 @@
+type request =
+  | Schema of int
+  | Validate of { schema_id : string; len : int }
+  | Validate_inline of { schema_len : int; doc_len : int }
+  | Ping
+  | Metrics
+  | Flush
+  | Shutdown
+
+(* the longest legitimate header is VALIDATE + a digest + a length *)
+let max_header_bytes = 256
+
+(* Lengths are decimal digit runs that fit in an int: [int_of_string]
+   alone would admit OCaml literal syntax (0x.., 1_000) and a leading
+   sign, none of which the framing grammar contains. *)
+let parse_len s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    int_of_string_opt s
+  else None
+
+let parse_request line =
+  match String.split_on_char ' ' line with
+  | [ "SCHEMA"; len ] -> (
+    match parse_len len with
+    | Some n -> Ok (Schema n)
+    | None -> Error ("bad length " ^ len))
+  | [ "VALIDATE"; schema_id; len ] when schema_id <> "" -> (
+    match parse_len len with
+    | Some n -> Ok (Validate { schema_id; len = n })
+    | None -> Error ("bad length " ^ len))
+  | [ "VALIDATEI"; slen; dlen ] -> (
+    match (parse_len slen, parse_len dlen) with
+    | Some s, Some d -> Ok (Validate_inline { schema_len = s; doc_len = d })
+    | _ -> Error (Printf.sprintf "bad lengths %s %s" slen dlen))
+  | [ "PING" ] -> Ok Ping
+  | [ "METRICS" ] -> Ok Metrics
+  | [ "FLUSH" ] -> Ok Flush
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | verb :: _ -> Error ("unknown request " ^ verb)
+  | [] -> Error "empty request"
+
+let render_request = function
+  | Schema len -> Printf.sprintf "SCHEMA %d\n" len
+  | Validate { schema_id; len } ->
+    Printf.sprintf "VALIDATE %s %d\n" schema_id len
+  | Validate_inline { schema_len; doc_len } ->
+    Printf.sprintf "VALIDATEI %d %d\n" schema_len doc_len
+  | Ping -> "PING\n"
+  | Metrics -> "METRICS\n"
+  | Flush -> "FLUSH\n"
+  | Shutdown -> "SHUTDOWN\n"
+
+(* responses are exactly one line: fold any embedded line break *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let ok payload = "OK " ^ one_line payload ^ "\n"
+let result verdict = "RESULT " ^ one_line verdict ^ "\n"
+let err message = "ERR " ^ one_line message ^ "\n"
+
+let parse_response line =
+  let tagged tag =
+    let n = String.length tag in
+    if String.length line >= n && String.sub line 0 n = tag then
+      Some (String.sub line n (String.length line - n))
+    else None
+  in
+  match tagged "OK " with
+  | Some payload -> Ok payload
+  | None -> (
+    match tagged "RESULT " with
+    | Some verdict -> Ok verdict
+    | None -> (
+      match tagged "ERR " with
+      | Some m -> Error m
+      | None -> Error ("malformed response line: " ^ line)))

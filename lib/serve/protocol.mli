@@ -1,0 +1,69 @@
+(** The wire protocol of [jsonlogic serve]: length-framed requests,
+    line-framed responses.
+
+    A request is one ASCII header line ([\n]-terminated) followed by
+    exactly the number of raw body bytes the header declares:
+
+    {v
+    SCHEMA <len>\n<len schema bytes>          register a schema
+    VALIDATE <schema-id> <len>\n<len bytes>   validate one document
+    VALIDATEI <schema-len> <doc-len>\n<schema bytes><doc bytes>
+                                              validate with an inline schema
+    PING\n                                    liveness probe
+    METRICS\n                                 serve counters as one JSON line
+    FLUSH\n                                   empty the plan cache
+    SHUTDOWN\n                                graceful stop (drains in-flight)
+    v}
+
+    Requests may be pipelined; the daemon answers in request order, one
+    response line per request:
+
+    {v
+    OK <payload>\n        SCHEMA (payload = schema-id), PING, METRICS,
+                          FLUSH, SHUTDOWN
+    RESULT <verdict>\n    VALIDATE/VALIDATEI; the verdict text is
+                          byte-identical to the cell `validate --stream`
+                          prints: `valid`, `INVALID`, or `error: …`
+    ERR <message>\n       protocol or schema faults
+    v}
+
+    Lengths are decimal digit runs; anything else — including an
+    overflowing digit run — is a framing error.  Body lengths are
+    additionally bounded by the server's [max_body_bytes]. *)
+
+type request =
+  | Schema of int  (** [SCHEMA len] *)
+  | Validate of { schema_id : string; len : int }  (** [VALIDATE id len] *)
+  | Validate_inline of { schema_len : int; doc_len : int }
+      (** [VALIDATEI schema-len doc-len] *)
+  | Ping
+  | Metrics
+  | Flush
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+(** Parse one header line (without its terminating [\n]). *)
+
+val render_request : request -> string
+(** The header line for a request, including the [\n] — what a client
+    writes before the body bytes. *)
+
+(** {1 Responses} *)
+
+val ok : string -> string
+(** ["OK <payload>\n"].  Embedded newlines are folded to spaces: a
+    response is always exactly one line. *)
+
+val result : string -> string
+(** ["RESULT <verdict>\n"], same folding. *)
+
+val err : string -> string
+(** ["ERR <message>\n"], same folding. *)
+
+val parse_response : string -> (string, string) result
+(** Split a response line (without its [\n]) back into [Ok payload]
+    (for [OK]/[RESULT]) or [Error message] (for [ERR]). *)
+
+val max_header_bytes : int
+(** Ceiling on the header line a server will buffer before dropping the
+    connection — longer lines cannot be a well-formed request. *)

@@ -370,6 +370,108 @@ case $big_out in
 esac
 rm -rf "$sdir"
 
+# Serve smoke gate: a daemon on a temp socket must answer a replayed
+# NDJSON workload — valid, invalid, and malformed lines — with bytes
+# identical to `validate --stream`, cold (fresh cache, inline schema)
+# and warm (registered schema, cache hits), and shut down cleanly.
+svdir=$(mktemp -d)
+cat > "$svdir/schema.json" <<'EOF'
+{"definitions":{"id":{"type":"number","minimum":1}},
+ "type":"object","required":["a"],
+ "properties":{"a":{"$ref":"#/definitions/id"}},
+ "patternProperties":{"x_[a-z]*":{"type":"number"}},
+ "additionalProperties":{"type":"string"}}
+EOF
+{
+  for i in $(seq 1 30); do
+    if [ $((i % 4)) = 0 ]; then printf '{"a":0,"x_k":%d}\n' "$i"
+    elif [ $((i % 7)) = 0 ]; then printf '{"a":%d,"x_k":\n' "$i"   # malformed
+    else printf '{"a":%d,"x_k":2,"note":"ok"}\n' "$i"; fi
+  done
+  printf '\n'            # blank line: skipped but counted, both paths
+  printf '{"a":1}\n'
+} > "$svdir/docs.ndjson"
+cli_status=0
+cli_out=$(timeout 120 "$JSONLOGIC" validate -s "$svdir/schema.json" \
+  --stream "$svdir/docs.ndjson") || cli_status=$?
+if [ "$cli_status" != 1 ]; then
+  echo "FAIL: serve gate corpus: validate --stream expected exit 1, got $cli_status" >&2
+  exit 1
+fi
+timeout 300 "$JSONLOGIC" serve --socket "$svdir/sock" --jobs 2 \
+  > "$svdir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$svdir/sock" ] && break
+  sleep 0.1
+done
+if ! [ -S "$svdir/sock" ]; then
+  echo "FAIL: serve daemon never bound its socket" >&2
+  cat "$svdir/serve.log" >&2
+  exit 1
+fi
+# cold: schema shipped inline with every request, cache starting empty
+cold_status=0
+cold_out=$(timeout 120 "$JSONLOGIC" client --socket "$svdir/sock" \
+  -s "$svdir/schema.json" --inline --stream "$svdir/docs.ndjson") || cold_status=$?
+# warm: register once, validate by schema-id (all hits)
+warm_status=0
+warm_out=$(timeout 120 "$JSONLOGIC" client --socket "$svdir/sock" \
+  -s "$svdir/schema.json" --stream "$svdir/docs.ndjson") || warm_status=$?
+for pass in cold warm; do
+  if [ "$pass" = cold ]; then got=$cold_out; gots=$cold_status
+  else got=$warm_out; gots=$warm_status; fi
+  if [ "$gots" != "$cli_status" ]; then
+    echo "FAIL: serve $pass replay: exit $gots, validate --stream exited $cli_status" >&2
+    exit 1
+  fi
+  if [ "$got" != "$cli_out" ]; then
+    echo "FAIL: serve $pass replay is not byte-identical to validate --stream" >&2
+    printf '%s\n---\n%s\n' "$got" "$cli_out" | head -20 >&2
+    exit 1
+  fi
+done
+# counters went up, and the warm pass actually hit the cache
+sv_metrics=$(timeout 60 "$JSONLOGIC" client --socket "$svdir/sock" --server-metrics)
+case $sv_metrics in
+  *'"serve.plan_cache.hit":0'*)
+    echo "FAIL: warm serve replay never hit the plan cache: $sv_metrics" >&2
+    exit 1 ;;
+  *"serve.requests"*) ;;
+  *) echo "FAIL: serve metrics line malformed: $sv_metrics" >&2
+     exit 1 ;;
+esac
+timeout 60 "$JSONLOGIC" client --socket "$svdir/sock" --shutdown > /dev/null
+shutdown_status=0
+wait "$serve_pid" || shutdown_status=$?
+if [ "$shutdown_status" != 0 ]; then
+  echo "FAIL: serve daemon exited $shutdown_status after SHUTDOWN" >&2
+  cat "$svdir/serve.log" >&2
+  exit 1
+fi
+if [ -S "$svdir/sock" ]; then
+  echo "FAIL: serve daemon left its socket behind" >&2
+  exit 1
+fi
+rm -rf "$svdir"
+
+# Serve bench agreement mode: daemon verdicts vs the in-process stream
+# checker on the catalog corpus plus malformed documents, and the warm
+# plan cache must clear 2x cold; the JSON dump must land.
+serve_json=$(mktemp -d)
+serve_out=$(run 300 _build/default/bench/main.exe --json "$serve_json" serve)
+case $serve_out in
+  *"serve agreement: COMPLETE"*) ;;
+  *) echo "FAIL: serve bench did not report complete agreement" >&2
+     echo "$serve_out" >&2
+     exit 1 ;;
+esac
+if [ ! -s "$serve_json/BENCH_serve.json" ]; then
+  echo "FAIL: serve bench did not write BENCH_serve.json" >&2
+  exit 1
+fi
+rm -rf "$serve_json"
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

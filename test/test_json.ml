@@ -686,6 +686,33 @@ let test_xml_coding () =
   (* the coding inflates the tree: one extra pair node per member *)
   Alcotest.(check bool) "coded tree larger" true (Xml_coding.size x > Value.size v)
 
+let test_xml_number_texts () =
+  let number s = { Xml_coding.tag = "number"; label = None; text = Some s; children = [] } in
+  let accepts s n =
+    match Xml_coding.decode (number s) with
+    | Ok v -> Alcotest.check value ("accepts " ^ s) (Value.Num n) v
+    | Error m -> Alcotest.fail (s ^ " should decode: " ^ m)
+  in
+  let rejects s =
+    match Xml_coding.decode (number s) with
+    | Ok v ->
+      Alcotest.fail
+        (Printf.sprintf "%S should be rejected, decoded to %s" s
+           (Value.to_string v))
+    | Error _ -> ()
+  in
+  (* everything encode can produce round-trips *)
+  accepts "0" 0;
+  accepts "12" 12;
+  accepts (string_of_int max_int) max_int;
+  (* OCaml integer-literal syntax is not JSON number text: decode must
+     only accept what encode can produce *)
+  List.iter rejects
+    [ "0x1F"; "0X1F"; "0o17"; "0b11"; "1_000"; "1_"; "-3"; "+3"; " 7"; "7 ";
+      "";
+      (* a digit run that overflows the int range is not a natural *)
+      "9999999999999999999999999999" ]
+
 let prop_xml_roundtrip =
   QCheck.Test.make ~name:"XML coding roundtrip" ~count:300 arbitrary_value
     (fun v ->
@@ -1258,7 +1285,9 @@ let () =
          Alcotest.test_case "pointer index overflow" `Quick
            test_pointer_index_overflow ]);
       ("xml coding",
-       [ Alcotest.test_case "basics" `Quick test_xml_coding ]);
+       [ Alcotest.test_case "basics" `Quick test_xml_coding;
+         Alcotest.test_case "number text strictness" `Quick
+           test_xml_number_texts ]);
       ("diff",
        [ Alcotest.test_case "basics" `Quick test_diff_basics;
          Alcotest.test_case "errors" `Quick test_diff_errors;

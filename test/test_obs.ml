@@ -50,6 +50,45 @@ let test_budget_deadline () =
         Obs.Budget.burn b 1
       done)
 
+(* Deadlines must be armed from and checked against the one monotonic
+   clock behind [now_mono].  The stubbed clock stands in for an NTP
+   step: monotonic time advances while the wall clock goes wherever it
+   likes.  Against the pre-fix wall-clock implementation this test
+   fails — [Unix.gettimeofday] barely moves during the burn loop, so no
+   deadline would fire. *)
+let test_budget_deadline_monotonic () =
+  let now = ref 1000.0 in
+  Obs.Budget.set_clock_for_tests (Some (fun () -> !now));
+  Fun.protect
+    ~finally:(fun () -> Obs.Budget.set_clock_for_tests None)
+    (fun () ->
+      let b = Obs.Budget.create ~timeout_ms:50 () in
+      (* within the window: plenty of burns, no exhaustion *)
+      now := 1000.040;
+      for _ = 1 to (4 * Obs.Budget.deadline_stride) + 1 do
+        Obs.Budget.burn b 1
+      done;
+      (* 60ms of monotonic time later the deadline must fire within one
+         stride of burns, whatever the wall clock did meanwhile *)
+      now := 1000.060;
+      exhausts Obs.Budget.Deadline (fun () ->
+          for _ = 1 to Obs.Budget.deadline_stride + 1 do
+            Obs.Budget.burn b 1
+          done);
+      (* a fresh budget arms from the same stubbed source: deadlines
+         and checks can never mix time sources *)
+      now := 2000.0;
+      let b2 = Obs.Budget.create ~timeout_ms:100 () in
+      now := 2000.099;
+      for _ = 1 to (2 * Obs.Budget.deadline_stride) + 1 do
+        Obs.Budget.burn b2 1
+      done;
+      now := 2000.101;
+      exhausts Obs.Budget.Deadline (fun () ->
+          for _ = 1 to Obs.Budget.deadline_stride + 1 do
+            Obs.Budget.burn b2 1
+          done))
+
 let test_budget_unlimited () =
   Obs.Budget.check_depth Obs.Budget.unlimited 1_000_000;
   for _ = 1 to 10_000 do
@@ -457,6 +496,8 @@ let () =
        [ Alcotest.test_case "fuel" `Quick test_budget_fuel;
          Alcotest.test_case "depth" `Quick test_budget_depth;
          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+         Alcotest.test_case "deadline is monotonic" `Quick
+           test_budget_deadline_monotonic;
          Alcotest.test_case "unlimited" `Quick test_budget_unlimited ]);
       ("metrics",
        [ Alcotest.test_case "counters" `Quick test_metrics_counters;

@@ -100,6 +100,51 @@ let test_batch_jobs_agreement () =
   Alcotest.(check int) "docs counted once per doc (4)" (Array.length docs)
     batched4
 
+(* Stray task exceptions reaching the worker loop must be counted, not
+   silently swallowed; non-recoverable ones must kill the worker and
+   surface at the shutdown join. *)
+let await cond =
+  let deadline = Obs.Budget.now_mono () +. 5.0 in
+  let rec go () =
+    if cond () then true
+    else if Obs.Budget.now_mono () > deadline then false
+    else begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let test_pool_stray_counted () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  let reg = Obs.Metrics.create_registry () in
+  Obs.Metrics.with_registry reg (fun () ->
+      let pool = Par.Pool.create 3 in
+      Par.Pool.submit pool (fun () -> failwith "stray one");
+      Par.Pool.submit pool (fun () -> raise Not_found);
+      Alcotest.(check bool) "strays counted" true
+        (await (fun () -> Par.Pool.stray_exn_count pool = 2));
+      (* recoverable strays leave every worker alive and working *)
+      let out = Par.Pool.map pool (fun x -> x * 2) (Array.init 50 Fun.id) in
+      Alcotest.(check (array int)) "pool survives recoverable strays"
+        (Array.init 50 (fun i -> i * 2))
+        out;
+      Par.Pool.shutdown pool;
+      Alcotest.(check int) "total folded into par.pool.stray_exn" 2
+        (Obs.Metrics.counter_value "par.pool.stray_exn"));
+  Obs.Metrics.set_enabled was
+
+let test_pool_stray_nonrecoverable () =
+  let pool = Par.Pool.create 2 in
+  Par.Pool.submit pool (fun () -> raise Stack_overflow);
+  Alcotest.(check bool) "stray counted" true
+    (await (fun () -> Par.Pool.stray_exn_count pool = 1));
+  (* the lone worker died re-raising; shutdown joins it and re-raises *)
+  match Par.Pool.shutdown pool with
+  | () -> Alcotest.fail "expected Stack_overflow to surface at the join"
+  | exception Stack_overflow -> ()
+
 let test_batch_map_pool () =
   let pool = Par.Pool.create 2 in
   Fun.protect
@@ -115,7 +160,11 @@ let () =
        [ Alcotest.test_case "map basic" `Quick test_pool_map_basic;
          Alcotest.test_case "single lane" `Quick test_pool_single_lane;
          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
-         Alcotest.test_case "shutdown" `Quick test_pool_shutdown ]);
+         Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+         Alcotest.test_case "stray exceptions counted" `Quick
+           test_pool_stray_counted;
+         Alcotest.test_case "non-recoverable strays surface" `Quick
+           test_pool_stray_nonrecoverable ]);
       ("batch",
        [ Alcotest.test_case "jobs agreement" `Quick test_batch_jobs_agreement;
          Alcotest.test_case "map_pool" `Quick test_batch_map_pool ]) ]
