@@ -1367,6 +1367,151 @@ let serve_exp () =
         (if !all_agree then "COMPLETE" else "BROKEN");
       if (not !all_agree) || speedup < 2.0 then exit 1)
 
+(* ---- E-CORPUS: persistent index vs reparse-every-time ----------------------- *)
+
+(* The retrieval-system experiment: build the lib/index postings file
+   over a generated NDJSON corpus once, then answer a query set both
+   ways — through the index (postings-only where the query is
+   navigational-core, prefilter + selective reparse otherwise) and by
+   reparsing every line per query (what eval --files-from does).  The
+   gated properties: verdicts identical on every query, and an
+   aggregate queries/sec speedup of at least 10x.  Corpus size in MB
+   comes from BENCH_CORPUS_MB (default 100). *)
+let corpus_exp () =
+  header "E-CORPUS: persistent corpus index vs reparse baseline";
+  let target_mb =
+    match Sys.getenv_opt "BENCH_CORPUS_MB" with
+    | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> 100)
+    | None -> 100
+  in
+  let dir = Filename.temp_file "bench_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let corpus = Filename.concat dir "corpus.ndjson" in
+  let idx = Filename.concat dir "corpus.idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ corpus; idx ];
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* generate: one API record in four amid larger heterogeneous
+         shapes — the retrieval mix a structural index targets, where
+         most lines are not of the queried record type *)
+      let rng = Jworkload.Prng.create 2024 in
+      let target = target_mb * 1024 * 1024 in
+      let written = ref 0 in
+      let ndocs = ref 0 in
+      Out_channel.with_open_bin corpus (fun oc ->
+          while !written < target do
+            let v =
+              if !ndocs mod 4 = 0 then
+                Jworkload.Gen_json.api_record rng (1 + (!ndocs mod 8))
+              else Jworkload.Gen_json.sized rng (64 + (!ndocs mod 257))
+            in
+            let line = Jsont.Printer.compact v in
+            Out_channel.output_string oc line;
+            Out_channel.output_char oc '\n';
+            written := !written + String.length line + 1;
+            incr ndocs
+          done);
+      row "corpus: %d documents, %.1f MB\n" !ndocs
+        (float_of_int !written /. 1e6);
+
+      (* build once *)
+      let stats, build_ms =
+        wall_ms ~name:"bench.corpus.build" (fun () ->
+            match Jindex.Writer.build ~jobs:4 ~corpus ~output:idx () with
+            | Ok s -> s
+            | Error m -> failwith ("index build failed: " ^ m))
+      in
+      row "build: %.0f ms (%.1f MB/s), index %.1f MB (%.2fx of corpus)\n"
+        build_ms
+        (float_of_int !written /. 1e6 /. (build_ms /. 1000.))
+        (float_of_int stats.Jindex.Writer.bytes /. 1e6)
+        (float_of_int stats.Jindex.Writer.bytes /. float_of_int !written);
+      let r =
+        match Jindex.Reader.open_ idx with
+        | Ok r -> r
+        | Error m -> failwith ("index open failed: " ^ m)
+      in
+
+      (* the reparse-everything baseline, one verdict per line — the
+         exact per-document computation of eval --files-from *)
+      let lines =
+        In_channel.with_open_bin corpus In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> Array.of_list
+      in
+      let baseline phi =
+        Par.Batch.map ~jobs:4
+          (fun text ->
+            match Tree.of_string ~budget:(Obs.Budget.create ()) text with
+            | Error e -> "error: " ^ Format.asprintf "%a" Jsont.Parser.pp_error e
+            | Ok tree -> (
+              match
+                let ctx =
+                  Jnl_eval.context ~budget:(Obs.Budget.create ()) tree
+                in
+                Jnl_eval.holds ctx Tree.root phi
+              with
+              | b -> string_of_bool b
+              | exception Failure m -> "error: " ^ m
+              | exception Obs.Budget.Exhausted rs ->
+                "error: " ^ Obs.Budget.describe rs))
+          lines
+      in
+      let queries =
+        List.map
+          (fun (label, q) -> (label, Jnl.parse_exn q))
+          [ ("core: one key", "<.name.first>");
+            ("core: key+pos chain", "<.orders[0].lines[0].sku>");
+            ("core: absent key", "<.no_such_key_anywhere>");
+            ("core: boolean mix", "<.name.first> & !<.orders[2]>");
+            ("filter: eq string", "eq(.name.first, \"John\")");
+            ("filter: eq rare", "eq(.orders[0].lines[0].sku, \"SKU-0-0\")");
+            ("filter: range test", "<.orders[0:*]?(eq(.status, \"shipped\"))>");
+            ("filter: negative idx", "<.hobbies[-1]>") ]
+      in
+      let all_agree = ref true in
+      let base_total = ref 0. in
+      let idx_total = ref 0. in
+      row "\n%-24s %-14s %-14s %-10s %-8s\n" "query" "reparse (ms)"
+        "indexed (ms)" "speedup" "agree";
+      List.iter
+        (fun (label, phi) ->
+          let base, base_ms = wall_ms (fun () -> baseline phi) in
+          let verdicts, idx_ms =
+            wall_ms (fun () ->
+                match Jindex.Query.run ~jobs:4 r phi with
+                | Ok v -> Array.map Jindex.Query.verdict_string v
+                | Error m -> failwith ("index query failed: " ^ m))
+          in
+          let agree = verdicts = base in
+          if not agree then all_agree := false;
+          base_total := !base_total +. base_ms;
+          idx_total := !idx_total +. idx_ms;
+          row "%-24s %-14.0f %-14.1f %-10.1f %-8b\n" label base_ms idx_ms
+            (base_ms /. idx_ms) agree)
+        queries;
+      let speedup = !base_total /. !idx_total in
+      let qps = float_of_int (List.length queries) /. (!idx_total /. 1000.) in
+      row
+        "\naggregate: %.1fx over reparse (%.1f vs %.1f queries/sec on %d \
+         docs)\n"
+        speedup qps
+        (float_of_int (List.length queries) /. (!base_total /. 1000.))
+        !ndocs;
+      Obs.Metrics.add "bench.corpus.docs" !ndocs;
+      Obs.Metrics.add "bench.corpus.corpus_bytes" !written;
+      Obs.Metrics.add "bench.corpus.index_bytes" stats.Jindex.Writer.bytes;
+      Obs.Metrics.add "bench.corpus.speedup_x10"
+        (int_of_float (speedup *. 10.));
+      Obs.Metrics.add "bench.corpus.queries_per_sec" (int_of_float qps);
+      row "corpus agreement: %s\n"
+        (if !all_agree then "COMPLETE" else "BROKEN");
+      if (not !all_agree) || speedup < 10.0 then exit 1)
+
 (* ---- driver ----------------------------------------------------------------- *)
 
 let experiments =
@@ -1374,7 +1519,8 @@ let experiments =
     ("p4", p4); ("p5", p5); ("p6", p6); ("p7", p7); ("p9", p9); ("t1", t1);
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp);
     ("index", index_exp); ("ingest", ingest); ("batch", batch);
-    ("validate", validate_exp); ("serve", serve_exp) ]
+    ("validate", validate_exp); ("serve", serve_exp);
+    ("corpus", corpus_exp) ]
 
 let () =
   Obs.Metrics.set_enabled true;

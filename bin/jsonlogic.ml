@@ -683,6 +683,151 @@ let infer_cmd =
        ~doc:"Infer a JSON Schema from example documents (JSON lines or an array)")
     Term.(const run $ obs_term $ strict $ input_arg)
 
+(* ---- index ------------------------------------------------------------------- *)
+
+let index_file_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
+         ~doc:"Corpus index file (built by $(b,index build)).")
+
+let no_verify_arg =
+  Arg.(value & flag
+       & info [ "no-verify" ]
+           ~doc:"Skip the full body checksum at open (header, section \
+                 extents and offset tables are always validated); opening \
+                 cost drops to O(header + tables).")
+
+let open_index ?verify_body path =
+  match Jindex.Reader.open_ ?verify_body path with
+  | Ok r -> r
+  | Error m -> failwith m
+
+let index_build_cmd =
+  let corpus_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS"
+           ~doc:"NDJSON corpus: one JSON document per line (blank lines \
+                 skipped, like $(b,validate --stream)).")
+  in
+  let output_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file to write.")
+  in
+  let pos_cap_arg =
+    Arg.(value & opt int Jindex.Layout.default_pos_cap
+         & info [ "pos-cap" ] ~docv:"N"
+             ~doc:"Materialize postings lists for array positions \
+                   0..N-1; higher positions still confirm via the label \
+                   column but cannot seed a postings-only query.")
+  in
+  let run obs corpus output pos_cap =
+    wrap (fun () ->
+        match
+          Jindex.Writer.build ~jobs:obs.jobs ~pos_cap
+            ~fresh_budget:obs.fresh_budget ~corpus ~output ()
+        with
+        | Error m -> failwith m
+        | Ok s ->
+          Printf.printf
+            "indexed %d docs (%d parse errors), %d nodes, %d keys, %d \
+             postings\nwrote %s (%d bytes)\n"
+            s.Jindex.Writer.docs s.errors s.nodes s.keys
+            (s.key_postings + s.pos_postings)
+            output s.bytes)
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Ingest an NDJSON corpus once and write the persistent \
+             label-postings index")
+    Term.(const run $ obs_term $ corpus_pos $ output_arg $ pos_cap_arg)
+
+let index_query_cmd =
+  let formula_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FORMULA"
+           ~doc:"A JNL formula, e.g. 'eq(.name.first, \"John\")'.")
+  in
+  let jsonpath_arg =
+    Arg.(value & opt (some string) None
+         & info [ "jsonpath" ] ~docv:"PATH"
+             ~doc:"Query with a JSONPath expression instead of a JNL \
+                   formula: documents where $(docv) selects at least one \
+                   node answer true.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"FILE"
+             ~doc:"Override the corpus path recorded in the index (its \
+                   size must still match what was indexed).")
+  in
+  let run obs index_file formula jsonpath corpus no_verify =
+    wrap (fun () ->
+        let phi =
+          match (formula, jsonpath) with
+          | Some f, None -> (
+            match Jlogic.Jnl.parse f with
+            | Ok f -> f
+            | Error m -> failwith ("bad formula: " ^ m))
+          | None, Some p -> (
+            match Jquery.Jsonpath.parse p with
+            | Ok alpha -> Jlogic.Jnl.Exists alpha
+            | Error m -> failwith ("bad path: " ^ m))
+          | Some _, Some _ -> failwith "give a FORMULA or --jsonpath, not both"
+          | None, None -> failwith "a FORMULA or --jsonpath is required"
+        in
+        let r = open_index ~verify_body:(not no_verify) index_file in
+        match
+          Jindex.Query.run ~jobs:obs.jobs ~use_index:obs.use_index ?corpus
+            ~fresh_budget:obs.fresh_budget r phi
+        with
+        | Error m -> failwith m
+        | Ok verdicts ->
+          Array.iteri
+            (fun d v ->
+              Printf.printf "%d\t%s\n"
+                (Jindex.Reader.doc_lineno r d)
+                (Jindex.Query.verdict_string v))
+            verdicts)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer a JNL or JSONPath query over every indexed document \
+             without reparsing the corpus, printing one \
+             'line<TAB>verdict' per document")
+    Term.(const run $ obs_term $ index_file_pos $ formula_arg $ jsonpath_arg
+          $ corpus_arg $ no_verify_arg)
+
+let index_info_cmd =
+  let run _obs index_file no_verify =
+    wrap (fun () ->
+        let r = open_index ~verify_body:(not no_verify) index_file in
+        let errors = ref 0 in
+        for d = 0 to Jindex.Reader.ndocs r - 1 do
+          if Jindex.Reader.doc_err r d then incr errors
+        done;
+        Printf.printf "index: %s (%d bytes, format %s v%d)\n"
+          (Jindex.Reader.path r)
+          (Jindex.Reader.file_size r)
+          Jindex.Layout.magic Jindex.Layout.version;
+        Printf.printf "corpus: %s (%d bytes)\n"
+          (Jindex.Reader.corpus_path r)
+          (Jindex.Reader.corpus_len r);
+        Printf.printf "documents: %d (%d parse errors)\n"
+          (Jindex.Reader.ndocs r) !errors;
+        Printf.printf "nodes: %d\n" (Jindex.Reader.nnodes r);
+        Printf.printf "keys: %d\n" (Jindex.Reader.nkeys r);
+        Printf.printf "key postings: %d\n" (Jindex.Reader.key_entries r);
+        Printf.printf "position postings: %d (lists: %d)\n"
+          (Jindex.Reader.pos_entries r) (Jindex.Reader.npos r))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print an index file's header summary")
+    Term.(const run $ obs_term $ index_file_pos $ no_verify_arg)
+
+let index_cmd =
+  Cmd.group
+    (Cmd.info "index"
+       ~doc:"Build and query a persistent structure-aware index over an \
+             NDJSON corpus")
+    [ index_build_cmd; index_query_cmd; index_info_cmd ]
+
 (* ---- serve / client ---------------------------------------------------------- *)
 
 (* endpoint flags shared by [serve] and [client]; parsed under [wrap]
@@ -876,4 +1021,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; eval_cmd; select_cmd; find_cmd; validate_cmd; sat_cmd;
-            compat_cmd; examples_cmd; infer_cmd; serve_cmd; client_cmd ]))
+            compat_cmd; examples_cmd; infer_cmd; index_cmd; serve_cmd;
+            client_cmd ]))

@@ -1,0 +1,109 @@
+(* On-disk layout of the corpus index: format constants, the header
+   field map, edge-label encoding and the corruption checksum.  The
+   writer and reader agree on the format exclusively through this
+   module, and the fault-injection tests use the field offsets to
+   corrupt files surgically. *)
+
+let magic = "JLIXIDX1"
+let version = 1
+let default_pos_cap = 1024
+let doc_entry_bytes = 32
+
+module Field = struct
+  let version = 8
+  let pos_cap = 12
+  let file_size = 16
+  let ndocs = 24
+  let nnodes = 32
+  let nkeys = 40
+  let key_entries = 48
+  let pos_entries = 56
+  let corpus_len = 64
+  let doc_table = 72
+  let parents = 80
+  let labels = 88
+  let strtab_idx = 96
+  let strtab_blob = 104
+  let strtab_blob_len = 112
+  let key_pidx = 120
+  let key_post = 128
+  let pos_pidx = 136
+  let pos_post = 144
+  let corpus_path = 152
+  let body_checksum = 160
+  let header_checksum = 168
+end
+
+let header_bytes = 176
+
+(* Edge labels: one i32 per node.  Key edges carry the global key id,
+   position edges the position, the root a sentinel.  The low bit
+   distinguishes the two relations (O vs A of §3.1). *)
+let label_root = -1
+let label_key k = k lsl 1
+let label_pos p = (p lsl 1) lor 1
+let max_pos_label = (1 lsl 29) - 1
+
+(* FNV-1a folded over 32-bit little-endian words, kept inside OCaml's
+   native positive-int range.  Sections are 8-byte padded so the word
+   stream never straddles the end. *)
+let checksum_init = 0x811c9dc5
+
+let fold_word h w = (h lxor w) * 0x01000193 land max_int
+
+let checksum_bytes h b off len =
+  let h = ref h in
+  let i = ref off in
+  let stop = off + len in
+  while !i < stop do
+    h := fold_word !h (Int32.to_int (Bytes.get_int32_le b !i) land 0xFFFFFFFF);
+    i := !i + 4
+  done;
+  !h
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let set_i32 = set_u32
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+let get_u64 b off =
+  let v = Bytes.get_int64_le b off in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    (* out of int range: clamp to a value validation is sure to reject *)
+    max_int
+  else Int64.to_int v
+
+type buf = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let byte_ba (b : buf) i = Char.code (Bigarray.Array1.get b i)
+
+let get_u32_ba b off =
+  byte_ba b off
+  lor (byte_ba b (off + 1) lsl 8)
+  lor (byte_ba b (off + 2) lsl 16)
+  lor (byte_ba b (off + 3) lsl 24)
+
+let get_i32_ba b off =
+  let v = get_u32_ba b off in
+  (v lxor 0x80000000) - 0x80000000
+
+let get_u64_ba b off =
+  let lo = get_u32_ba b off and hi = get_u32_ba b (off + 4) in
+  (* values above OCaml's native positive range clamp to max_int, which
+     every count/offset validation is sure to reject *)
+  if hi >= 0x40000000 then max_int else lo lor (hi lsl 32)
+
+let string_ba b off len = String.init len (fun i -> Bigarray.Array1.get b (off + i))
+
+let checksum_ba h b off len =
+  let h = ref h in
+  let i = ref off in
+  let stop = off + len in
+  while !i < stop do
+    h := fold_word !h (get_u32_ba b !i);
+    i := !i + 4
+  done;
+  !h
+
+let pad8 n = (n + 7) land lnot 7

@@ -1,0 +1,372 @@
+(* Query planning over the persistent index.
+
+   The split mirrors the paper's fragment structure: the
+   deterministic navigational core (Self/Key/Idx compositions under
+   Exists and boolean connectives) is decided entirely from postings —
+   seed at the last step's label bucket, confirm by walking the stored
+   parent chain — while anything richer (filters, equalities, stars,
+   regex keys, negative indices) falls back to reparsing only the
+   documents a sound required-label prefilter cannot rule out.  Both
+   plans produce verdicts identical to running the in-memory evaluator
+   on every line. *)
+
+module Jnl = Jlogic.Jnl
+module Bitset = Jlogic.Bitset
+
+type verdict = True | False | Error of string
+
+let verdict_string = function
+  | True -> "true"
+  | False -> "false"
+  | Error m -> "error: " ^ m
+
+(* ---- the postings-only compiler ------------------------------------------- *)
+
+type step = SK of int  (* global key id *) | SP of int  (* array position *)
+
+type cform =
+  | CTrue
+  | CFalse  (* a path names a key the whole corpus lacks *)
+  | CNot of cform
+  | CAnd of cform * cform
+  | COr of cform * cform
+  | CExists of step list
+
+exception Not_core
+
+(* Flatten a navigational-core path to its step chain; [Dead] marks a
+   key absent from the corpus (no document can traverse it), anything
+   outside the core raises. *)
+type chain = Steps of step list | Dead
+
+let rec chain_of r = function
+  | Jnl.Self -> Steps []
+  | Jnl.Key w -> (
+    match Reader.key_id r w with
+    | Some k -> Steps [ SK k ]
+    | None -> Dead)
+  | Jnl.Idx i when i >= 0 -> Steps [ SP i ]
+  | Jnl.Seq (a, b) -> (
+    match (chain_of r a, chain_of r b) with
+    | Steps xs, Steps ys -> Steps (xs @ ys)
+    | _ -> Dead)
+  | Jnl.Idx _ | Jnl.Keys _ | Jnl.Range _ | Jnl.Test _ | Jnl.Star _
+  | Jnl.Alt _ ->
+    raise Not_core
+
+let rec compile r = function
+  | Jnl.True -> CTrue
+  | Jnl.Not f -> CNot (compile r f)
+  | Jnl.And (a, b) -> CAnd (compile r a, compile r b)
+  | Jnl.Or (a, b) -> COr (compile r a, compile r b)
+  | Jnl.Exists alpha -> (
+    match chain_of r alpha with
+    | Dead -> CFalse
+    | Steps [] -> CTrue (* the root itself is the witness *)
+    | Steps steps ->
+      (* the chain seeds from its LAST step's postings list; a
+         position past the materialized lists has no bucket to seed
+         from, so the whole query takes the prefilter plan instead *)
+      (match List.rev steps with
+      | SP p :: _ when p >= Reader.npos r -> raise Not_core
+      | _ -> CExists steps))
+  | Jnl.Eq_doc _ | Jnl.Eq_paths _ -> raise Not_core
+
+let step_label = function
+  | SK k -> Layout.label_key k
+  | SP p -> Layout.label_pos p
+
+(* Confirm one posting: the node's upward parent chain must spell the
+   step labels in reverse and land exactly on the root. *)
+let confirm r ~doc ~node rev_steps =
+  let rec go node = function
+    | [] -> node = 0 (* consumed the whole chain exactly at the root *)
+    | s :: rest ->
+      node > 0 (* the root has no incoming edge to match *)
+      && Reader.doc_label r ~doc ~node = step_label s
+      && go (Reader.doc_parent r ~doc ~node) rest
+  in
+  go node rev_steps
+
+let exists_docs r budget steps =
+  let set = Bitset.create (Reader.ndocs r) in
+  let rev_steps = List.rev steps in
+  let start, stop =
+    match rev_steps with
+    | SK k :: _ -> Reader.key_range r k
+    | SP p :: _ -> Reader.pos_range r p
+    | [] -> (0, 0)
+  in
+  let entry =
+    match rev_steps with
+    | SP _ :: _ -> Reader.pos_entry r
+    | _ -> Reader.key_entry r
+  in
+  Obs.Metrics.add "index.query.seeds" (stop - start);
+  for i = start to stop - 1 do
+    Obs.Budget.burn budget 1;
+    let doc, node = entry i in
+    (* postings are (doc, node)-sorted: once a document is in, skip
+       its remaining seeds *)
+    if not (Bitset.mem set doc) && confirm r ~doc ~node rev_steps then
+      Bitset.add set doc
+  done;
+  set
+
+let rec eval_cform r budget = function
+  | CTrue -> Bitset.full (Reader.ndocs r)
+  | CFalse -> Bitset.create (Reader.ndocs r)
+  | CNot f -> Bitset.complement (eval_cform r budget f)
+  | CAnd (a, b) ->
+    let sa = eval_cform r budget a in
+    ignore (Bitset.inter_into (eval_cform r budget b) ~into:sa);
+    sa
+  | COr (a, b) ->
+    let sa = eval_cform r budget a in
+    ignore (Bitset.union_into (eval_cform r budget b) ~into:sa);
+    sa
+  | CExists steps -> exists_docs r budget steps
+
+(* ---- the required-label prefilter ----------------------------------------- *)
+
+(* Labels every satisfying document must contain — the soundness
+   invariant is one-directional: [phi] holding at a document's root
+   implies every required label occurs in the document, never the
+   converse.  Disjunction intersects, conjunction unions, negation and
+   the non-deterministic steps require nothing. *)
+module Lab = struct
+  type t = LK of string | LP of int
+
+  let compare = compare
+end
+
+module LabSet = Set.Make (Lab)
+
+let rec req_form = function
+  | Jnl.True | Jnl.Not _ -> LabSet.empty
+  | Jnl.And (a, b) -> LabSet.union (req_form a) (req_form b)
+  | Jnl.Or (a, b) -> LabSet.inter (req_form a) (req_form b)
+  | Jnl.Exists alpha -> req_path alpha
+  | Jnl.Eq_doc (alpha, v) -> LabSet.union (req_path alpha) (req_value v)
+  | Jnl.Eq_paths (alpha, beta) -> LabSet.union (req_path alpha) (req_path beta)
+
+and req_path = function
+  | Jnl.Self | Jnl.Keys _ | Jnl.Star _ -> LabSet.empty
+  | Jnl.Key w -> LabSet.singleton (Lab.LK w)
+  | Jnl.Idx i ->
+    (* negative i needs arity >= |i|; positions are contiguous, so
+       position |i|-1 must exist *)
+    LabSet.singleton (Lab.LP (if i >= 0 then i else -i - 1))
+  | Jnl.Range (i, _) when i >= 0 -> LabSet.singleton (Lab.LP i)
+  | Jnl.Range _ -> LabSet.empty
+  | Jnl.Seq (a, b) -> LabSet.union (req_path a) (req_path b)
+  | Jnl.Test f -> req_form f
+  | Jnl.Alt (a, b) -> LabSet.inter (req_path a) (req_path b)
+
+(* a subtree equal to constant [v] contains every edge of [v] *)
+and req_value v =
+  match v with
+  | Jsont.Value.Obj fields ->
+    List.fold_left
+      (fun acc (w, v') ->
+        LabSet.add (Lab.LK w) (LabSet.union acc (req_value v')))
+      LabSet.empty fields
+  | Jsont.Value.Arr vs ->
+    List.fold_left
+      (fun (acc, i) v' ->
+        (LabSet.add (Lab.LP i) (LabSet.union acc (req_value v')), i + 1))
+      (LabSet.empty, 0) vs
+    |> fst
+  | Jsont.Value.Str _ | Jsont.Value.Num _ -> LabSet.empty
+
+(* Rooted chains: beyond label presence, any [Exists]/[EQ] path in
+   positive conjunctive position at the root must NAVIGATE its maximal
+   leading core prefix from the document root — [Self] does not move
+   and [Test] only filters, so the chain passes through both; the
+   first non-core step ends the prefix.  Confirming those prefixes
+   against the postings (the same parent-walk the postings-only plan
+   uses) is a far sharper prefilter than key presence: a document
+   mentioning "first" somewhere is not a document whose root has
+   [.name.first]. *)
+type rooted = RDead | RChain of step list
+
+let rooted_prefix r alpha =
+  let rec go acc = function
+    | [] -> RChain (List.rev acc)
+    | p :: rest -> (
+      match p with
+      | Jnl.Self | Jnl.Test _ -> go acc rest
+      | Jnl.Seq (a, b) -> go acc (a :: b :: rest)
+      | Jnl.Key w -> (
+        match Reader.key_id r w with
+        | Some k -> go (SK k :: acc) rest
+        | None -> RDead)
+      | Jnl.Idx i when i >= 0 -> go (SP i :: acc) rest
+      | Jnl.Idx _ | Jnl.Keys _ | Jnl.Range _ | Jnl.Star _ | Jnl.Alt _ ->
+        RChain (List.rev acc))
+  in
+  go [] [ alpha ]
+
+let rec root_chains r = function
+  | Jnl.True | Jnl.Not _ | Jnl.Or _ -> []
+  | Jnl.And (a, b) -> root_chains r a @ root_chains r b
+  | Jnl.Exists alpha | Jnl.Eq_doc (alpha, _) -> [ rooted_prefix r alpha ]
+  | Jnl.Eq_paths (alpha, beta) ->
+    [ rooted_prefix r alpha; rooted_prefix r beta ]
+
+(* a chain seeds from its last step's postings list; positions past
+   the materialized lists just shorten the confirmed prefix *)
+let rec seedable r steps =
+  match List.rev steps with
+  | SP p :: rev_rest when p >= Reader.npos r ->
+    seedable r (List.rev rev_rest)
+  | _ -> steps
+
+(* Documents containing one label, straight off the postings list. *)
+let docs_with_label r budget lab =
+  let range =
+    match lab with
+    | Lab.LK w -> (
+      match Reader.key_id r w with Some k -> Some (Reader.key_range r k, `K) | None -> None)
+    | Lab.LP p -> if p < Reader.npos r then Some (Reader.pos_range r p, `P) else None
+  in
+  match range with
+  | None -> (
+    match lab with
+    | Lab.LK _ -> Some (Bitset.create (Reader.ndocs r)) (* key nowhere: no candidates *)
+    | Lab.LP _ -> None (* no materialized list: requirement unusable *))
+  | Some ((start, stop), which) ->
+    let entry =
+      match which with `K -> Reader.key_entry r | `P -> Reader.pos_entry r
+    in
+    let set = Bitset.create (Reader.ndocs r) in
+    for i = start to stop - 1 do
+      Obs.Budget.burn budget 1;
+      let doc, _ = entry i in
+      Bitset.add set doc
+    done;
+    Some set
+
+let candidates r budget phi =
+  let chains = root_chains r phi in
+  if List.mem RDead chains then
+    (* a mandatory rooted path names a key the whole corpus lacks *)
+    Bitset.create (Reader.ndocs r)
+  else begin
+    let set = Bitset.full (Reader.ndocs r) in
+    let narrowed = ref false in
+    List.iter
+      (function
+        | RDead -> ()
+        | RChain steps -> (
+          match seedable r steps with
+          | [] -> ()
+          | steps ->
+            narrowed := true;
+            ignore (Bitset.inter_into (exists_docs r budget steps) ~into:set)))
+      chains;
+    let req = req_form phi in
+    LabSet.iter
+      (fun lab ->
+        match docs_with_label r budget lab with
+        | Some docs ->
+          narrowed := true;
+          ignore (Bitset.inter_into docs ~into:set)
+        | None -> ())
+      req;
+    if not !narrowed then Obs.Metrics.incr "index.query.full_scan";
+    set
+  end
+
+(* ---- document reparse (the baseline computation, per doc) ----------------- *)
+
+let eval_doc ~use_index ~fresh_budget phi text =
+  match Jsont.Tree.of_string ~budget:(fresh_budget ()) text with
+  | Error e -> Error (Format.asprintf "%a" Jsont.Parser.pp_error e)
+  | Ok tree -> (
+    match
+      let ctx =
+        Jlogic.Jnl_eval.context ~budget:(fresh_budget ()) ~use_index tree
+      in
+      Jlogic.Jnl_eval.holds ctx Jsont.Tree.root phi
+    with
+    | true -> True
+    | false -> False
+    | exception Failure m -> Error m
+    | exception Obs.Budget.Exhausted reason ->
+      Error (Obs.Budget.describe reason))
+
+let read_slices r ~corpus docs =
+  In_channel.with_open_bin corpus (fun ic ->
+      Array.map
+        (fun d ->
+          In_channel.seek ic (Int64.of_int (Reader.doc_off r d));
+          match In_channel.really_input_string ic (Reader.doc_len r d) with
+          | Some s -> (d, s)
+          | None -> failwith "corpus shorter than the index records")
+        docs)
+
+let reparse_docs r ~jobs ~use_index ~fresh_budget ~corpus phi docs =
+  Obs.Metrics.add "index.query.reparsed" (Array.length docs);
+  let slices = read_slices r ~corpus docs in
+  let verdicts =
+    Par.Batch.map ~jobs
+      (fun (_, text) -> eval_doc ~use_index ~fresh_budget phi text)
+      slices
+  in
+  Array.map2 (fun (d, _) v -> (d, v)) slices verdicts
+
+(* ---- driver ---------------------------------------------------------------- *)
+
+let run ?(jobs = 1) ?(use_index = true) ?corpus
+    ?(fresh_budget = fun () -> Obs.Budget.create ()) r phi =
+  let corpus =
+    match corpus with Some c -> c | None -> Reader.corpus_path r
+  in
+  try
+    Obs.Metrics.span "index.query" @@ fun () ->
+    let actual =
+      match (Unix.stat corpus).Unix.st_size with
+      | n -> n
+      | exception Unix.Unix_error (e, _, _) ->
+        failwith (corpus ^ ": " ^ Unix.error_message e)
+    in
+    if actual <> Reader.corpus_len r then
+      failwith
+        (Printf.sprintf
+           "%s: corpus is %d bytes but the index was built over %d (stale \
+            index? rebuild with 'index build')"
+           corpus actual (Reader.corpus_len r));
+    let ndocs = Reader.ndocs r in
+    let verdicts = Array.make ndocs False in
+    let budget = fresh_budget () in
+    (* error-flagged lines always reparse: their verdict is the parse
+       error message, whatever the formula *)
+    let err_docs = ref [] in
+    for d = ndocs - 1 downto 0 do
+      if Reader.doc_err r d then err_docs := d :: !err_docs
+    done;
+    let reparse docs =
+      if Array.length docs > 0 then
+        Array.iter
+          (fun (d, v) -> verdicts.(d) <- v)
+          (reparse_docs r ~jobs ~use_index ~fresh_budget ~corpus phi docs)
+    in
+    (match compile r phi with
+    | cf ->
+      Obs.Metrics.incr "index.query.postings_only";
+      let sat = eval_cform r budget cf in
+      Bitset.iter (fun d -> verdicts.(d) <- True) sat;
+      reparse (Array.of_list !err_docs)
+    | exception Not_core ->
+      Obs.Metrics.incr "index.query.filtered";
+      let cand = candidates r budget phi in
+      Obs.Metrics.add "index.query.candidates" (Bitset.cardinal cand);
+      List.iter (fun d -> Bitset.add cand d) !err_docs;
+      reparse (Array.of_list (Bitset.elements cand)));
+    Ok verdicts
+  with
+  | Reader.Corrupt m -> Result.Error (Reader.path r ^ ": " ^ m)
+  | Failure m -> Result.Error m
+  | Sys_error m -> Result.Error m
+  | Obs.Budget.Exhausted reason -> Result.Error (Obs.Budget.describe reason)

@@ -1,0 +1,47 @@
+(** Corpus queries over the on-disk index.
+
+    {!run} answers one JNL formula against every document of the
+    corpus, in document (line) order, with verdicts that match what
+    [eval --files-from] prints per file — [true]/[false] from
+    {!Jlogic.Jnl_eval.holds} at the root, parse failures and budget
+    exhaustion folded to [error: …] lines.
+
+    Two plans:
+
+    - {b postings-only} — boolean combinations of [Exists] over
+      navigational-core paths (chains of [Self]/[.key]/[\[i\]] with
+      [i >= 0]): each chain seeds from its last step's postings list
+      and is confirmed by walking the stored parent/label columns
+      upward to the root; per-chain document sets combine with
+      {!Jlogic.Bitset} operations.  No document is reparsed (parse
+      errors excepted, to reproduce their messages).
+    - {b prefilter + reparse} — everything else: a sound
+      required-label analysis intersects key/position postings into a
+      candidate set ({!Jlogic.Bitset.inter_into}); only candidates are
+      reparsed (via their stored byte offsets) and evaluated exactly
+      like the baseline; non-candidates are [false] by soundness.
+
+    Counters: [index.query.postings_only], [index.query.filtered],
+    [index.query.full_scan], [index.query.seeds],
+    [index.query.candidates], [index.query.reparsed]; span
+    [index.query]. *)
+
+type verdict = True | False | Error of string
+
+val verdict_string : verdict -> string
+(** ["true"], ["false"] or ["error: …"] — the batch-eval rendering. *)
+
+val run :
+  ?jobs:int ->
+  ?use_index:bool ->
+  ?corpus:string ->
+  ?fresh_budget:(unit -> Obs.Budget.t) ->
+  Reader.t ->
+  Jlogic.Jnl.form ->
+  (verdict array, string) result
+(** [run r phi] is one verdict per indexed document, in line order.
+    [corpus] overrides the corpus path stored in the index (whose
+    current size must still match the indexed size — a changed corpus
+    makes the index stale and is refused).  [jobs] shards candidate
+    reparsing; [use_index]/[fresh_budget] configure the per-document
+    evaluator exactly like the batch CLI flags. *)

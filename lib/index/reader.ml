@@ -1,0 +1,296 @@
+(* Memory-mapped index reader.  Everything cheap is validated once at
+   open — magic, version, checksums, every section extent, the
+   monotonicity of all offset tables — so the per-entry accessors can
+   trust section bounds and only re-check the values postings store
+   (document ids, node ids, parent pointers), raising [Corrupt] on the
+   ones a checksum-less open ([~verify_body:false]) could let
+   through. *)
+
+exception Corrupt of string
+
+type t = {
+  path : string;
+  buf : Layout.buf;
+  size : int;
+  ndocs : int;
+  nnodes : int;
+  nkeys : int;
+  npos : int;
+  key_entries : int;
+  pos_entries : int;
+  corpus_len : int;
+  corpus_path : string;
+  o_doc : int;
+  o_par : int;
+  o_lab : int;
+  o_sidx : int;
+  o_blob : int;
+  blob_len : int;
+  o_kpidx : int;
+  o_kpost : int;
+  o_ppidx : int;
+  o_ppost : int;
+}
+
+let path t = t.path
+let file_size t = t.size
+let ndocs t = t.ndocs
+let nnodes t = t.nnodes
+let nkeys t = t.nkeys
+let npos t = t.npos
+let key_entries t = t.key_entries
+let pos_entries t = t.pos_entries
+let corpus_path t = t.corpus_path
+let corpus_len t = t.corpus_len
+let close _ = ()
+
+(* a generous ceiling on any count or offset: large enough for any
+   real corpus, small enough that size arithmetic cannot overflow *)
+let sane = 1 lsl 44
+
+let open_ ?(verify_body = true) path =
+  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size < Layout.header_bytes then
+          err "too small for an index header (%d bytes)" size
+        else
+          let buf =
+            Bigarray.array1_of_genarray
+              (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
+          in
+          let u64 = Layout.get_u64_ba buf in
+          let module F = Layout.Field in
+          if Layout.string_ba buf 0 8 <> Layout.magic then
+            err "bad magic (not a corpus index file)"
+          else if Layout.get_u32_ba buf F.version <> Layout.version then
+            err "unsupported index version %d (this build reads version %d)"
+              (Layout.get_u32_ba buf F.version) Layout.version
+          else if
+            Layout.checksum_ba Layout.checksum_init buf 0 F.header_checksum
+            <> u64 F.header_checksum
+          then err "header checksum mismatch (corrupted index?)"
+          else if u64 F.file_size <> size then
+            err "declared file size %d does not match actual %d (truncated?)"
+              (u64 F.file_size) size
+          else if size land 7 <> 0 then
+            err "file size %d is not 8-byte aligned (truncated?)" size
+          else begin
+            let ndocs = u64 F.ndocs and nnodes = u64 F.nnodes in
+            let nkeys = u64 F.nkeys in
+            let key_entries = u64 F.key_entries in
+            let pos_entries = u64 F.pos_entries in
+            let corpus_len = u64 F.corpus_len in
+            let npos = Layout.get_u32_ba buf F.pos_cap in
+            let blob_len = u64 F.strtab_blob_len in
+            let counts =
+              [ ("documents", ndocs); ("nodes", nnodes); ("keys", nkeys);
+                ("key postings", key_entries); ("position postings", pos_entries);
+                ("corpus bytes", corpus_len); ("position lists", npos);
+                ("string bytes", blob_len) ]
+            in
+            match
+              List.find_opt (fun (_, v) -> v < 0 || v > sane) counts
+            with
+            | Some (what, v) ->
+              err "header at %d: oversized %s count %d" F.ndocs what v
+            | None ->
+              let o_doc = u64 F.doc_table and o_par = u64 F.parents in
+              let o_lab = u64 F.labels and o_sidx = u64 F.strtab_idx in
+              let o_blob = u64 F.strtab_blob and o_kpidx = u64 F.key_pidx in
+              let o_kpost = u64 F.key_post and o_ppidx = u64 F.pos_pidx in
+              let o_ppost = u64 F.pos_post and o_cpath = u64 F.corpus_path in
+              let sections =
+                [ ("document table", o_doc, ndocs * Layout.doc_entry_bytes);
+                  ("parent column", o_par, Layout.pad8 (nnodes * 4));
+                  ("label column", o_lab, Layout.pad8 (nnodes * 4));
+                  ("string index", o_sidx, (nkeys + 1) * 8);
+                  ("string blob", o_blob, Layout.pad8 blob_len);
+                  ("key postings index", o_kpidx, (nkeys + 1) * 8);
+                  ("key postings", o_kpost, key_entries * 8);
+                  ("position postings index", o_ppidx, (npos + 1) * 8);
+                  ("position postings", o_ppost, pos_entries * 8);
+                  ("corpus path", o_cpath, 4) ]
+              in
+              let bad_section =
+                List.find_opt
+                  (fun (_, o, sz) ->
+                    o < Layout.header_bytes || o land 7 <> 0 || o > size
+                    || sz < 0 || o + sz > size)
+                  sections
+              in
+              (match bad_section with
+              | Some (what, o, sz) ->
+                err "%s section [%d, %d) exceeds or misaligns the %d-byte file"
+                  what o (o + sz) size
+              | None ->
+                (* offset tables: monotonic, anchored at both ends *)
+                let table what o n last =
+                  let ok = ref None in
+                  let prev = ref 0 in
+                  (if Layout.get_u64_ba buf o <> 0 then
+                     ok := Some (what, 0, Layout.get_u64_ba buf o));
+                  for i = 1 to n do
+                    let v = Layout.get_u64_ba buf (o + (i * 8)) in
+                    if !ok = None && (v < !prev || v > last) then
+                      ok := Some (what, i, v);
+                    prev := v
+                  done;
+                  if !ok = None && !prev <> last then
+                    ok := Some (what, n, !prev);
+                  !ok
+                in
+                let bad_table =
+                  match table "string index" o_sidx nkeys blob_len with
+                  | Some _ as s -> s
+                  | None -> (
+                    match
+                      table "key postings index" o_kpidx nkeys key_entries
+                    with
+                    | Some _ as s -> s
+                    | None ->
+                      table "position postings index" o_ppidx npos pos_entries)
+                in
+                match bad_table with
+                | Some (what, i, v) ->
+                  err "%s entry %d holds %d: not monotonic or out of range"
+                    what i v
+                | None ->
+                  (* document table: node ranges tile [0, nnodes),
+                     byte ranges stay inside the corpus *)
+                  let bad_doc = ref None in
+                  let base = ref 0 in
+                  for d = 0 to ndocs - 1 do
+                    let o = o_doc + (d * Layout.doc_entry_bytes) in
+                    let off = Layout.get_u64_ba buf o in
+                    let nb = Layout.get_u64_ba buf (o + 8) in
+                    let len = Layout.get_u32_ba buf (o + 16) in
+                    let cnt = Layout.get_u32_ba buf (o + 20) in
+                    if !bad_doc = None
+                       && (nb <> !base || off < 0 || off + len > corpus_len)
+                    then bad_doc := Some d;
+                    base := !base + cnt
+                  done;
+                  if !bad_doc = None && !base <> nnodes then
+                    bad_doc := Some ndocs;
+                  (match !bad_doc with
+                  | Some d -> err "document table entry %d is inconsistent" d
+                  | None ->
+                    let cplen = Layout.get_u32_ba buf o_cpath in
+                    if o_cpath + 4 + cplen > size then
+                      err "corpus path at %d overruns the file" o_cpath
+                    else begin
+                      let corpus_path =
+                        Layout.string_ba buf (o_cpath + 4) cplen
+                      in
+                      if
+                        verify_body
+                        && Layout.checksum_ba Layout.checksum_init buf
+                             Layout.header_bytes (size - Layout.header_bytes)
+                           <> u64 F.body_checksum
+                      then err "body checksum mismatch (corrupted index?)"
+                      else
+                        Ok
+                          { path; buf; size; ndocs; nnodes; nkeys; npos;
+                            key_entries; pos_entries; corpus_len; corpus_path;
+                            o_doc; o_par; o_lab; o_sidx; o_blob; blob_len;
+                            o_kpidx; o_kpost; o_ppidx; o_ppost }
+                    end))
+          end)
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (path ^ ": " ^ Unix.error_message e)
+  | exception Sys_error m -> Error m
+
+(* ---- document table -------------------------------------------------------- *)
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let doc_field t d off =
+  if d < 0 || d >= t.ndocs then
+    corrupt "document id %d out of range (index holds %d)" d t.ndocs;
+  t.o_doc + (d * Layout.doc_entry_bytes) + off
+
+let doc_off t d = Layout.get_u64_ba t.buf (doc_field t d 0)
+let doc_node_base t d = Layout.get_u64_ba t.buf (doc_field t d 8)
+let doc_len t d = Layout.get_u32_ba t.buf (doc_field t d 16)
+let doc_node_count t d = Layout.get_u32_ba t.buf (doc_field t d 20)
+let doc_lineno t d = Layout.get_u32_ba t.buf (doc_field t d 24)
+let doc_err t d = Layout.get_u32_ba t.buf (doc_field t d 28) land 1 = 1
+
+(* ---- string table ---------------------------------------------------------- *)
+
+let key_name t k =
+  if k < 0 || k >= t.nkeys then
+    corrupt "key id %d out of range (table holds %d)" k t.nkeys;
+  let off = Layout.get_u64_ba t.buf (t.o_sidx + (k * 8)) in
+  let stop = Layout.get_u64_ba t.buf (t.o_sidx + ((k + 1) * 8)) in
+  Layout.string_ba t.buf (t.o_blob + off) (stop - off)
+
+let key_id t w =
+  let lo = ref 0 and hi = ref (t.nkeys - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare w (key_name t mid) in
+    if c = 0 then found := Some mid
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+(* ---- postings -------------------------------------------------------------- *)
+
+let range t ~what ~idx ~n ~entries k =
+  if k < 0 || k >= n then corrupt "%s id %d out of range" what k;
+  let start = Layout.get_u64_ba t.buf (idx + (k * 8)) in
+  let stop = Layout.get_u64_ba t.buf (idx + ((k + 1) * 8)) in
+  if start > stop || stop > entries then
+    corrupt "%s postings range [%d, %d) out of bounds" what start stop;
+  (start, stop)
+
+let key_range t k =
+  range t ~what:"key" ~idx:t.o_kpidx ~n:t.nkeys ~entries:t.key_entries k
+
+let pos_range t p =
+  range t ~what:"position" ~idx:t.o_ppidx ~n:t.npos ~entries:t.pos_entries p
+
+let entry t ~what ~post ~entries i =
+  if i < 0 || i >= entries then
+    corrupt "%s postings entry %d out of range" what i;
+  let o = post + (i * 8) in
+  let doc = Layout.get_u32_ba t.buf o in
+  let node = Layout.get_u32_ba t.buf (o + 4) in
+  if doc >= t.ndocs then
+    corrupt "%s postings entry %d names document %d of %d" what i doc t.ndocs;
+  (doc, node)
+
+let key_entry t i =
+  entry t ~what:"key" ~post:t.o_kpost ~entries:t.key_entries i
+
+let pos_entry t i =
+  entry t ~what:"position" ~post:t.o_ppost ~entries:t.pos_entries i
+
+(* ---- structure columns ----------------------------------------------------- *)
+
+let node_slot t ~doc ~node =
+  let cnt = doc_node_count t doc in
+  if node < 0 || node >= cnt then
+    corrupt "node %d out of range for document %d (%d nodes)" node doc cnt;
+  doc_node_base t doc + node
+
+let doc_parent t ~doc ~node =
+  let slot = node_slot t ~doc ~node in
+  let p = Layout.get_i32_ba t.buf (t.o_par + (slot * 4)) in
+  if p < -1 || p >= doc_node_count t doc then
+    corrupt "parent pointer %d of node %d in document %d out of range" p node
+      doc;
+  p
+
+let doc_label t ~doc ~node =
+  let slot = node_slot t ~doc ~node in
+  Layout.get_i32_ba t.buf (t.o_lab + (slot * 4))

@@ -1,0 +1,89 @@
+(** Memory-mapped access to a corpus index file.
+
+    {!open_} maps the file ({!Unix.map_file}, read-only — a
+    [chmod 444] index works) and validates everything cheap before
+    returning: magic, version, header checksum, declared-vs-actual
+    file size, section offsets/extents/alignment, string-table and
+    postings-index monotonicity, document-table consistency, and (by
+    default) the full body checksum — so bit flips, truncations and
+    oversized declared counts surface as positioned [Error] messages
+    at open, never as exceptions or wild reads later.
+
+    Accessors that walk postings are bounds-checked against the
+    validated extents and raise {!Corrupt} (with a description) on
+    out-of-range data the open-time sweep cannot see — the query
+    planner folds that into an error verdict. *)
+
+exception Corrupt of string
+(** Out-of-range data met while reading postings or columns. *)
+
+type t
+
+val open_ : ?verify_body:bool -> string -> (t, string) result
+(** [open_ path] maps and validates [path].  [verify_body] (default
+    [true]) additionally checksums the whole body — one sequential
+    pass; disable it to pay only O(header + tables) at open. *)
+
+val close : t -> unit
+(** Drop the mapping eagerly (also dropped by the GC). *)
+
+val path : t -> string
+val file_size : t -> int
+val ndocs : t -> int
+val nnodes : t -> int
+val nkeys : t -> int
+
+val npos : t -> int
+(** Number of materialized array-position postings lists: positions
+    [0 .. npos-1] can seed a postings-only query. *)
+
+val key_entries : t -> int
+val pos_entries : t -> int
+val corpus_path : t -> string
+val corpus_len : t -> int
+
+(** {1 Document table} *)
+
+val doc_lineno : t -> int -> int
+val doc_off : t -> int -> int
+val doc_len : t -> int -> int
+val doc_node_count : t -> int -> int
+val doc_node_base : t -> int -> int
+val doc_err : t -> int -> bool
+(** Did this line fail to parse at build time?  (Queries reparse it to
+    reproduce the exact error.) *)
+
+(** {1 String table} *)
+
+val key_id : t -> string -> int option
+(** Binary search over the sorted table. *)
+
+val key_name : t -> int -> string
+
+(** {1 Postings}
+
+    A postings list is a contiguous run of (document id, doc-local
+    node id) entries, sorted by (document, node). *)
+
+val key_range : t -> int -> int * int
+(** [key_range r k] is the entry-index interval [\[start, stop)] of
+    key [k]'s postings. *)
+
+val pos_range : t -> int -> int * int
+
+val key_entry : t -> int -> int * int
+(** [key_entry r i] decodes entry [i] as [(doc, node)]; the document
+    id is validated against the document table. *)
+
+val pos_entry : t -> int -> int * int
+
+(** {1 Structure columns} *)
+
+val doc_parent : t -> doc:int -> node:int -> int
+(** Doc-local parent of doc-local [node]; [-1] for the root.
+    @raise Corrupt when [node] is outside the document or the stored
+    parent is. *)
+
+val doc_label : t -> doc:int -> node:int -> int
+(** The {!Layout} edge-label word of doc-local [node]
+    ({!Layout.label_root} for the root). *)

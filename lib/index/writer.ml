@@ -1,0 +1,340 @@
+(* Corpus index construction: parse every NDJSON line into a flat
+   tree, strip each tree down to its parent/edge-label columns, and
+   serialize the lot as the mmap-friendly layout of {!Layout}.
+
+   Determinism is load-bearing (the CI gate byte-compares builds with
+   different lane counts): documents keep their line order through
+   [Par.Batch.map], the key table is sorted lexicographically, and
+   postings fill in (doc, node) order — nothing in the output depends
+   on scheduling. *)
+
+type stats = {
+  docs : int;
+  errors : int;
+  nodes : int;
+  keys : int;
+  key_postings : int;
+  pos_postings : int;
+  bytes : int;
+}
+
+(* One parsed document, reduced to what the index stores.  [labels]
+   uses a doc-local key numbering ([lkeys]) remapped to the global
+   sorted table during assembly. *)
+type draw = {
+  lineno : int;
+  off : int;
+  len : int;
+  parents : int array;  (* local parent id, -1 for the root *)
+  labels : int array;  (* local encoding: key k -> k lsl 1, pos p -> p lsl 1 or 1 *)
+  lkeys : string array;
+  err : bool;
+}
+
+let parse_doc ~fresh_budget ~lineno ~off text =
+  let len = String.length text in
+  let failed = { lineno; off; len; parents = [||]; labels = [||]; lkeys = [||]; err = true } in
+  match Jsont.Tree.of_string ~budget:(fresh_budget ()) text with
+  | Error _ -> failed
+  | Ok t ->
+    let n = Jsont.Tree.node_count t in
+    let parents = Array.make n (-1) in
+    let labels = Array.make n (-1) in
+    let ktab = Hashtbl.create 16 in
+    let klist = ref [] in
+    let nkeys = ref 0 in
+    for i = 0 to n - 1 do
+      parents.(i) <- Jsont.Tree.parent_id t i;
+      match Jsont.Tree.edge_from_parent t i with
+      | Jsont.Tree.Root -> ()
+      | Jsont.Tree.Key w ->
+        let k =
+          match Hashtbl.find_opt ktab w with
+          | Some k -> k
+          | None ->
+            let k = !nkeys in
+            Hashtbl.add ktab w k;
+            klist := w :: !klist;
+            incr nkeys;
+            k
+        in
+        labels.(i) <- k lsl 1
+      | Jsont.Tree.Pos p ->
+        if p > Layout.max_pos_label then
+          failwith
+            (Printf.sprintf "line %d: array position %d exceeds the index limit"
+               lineno p);
+        labels.(i) <- (p lsl 1) lor 1
+    done;
+    let lkeys = Array.of_list (List.rev !klist) in
+    { lineno; off; len; parents; labels; lkeys; err = false }
+
+(* Split the corpus into (lineno, offset, length) line slices, the
+   same way [validate --stream] counts them: every '\n'-delimited
+   piece bumps the line number, trim-blank pieces are skipped, an
+   unterminated last line still counts. *)
+let line_slices text =
+  let n = String.length text in
+  let out = ref [] in
+  let lineno = ref 0 in
+  let start = ref 0 in
+  let flush_line stop =
+    incr lineno;
+    let len = stop - !start in
+    if String.trim (String.sub text !start len) <> "" then
+      out := (!lineno, !start, len) :: !out
+  in
+  for i = 0 to n - 1 do
+    if String.unsafe_get text i = '\n' then begin
+      flush_line i;
+      start := i + 1
+    end
+  done;
+  if !start < n then flush_line n;
+  Array.of_list (List.rev !out)
+
+(* Serialization: sections are emitted in file order through one
+   channel, folding the body checksum as they go; the header (which
+   names every section offset plus both checksums) is written last by
+   seeking back to the start. *)
+let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
+    ?(fresh_budget = fun () -> Obs.Budget.create ()) ~corpus ~output () =
+  try
+    Obs.Metrics.span "index.build" @@ fun () ->
+    let text = In_channel.with_open_bin corpus In_channel.input_all in
+    let slices = line_slices text in
+    let docs =
+      Par.Batch.map ~jobs
+        (fun (lineno, off, len) ->
+          parse_doc ~fresh_budget ~lineno ~off (String.sub text off len))
+        slices
+    in
+    let ndocs = Array.length docs in
+    let errors = Array.fold_left (fun a d -> if d.err then a + 1 else a) 0 docs in
+    (* global key table: sorted, so the file never depends on the
+       order keys were first seen *)
+    let keyset = Hashtbl.create 256 in
+    Array.iter
+      (fun d -> Array.iter (fun w -> Hashtbl.replace keyset w ()) d.lkeys)
+      docs;
+    let keys = Hashtbl.fold (fun w () acc -> w :: acc) keyset [] in
+    let keys = Array.of_list (List.sort String.compare keys) in
+    let nkeys = Array.length keys in
+    let gid = Hashtbl.create 256 in
+    Array.iteri (fun i w -> Hashtbl.add gid w i) keys;
+    (* remap each document's labels to global key ids, in place *)
+    Array.iter
+      (fun d ->
+        let map = Array.map (fun w -> Hashtbl.find gid w) d.lkeys in
+        Array.iteri
+          (fun i lab ->
+            if lab >= 0 && lab land 1 = 0 then
+              d.labels.(i) <- map.(lab lsr 1) lsl 1)
+          d.labels)
+      docs;
+    let nnodes = Array.fold_left (fun a d -> a + Array.length d.parents) 0 docs in
+    (* postings shape: count entries per label, then prefix-sum *)
+    let max_pos = ref (-1) in
+    Array.iter
+      (fun d ->
+        Array.iter
+          (fun lab ->
+            if lab >= 0 && lab land 1 = 1 then
+              if lab lsr 1 > !max_pos then max_pos := lab lsr 1)
+          d.labels)
+      docs;
+    let npos = min pos_cap (!max_pos + 1) in
+    let key_counts = Array.make (nkeys + 1) 0 in
+    let pos_counts = Array.make (npos + 1) 0 in
+    Array.iter
+      (fun d ->
+        Array.iter
+          (fun lab ->
+            if lab >= 0 then
+              if lab land 1 = 0 then
+                key_counts.(lab lsr 1) <- key_counts.(lab lsr 1) + 1
+              else begin
+                let p = lab lsr 1 in
+                if p < npos then pos_counts.(p) <- pos_counts.(p) + 1
+              end)
+          d.labels)
+      docs;
+    let prefix counts n =
+      let idx = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        idx.(i + 1) <- idx.(i) + counts.(i)
+      done;
+      idx
+    in
+    let key_pidx = prefix key_counts nkeys in
+    let pos_pidx = prefix pos_counts npos in
+    let key_entries = key_pidx.(nkeys) in
+    let pos_entries = pos_pidx.(npos) in
+    (* section sizes and offsets *)
+    let blob_len = Array.fold_left (fun a w -> a + String.length w) 0 keys in
+    let sz_doc = ndocs * Layout.doc_entry_bytes in
+    let sz_par = Layout.pad8 (nnodes * 4) in
+    let sz_lab = Layout.pad8 (nnodes * 4) in
+    let sz_sidx = (nkeys + 1) * 8 in
+    let sz_blob = Layout.pad8 blob_len in
+    let sz_kpidx = (nkeys + 1) * 8 in
+    let sz_kpost = key_entries * 8 in
+    let sz_ppidx = (npos + 1) * 8 in
+    let sz_ppost = pos_entries * 8 in
+    let sz_cpath = Layout.pad8 (4 + String.length corpus) in
+    let o_doc = Layout.header_bytes in
+    let o_par = o_doc + sz_doc in
+    let o_lab = o_par + sz_par in
+    let o_sidx = o_lab + sz_lab in
+    let o_blob = o_sidx + sz_sidx in
+    let o_kpidx = o_blob + sz_blob in
+    let o_kpost = o_kpidx + sz_kpidx in
+    let o_ppidx = o_kpost + sz_kpost in
+    let o_ppost = o_ppidx + sz_ppidx in
+    let o_cpath = o_ppost + sz_ppost in
+    let file_size = o_cpath + sz_cpath in
+    let tmp = output ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        seek_out oc Layout.header_bytes;
+        let body_sum = ref Layout.checksum_init in
+        let emit b =
+          body_sum := Layout.checksum_bytes !body_sum b 0 (Bytes.length b);
+          output_bytes oc b
+        in
+        (* document table *)
+        let b = Bytes.make sz_doc '\000' in
+        let base = ref 0 in
+        Array.iteri
+          (fun i d ->
+            let o = i * Layout.doc_entry_bytes in
+            Layout.set_u64 b o d.off;
+            Layout.set_u64 b (o + 8) !base;
+            Layout.set_u32 b (o + 16) d.len;
+            Layout.set_u32 b (o + 20) (Array.length d.parents);
+            Layout.set_u32 b (o + 24) d.lineno;
+            Layout.set_u32 b (o + 28) (if d.err then 1 else 0);
+            base := !base + Array.length d.parents)
+          docs;
+        emit b;
+        (* parents, labels *)
+        let column get =
+          let b = Bytes.make sz_par '\000' in
+          let j = ref 0 in
+          Array.iter
+            (fun d ->
+              Array.iter
+                (fun v ->
+                  Layout.set_i32 b (!j * 4) v;
+                  incr j)
+                (get d))
+            docs;
+          b
+        in
+        emit (column (fun d -> d.parents));
+        emit (column (fun d -> d.labels));
+        (* string table *)
+        let b = Bytes.make sz_sidx '\000' in
+        let off = ref 0 in
+        Array.iteri
+          (fun i w ->
+            Layout.set_u64 b (i * 8) !off;
+            off := !off + String.length w)
+          keys;
+        Layout.set_u64 b (nkeys * 8) !off;
+        emit b;
+        let b = Bytes.make sz_blob '\000' in
+        let off = ref 0 in
+        Array.iter
+          (fun w ->
+            Bytes.blit_string w 0 b !off (String.length w);
+            off := !off + String.length w)
+          keys;
+        emit b;
+        (* postings: cursor per label, filled in (doc, node) order *)
+        let b = Bytes.make sz_kpidx '\000' in
+        Array.iteri (fun i v -> Layout.set_u64 b (i * 8) v) key_pidx;
+        emit b;
+        let kpost = Bytes.make sz_kpost '\000' in
+        let ppost = Bytes.make sz_ppost '\000' in
+        let kcur = Array.copy key_pidx in
+        let pcur = Array.copy pos_pidx in
+        Array.iteri
+          (fun doc d ->
+            Array.iteri
+              (fun node lab ->
+                if lab >= 0 then
+                  if lab land 1 = 0 then begin
+                    let k = lab lsr 1 in
+                    let o = kcur.(k) * 8 in
+                    Layout.set_u32 kpost o doc;
+                    Layout.set_u32 kpost (o + 4) node;
+                    kcur.(k) <- kcur.(k) + 1
+                  end
+                  else begin
+                    let p = lab lsr 1 in
+                    if p < npos then begin
+                      let o = pcur.(p) * 8 in
+                      Layout.set_u32 ppost o doc;
+                      Layout.set_u32 ppost (o + 4) node;
+                      pcur.(p) <- pcur.(p) + 1
+                    end
+                  end)
+              d.labels)
+          docs;
+        emit kpost;
+        let b2 = Bytes.make sz_ppidx '\000' in
+        Array.iteri (fun i v -> Layout.set_u64 b2 (i * 8) v) pos_pidx;
+        emit b2;
+        emit ppost;
+        (* corpus path *)
+        let b = Bytes.make sz_cpath '\000' in
+        Layout.set_u32 b 0 (String.length corpus);
+        Bytes.blit_string corpus 0 b 4 (String.length corpus);
+        emit b;
+        (* header, last: it carries the body checksum *)
+        let h = Bytes.make Layout.header_bytes '\000' in
+        Bytes.blit_string Layout.magic 0 h 0 8;
+        Layout.set_u32 h Layout.Field.version Layout.version;
+        Layout.set_u32 h Layout.Field.pos_cap npos;
+        Layout.set_u64 h Layout.Field.file_size file_size;
+        Layout.set_u64 h Layout.Field.ndocs ndocs;
+        Layout.set_u64 h Layout.Field.nnodes nnodes;
+        Layout.set_u64 h Layout.Field.nkeys nkeys;
+        Layout.set_u64 h Layout.Field.key_entries key_entries;
+        Layout.set_u64 h Layout.Field.pos_entries pos_entries;
+        Layout.set_u64 h Layout.Field.corpus_len (String.length text);
+        Layout.set_u64 h Layout.Field.doc_table o_doc;
+        Layout.set_u64 h Layout.Field.parents o_par;
+        Layout.set_u64 h Layout.Field.labels o_lab;
+        Layout.set_u64 h Layout.Field.strtab_idx o_sidx;
+        Layout.set_u64 h Layout.Field.strtab_blob o_blob;
+        Layout.set_u64 h Layout.Field.strtab_blob_len blob_len;
+        Layout.set_u64 h Layout.Field.key_pidx o_kpidx;
+        Layout.set_u64 h Layout.Field.key_post o_kpost;
+        Layout.set_u64 h Layout.Field.pos_pidx o_ppidx;
+        Layout.set_u64 h Layout.Field.pos_post o_ppost;
+        Layout.set_u64 h Layout.Field.corpus_path o_cpath;
+        Layout.set_u64 h Layout.Field.body_checksum !body_sum;
+        let hsum =
+          Layout.checksum_bytes Layout.checksum_init h 0
+            Layout.Field.header_checksum
+        in
+        Layout.set_u64 h Layout.Field.header_checksum hsum;
+        seek_out oc 0;
+        output_bytes oc h);
+    Sys.rename tmp output;
+    Obs.Metrics.add "index.build.docs" ndocs;
+    Obs.Metrics.add "index.build.errors" errors;
+    Obs.Metrics.add "index.build.nodes" nnodes;
+    Obs.Metrics.add "index.build.keys" nkeys;
+    Obs.Metrics.add "index.build.postings" (key_entries + pos_entries);
+    Obs.Metrics.add "index.build.bytes" file_size;
+    Ok
+      { docs = ndocs; errors; nodes = nnodes; keys = nkeys;
+        key_postings = key_entries; pos_postings = pos_entries;
+        bytes = file_size }
+  with
+  | Failure m -> Error m
+  | Sys_error m -> Error m
+  | Obs.Budget.Exhausted r -> Error (Obs.Budget.describe r)

@@ -472,6 +472,147 @@ if [ ! -s "$serve_json/BENCH_serve.json" ]; then
 fi
 rm -rf "$serve_json"
 
+# Corpus index gate, part 1: build the persistent index over a
+# generated NDJSON corpus and byte-compare `index query` verdicts
+# against `eval --files-from` over the same lines — including the
+# rendered parse error for malformed lines and the unterminated final
+# line.  Per-line files are written without a trailing newline and
+# named by line number so the two outputs align after stripping the
+# directory prefix.
+ixdir=$(mktemp -d)
+ndx="$ixdir/corpus.ndjson"
+: > "$ndx"
+for i in $(seq 1 120); do
+  if [ $((i % 29)) = 0 ]; then
+    printf '{"name":{"first":\n' >> "$ndx"                     # malformed
+  elif [ $((i % 4)) = 0 ]; then
+    printf '{"name":{"first":"John","last":"Doe"},"orders":[{"status":"shipped","lines":[{"sku":"SKU-%d","qty":%d}]}]}\n' "$i" "$i" >> "$ndx"
+  elif [ $((i % 4)) = 1 ]; then
+    printf '{"id":%d,"tags":["a","b"],"meta":{"next":"none"}}\n' "$i" >> "$ndx"
+  elif [ $((i % 4)) = 2 ]; then
+    printf '[%d,{"value":%d},"end"]\n' "$i" >> "$ndx"
+  else
+    printf '"scalar-%d"\n' "$i" >> "$ndx"
+  fi
+done
+printf '{"tail":{"name":{"first":"Sue"}}}' >> "$ndx"           # no final \n
+nlines=0
+: > "$ixdir/list"
+while IFS= read -r ixline || [ -n "$ixline" ]; do
+  nlines=$((nlines + 1))
+  printf '%s' "$ixline" > "$ixdir/$nlines"
+  echo "$ixdir/$nlines" >> "$ixdir/list"
+done < "$ndx"
+run 120 "$JSONLOGIC" index build "$ndx" -o "$ixdir/corpus.idx" > /dev/null
+info_out=$(run 60 "$JSONLOGIC" index info "$ixdir/corpus.idx")
+case $info_out in
+  *"documents: $nlines (4 parse errors)"*) ;;
+  *) echo "FAIL: index info does not report $nlines docs / 4 errors" >&2
+     echo "$info_out" >&2
+     exit 1 ;;
+esac
+check_index_query() {
+  iq=$(timeout 120 "$JSONLOGIC" index query "$ixdir/corpus.idx" "$1") || true
+  ev=$(timeout 120 "$JSONLOGIC" eval --files-from "$ixdir/list" "$1" \
+       | sed "s|^$ixdir/||") || true
+  if [ "$iq" != "$ev" ] || [ -z "$iq" ]; then
+    echo "FAIL: index query vs eval --files-from disagree on: $1" >&2
+    printf '%s\n---\n%s\n' "$iq" "$ev" | head -20 >&2
+    exit 1
+  fi
+}
+check_index_query '<.name.first>'
+check_index_query 'eq(.name.first, "John")'
+check_index_query '<.orders[0].lines[0].sku> & !<.no_such_key>'
+check_index_query '<.tags[-1]>'
+check_index_query '<.orders[0:*]?(eq(.status, "shipped"))>'
+# --jsonpath spelling answers like the equivalent existential formula
+jp=$(timeout 60 "$JSONLOGIC" index query --jsonpath '$.name.first' \
+  "$ixdir/corpus.idx")
+jnl=$(timeout 60 "$JSONLOGIC" index query "$ixdir/corpus.idx" '<.name.first>')
+if [ "$jp" != "$jnl" ]; then
+  echo "FAIL: index query --jsonpath differs from the JNL spelling" >&2
+  exit 1
+fi
+
+# Corpus index gate, part 2: the index stays queryable read-only —
+# mmap needs no write access.
+chmod 444 "$ixdir/corpus.idx"
+ro=$(timeout 60 "$JSONLOGIC" index query "$ixdir/corpus.idx" '<.name.first>')
+if [ "$ro" != "$jnl" ]; then
+  echo "FAIL: read-only (chmod 444) index query differs" >&2
+  exit 1
+fi
+
+# Corpus index gate, part 3: corruption and truncation are refused
+# with a structured error (exit 1, error: line), never a crash.
+idx_size=$(wc -c < "$ixdir/corpus.idx")
+for ixoff in 9 $((idx_size / 2)); do
+  cp "$ixdir/corpus.idx" "$ixdir/bad.idx"
+  chmod 644 "$ixdir/bad.idx"
+  printf '\252\252\252\252' \
+    | dd of="$ixdir/bad.idx" bs=1 seek="$ixoff" conv=notrunc 2>/dev/null
+  ixstatus=0
+  ixout=$(timeout 60 "$JSONLOGIC" index query "$ixdir/bad.idx" \
+    '<.name.first>' 2>&1) || ixstatus=$?
+  if [ "$ixstatus" != 1 ]; then
+    echo "FAIL: corrupted index (offset $ixoff): expected exit 1, got $ixstatus" >&2
+    echo "$ixout" >&2
+    exit 1
+  fi
+  case $ixout in
+    *"error:"*) ;;
+    *) echo "FAIL: corrupted index (offset $ixoff) did not print error:" >&2
+       echo "$ixout" >&2
+       exit 1 ;;
+  esac
+done
+for ixlen in 100 $((idx_size / 3)) $((idx_size - 1)); do
+  head -c "$ixlen" "$ixdir/corpus.idx" > "$ixdir/trunc.idx"
+  ixstatus=0
+  ixout=$(timeout 60 "$JSONLOGIC" index info "$ixdir/trunc.idx" 2>&1) \
+    || ixstatus=$?
+  if [ "$ixstatus" != 1 ]; then
+    echo "FAIL: truncated index ($ixlen bytes): expected exit 1, got $ixstatus" >&2
+    echo "$ixout" >&2
+    exit 1
+  fi
+done
+# a stale corpus (bytes appended after the build) is refused too
+printf '\n{"late":1}\n' >> "$ndx"
+ixstatus=0
+ixout=$(timeout 60 "$JSONLOGIC" index query "$ixdir/corpus.idx" \
+  '<.name.first>' 2>&1) || ixstatus=$?
+if [ "$ixstatus" != 1 ]; then
+  echo "FAIL: stale corpus: expected exit 1, got $ixstatus ($ixout)" >&2
+  exit 1
+fi
+case $ixout in
+  *"stale index"*) ;;
+  *) echo "FAIL: stale corpus error does not say stale index: $ixout" >&2
+     exit 1 ;;
+esac
+rm -rf "$ixdir"
+
+# Corpus bench agreement mode: indexed verdicts vs the
+# reparse-everything baseline on a generated mixed corpus, with the
+# >=10x aggregate speedup gate built into the bench exit status; the
+# JSON dump must land.  (8 MB here for CI time; the default is 100 MB.)
+corpus_json=$(mktemp -d)
+corp_out=$(run 600 env BENCH_CORPUS_MB=8 \
+  _build/default/bench/main.exe --json "$corpus_json" corpus)
+case $corp_out in
+  *"corpus agreement: COMPLETE"*) ;;
+  *) echo "FAIL: corpus bench did not report complete agreement" >&2
+     echo "$corp_out" >&2
+     exit 1 ;;
+esac
+if [ ! -s "$corpus_json/BENCH_corpus.json" ]; then
+  echo "FAIL: corpus bench did not write BENCH_corpus.json" >&2
+  exit 1
+fi
+rm -rf "$corpus_json"
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

@@ -1,0 +1,323 @@
+(* Tests for the persistent corpus index: differential agreement with
+   the reparse-everything baseline over a PRNG corpus and query set,
+   byte-identical builds across lane counts, fault injection
+   (bit-flips, truncations, forged header counts, corrupt postings),
+   stale-corpus rejection, and the tree label-index single-build
+   regression. *)
+
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let temp_path suffix =
+  let p = Filename.temp_file "jindex_test" suffix in
+  p
+
+(* ---- corpus + query set ---------------------------------------------------- *)
+
+(* One NDJSON corpus shared by most tests: PRNG documents (API records
+   and generic shapes), scalar and array lines, a blank line and a
+   malformed line. *)
+let corpus_text =
+  lazy
+    (let rng = Jworkload.Prng.create 42 in
+     let buf = Buffer.create (1 lsl 16) in
+     let addv v =
+       Buffer.add_string buf (Jsont.Printer.compact v);
+       Buffer.add_char buf '\n'
+     in
+     for i = 1 to 40 do
+       addv (Jworkload.Gen_json.api_record rng (1 + (i mod 5)))
+     done;
+     Buffer.add_string buf "\n";
+     Buffer.add_string buf "{\"broken\": \n";
+     Buffer.add_string buf "[1,2,3]\n";
+     Buffer.add_string buf "\"just a string\"\n";
+     Buffer.add_string buf "7\n";
+     Buffer.add_string buf "{}\n";
+     for i = 1 to 40 do
+       addv (Jworkload.Gen_json.sized rng (20 + (7 * i)))
+     done;
+     (* unterminated last line *)
+     Buffer.add_string buf "{\"tail\":[{\"sku\":\"z9\"}]}";
+     Buffer.contents buf)
+
+let handcrafted_queries =
+  [ "true";
+    "<.name.first>";
+    "<.name>";
+    "<.orders[0]>";
+    "<.orders[0].lines[0].sku>";
+    "<.no_such_key_anywhere>";
+    "!<.name.first>";
+    "<.name.first> & <.orders[0]>";
+    "<.name.first> | <.tail>";
+    "!(<.name> & !<.age>)";
+    "eq(.name.first, \"John\")";
+    "eq(.name.first, \"John\") | eq(.name.first, \"Sue\")";
+    "<.orders[0:*]?(eq(.status, \"shipped\"))>";
+    "<.hobbies[-1]>";
+    "<(.~/.*/)*.sku>";
+    "eq(.name.first, .name.last)";
+    "<.tail[0].sku>" ]
+
+let query_set () =
+  let rng = Jworkload.Prng.create 7 in
+  let cfg = { Jworkload.Gen_formula.default with size = 8 } in
+  let random =
+    List.init 10 (fun _ -> Jworkload.Gen_formula.jnl rng cfg)
+  in
+  List.map Jlogic.Jnl.parse_exn handcrafted_queries @ random
+
+(* the per-line baseline: exactly the computation [eval --files-from]
+   runs per file *)
+let baseline_verdict phi text =
+  match Jsont.Tree.of_string ~budget:(Obs.Budget.create ()) text with
+  | Error e -> "error: " ^ Format.asprintf "%a" Jsont.Parser.pp_error e
+  | Ok tree -> (
+    match
+      let ctx = Jlogic.Jnl_eval.context ~budget:(Obs.Budget.create ()) tree in
+      Jlogic.Jnl_eval.holds ctx Jsont.Tree.root phi
+    with
+    | b -> string_of_bool b
+    | exception Failure m -> "error: " ^ m
+    | exception Obs.Budget.Exhausted r -> "error: " ^ Obs.Budget.describe r)
+
+let corpus_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter (fun (_, line) -> String.trim line <> "")
+
+let build_corpus_index () =
+  let corpus = temp_path ".ndjson" in
+  let idx = temp_path ".idx" in
+  write_file corpus (Lazy.force corpus_text);
+  (match Jindex.Writer.build ~jobs:2 ~corpus ~output:idx () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("build failed: " ^ m));
+  (corpus, idx)
+
+let open_exn ?verify_body idx =
+  match Jindex.Reader.open_ ?verify_body idx with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("open failed: " ^ m)
+
+(* ---- differential: index-backed vs reparse-everything ---------------------- *)
+
+let test_differential () =
+  let _corpus, idx = build_corpus_index () in
+  let r = open_exn idx in
+  let lines = corpus_lines (Lazy.force corpus_text) in
+  Alcotest.(check int) "every non-blank line indexed" (List.length lines)
+    (Jindex.Reader.ndocs r);
+  List.iter
+    (fun phi ->
+      let expect =
+        List.map (fun (_, line) -> baseline_verdict phi line) lines
+      in
+      match Jindex.Query.run ~jobs:2 r phi with
+      | Error m ->
+        Alcotest.fail
+          (Printf.sprintf "query %s failed: %s" (Jlogic.Jnl.to_string phi) m)
+      | Ok verdicts ->
+        let got =
+          Array.to_list (Array.map Jindex.Query.verdict_string verdicts)
+        in
+        Alcotest.(check (list string))
+          ("agreement on " ^ Jlogic.Jnl.to_string phi)
+          expect got)
+    (query_set ())
+
+(* line numbers reported by the index match the corpus line numbering
+   (blank and malformed lines included in the count) *)
+let test_linenos () =
+  let _corpus, idx = build_corpus_index () in
+  let r = open_exn idx in
+  let lines = corpus_lines (Lazy.force corpus_text) in
+  List.iteri
+    (fun d (lineno, _) ->
+      Alcotest.(check int)
+        (Printf.sprintf "doc %d lineno" d)
+        lineno
+        (Jindex.Reader.doc_lineno r d))
+    lines
+
+(* ---- determinism across lane counts ---------------------------------------- *)
+
+let test_jobs_determinism () =
+  let corpus = temp_path ".ndjson" in
+  write_file corpus (Lazy.force corpus_text);
+  let build jobs =
+    let out = temp_path ".idx" in
+    (match Jindex.Writer.build ~jobs ~corpus ~output:out () with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail ("build failed: " ^ m));
+    read_file out
+  in
+  let one = build 1 in
+  let four = build 4 in
+  Alcotest.(check bool) "jobs 1 vs jobs 4 byte-identical" true (one = four);
+  Alcotest.(check bool) "rebuild byte-identical" true (one = build 1)
+
+(* ---- fault injection -------------------------------------------------------- *)
+
+(* every single-byte flip anywhere in the file must be rejected at
+   open: header flips by the header checksum, body flips by the body
+   checksum, checksum-field flips by the mismatch they create *)
+let test_bit_flips () =
+  let _corpus, idx = build_corpus_index () in
+  let original = read_file idx in
+  let mutant = temp_path ".idx" in
+  let n = String.length original in
+  let step = max 1 (n / 256) in
+  let pos = ref 0 in
+  while !pos < n do
+    let b = Bytes.of_string original in
+    Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 0x41));
+    write_file mutant (Bytes.to_string b);
+    (match Jindex.Reader.open_ mutant with
+    | Error _ -> ()
+    | Ok _ ->
+      Alcotest.fail
+        (Printf.sprintf "byte flip at %d accepted by open_" !pos));
+    pos := !pos + step
+  done
+
+let test_truncations () =
+  let _corpus, idx = build_corpus_index () in
+  let original = read_file idx in
+  let mutant = temp_path ".idx" in
+  let n = String.length original in
+  List.iter
+    (fun len ->
+      write_file mutant (String.sub original 0 len);
+      match Jindex.Reader.open_ mutant with
+      | Error _ -> ()
+      | Ok _ ->
+        Alcotest.fail
+          (Printf.sprintf "truncation to %d bytes accepted by open_" len))
+    [ 0; 8; Jindex.Layout.header_bytes - 1; Jindex.Layout.header_bytes;
+      n / 2; n - 1 ]
+
+(* forge header fields and re-sign the header checksum: the structural
+   validation behind the checksum must still reject the file *)
+let test_forged_counts () =
+  let _corpus, idx = build_corpus_index () in
+  let original = read_file idx in
+  let mutant = temp_path ".idx" in
+  let forge field v =
+    let b = Bytes.of_string original in
+    Jindex.Layout.set_u64 b field v;
+    let sum =
+      Jindex.Layout.checksum_bytes Jindex.Layout.checksum_init b 0
+        Jindex.Layout.Field.header_checksum
+    in
+    Jindex.Layout.set_u64 b Jindex.Layout.Field.header_checksum sum;
+    write_file mutant (Bytes.to_string b);
+    match Jindex.Reader.open_ ~verify_body:false mutant with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "forged header accepted by open_"
+  in
+  (* oversized counts, far beyond any plausible file *)
+  forge Jindex.Layout.Field.ndocs (1 lsl 50);
+  forge Jindex.Layout.Field.nnodes (1 lsl 50);
+  forge Jindex.Layout.Field.key_entries (1 lsl 50);
+  (* sane-looking counts whose sections overrun the actual file *)
+  forge Jindex.Layout.Field.nnodes 1_000_000;
+  forge Jindex.Layout.Field.ndocs 1_000_000;
+  (* misaligned / out-of-file section offsets *)
+  forge Jindex.Layout.Field.key_post 3;
+  forge Jindex.Layout.Field.parents (1 lsl 40)
+
+(* corrupt postings under --no-verify: a doc id pointing past the
+   document table must surface as a query error, never an exception *)
+let test_corrupt_postings_no_verify () =
+  let _corpus, idx = build_corpus_index () in
+  let original = read_file idx in
+  let b = Bytes.of_string original in
+  let o_kpost = Jindex.Layout.get_u64 b Jindex.Layout.Field.key_post in
+  let entries = Jindex.Layout.get_u64 b Jindex.Layout.Field.key_entries in
+  Alcotest.(check bool) "corpus has key postings" true (entries > 0);
+  (* smash every entry's doc id so whichever list a query seeds from
+     trips the bounds check *)
+  for i = 0 to entries - 1 do
+    Jindex.Layout.set_u32 b (o_kpost + (i * 8)) 0x7FFFFFF
+  done;
+  let mutant = temp_path ".idx" in
+  write_file mutant (Bytes.to_string b);
+  let r = open_exn ~verify_body:false mutant in
+  match Jindex.Query.run r (Jlogic.Jnl.parse_exn "<.name>") with
+  | Error m ->
+    Alcotest.(check bool)
+      ("error is positioned: " ^ m)
+      true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "corrupt postings produced verdicts"
+
+(* ---- staleness --------------------------------------------------------------- *)
+
+let test_stale_corpus () =
+  let corpus, idx = build_corpus_index () in
+  write_file corpus (Lazy.force corpus_text ^ "\n{\"new\":1}");
+  let r = open_exn idx in
+  (match Jindex.Query.run r Jlogic.Jnl.True with
+  | Error m ->
+    Alcotest.(check bool) ("mentions staleness: " ^ m) true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "stale corpus accepted");
+  (* missing corpus: also an error, not an exception *)
+  Sys.remove corpus;
+  match Jindex.Query.run r Jlogic.Jnl.True with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing corpus accepted"
+
+(* ---- tree label-index single-build regression (PR 8 satellite) -------------- *)
+
+let test_tree_index_single_build () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled was)
+    (fun () ->
+      Obs.Metrics.reset ();
+      let t =
+        Jsont.Tree.of_string_exn
+          "{\"a\": [1, 2, {\"b\": 3}], \"c\": {\"a\": 4}}"
+      in
+      (* an accessor first: builds the index once *)
+      let hits = Jsont.Tree.key_index t "a" in
+      Alcotest.(check int) "two a-edges" 2 (Array.length hits);
+      Alcotest.(check int) "one build after accessor" 1
+        (Obs.Metrics.counter_value "tree.index.builds");
+      (* explicit build_index afterwards must neither rebuild nor
+         charge the budget again *)
+      let budget = Obs.Budget.create ~fuel:1 () in
+      Jsont.Tree.build_index ~budget t;
+      Jsont.Tree.build_index ~budget t;
+      Alcotest.(check int) "still one build" 1
+        (Obs.Metrics.counter_value "tree.index.builds");
+      (* the one-unit budget survived: build_index on an indexed tree
+         is free *)
+      Obs.Budget.burn budget 1)
+
+let () =
+  Alcotest.run "index"
+    [ ("differential",
+       [ Alcotest.test_case "index vs reparse baseline" `Quick
+           test_differential;
+         Alcotest.test_case "line numbering" `Quick test_linenos ]);
+      ("determinism",
+       [ Alcotest.test_case "jobs 1 vs 4 byte-identical" `Quick
+           test_jobs_determinism ]);
+      ("faults",
+       [ Alcotest.test_case "bit flips rejected" `Quick test_bit_flips;
+         Alcotest.test_case "truncations rejected" `Quick test_truncations;
+         Alcotest.test_case "forged counts rejected" `Quick
+           test_forged_counts;
+         Alcotest.test_case "corrupt postings error under no-verify" `Quick
+           test_corrupt_postings_no_verify ]);
+      ("staleness",
+       [ Alcotest.test_case "changed or missing corpus refused" `Quick
+           test_stale_corpus ]);
+      ("tree-index",
+       [ Alcotest.test_case "single build, single charge" `Quick
+           test_tree_index_single_build ]) ]
