@@ -1461,41 +1461,98 @@ let corpus_exp () =
                 "error: " ^ Obs.Budget.describe rs))
           lines
       in
+      (* three plan classes, each gated separately: [core] existence
+         chains (postings-only), [eq] scalar equalities (value-postings
+         pushdown — must never reparse), [filtered] residual predicates
+         (prefilter + selective reparse) *)
       let queries =
         List.map
-          (fun (label, q) -> (label, Jnl.parse_exn q))
-          [ ("core: one key", "<.name.first>");
-            ("core: key+pos chain", "<.orders[0].lines[0].sku>");
-            ("core: absent key", "<.no_such_key_anywhere>");
-            ("core: boolean mix", "<.name.first> & !<.orders[2]>");
-            ("filter: eq string", "eq(.name.first, \"John\")");
-            ("filter: eq rare", "eq(.orders[0].lines[0].sku, \"SKU-0-0\")");
-            ("filter: range test", "<.orders[0:*]?(eq(.status, \"shipped\"))>");
-            ("filter: negative idx", "<.hobbies[-1]>") ]
+          (fun (cls, label, q) -> (cls, label, Jnl.parse_exn q))
+          [ ("core", "core: one key", "<.name.first>");
+            ("core", "core: key+pos chain", "<.orders[0].lines[0].sku>");
+            ("core", "core: absent key", "<.no_such_key_anywhere>");
+            ("core", "core: boolean mix", "<.name.first> & !<.orders[2]>");
+            ("eq", "eq: common string", "eq(.name.first, \"John\")");
+            ( "eq", "eq: rare string",
+              "eq(.orders[0].lines[0].sku, \"SKU-0-0\")" );
+            ("eq", "eq: number", "eq(.age, 42)");
+            ("eq", "eq: absent value", "eq(.name.first, \"Zebediah\")");
+            ( "eq", "eq: disjunction",
+              "eq(.name.first, \"John\") | eq(.name.first, \"Sue\")" );
+            ("eq", "eq: ranked conj", "<.id> & eq(.name.first, \"Sue\")");
+            ( "filtered", "filtered: range test",
+              "<.orders[0:*]?(eq(.status, \"shipped\"))>" );
+            ("filtered", "filtered: negative idx", "<.hobbies[-1]>") ]
+      in
+      let slug label =
+        String.map
+          (fun ch ->
+            if (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') then ch
+            else '_')
+          (String.lowercase_ascii label)
       in
       let all_agree = ref true in
       let base_total = ref 0. in
       let idx_total = ref 0. in
+      let class_ms = Hashtbl.create 4 in
+      let class_add cls base idxm =
+        let b, i =
+          Option.value (Hashtbl.find_opt class_ms cls) ~default:(0., 0.)
+        in
+        Hashtbl.replace class_ms cls (b +. base, i +. idxm)
+      in
+      let eq_value_hits = ref 0 in
+      let eq_reparsed = ref 0 in
       row "\n%-24s %-14s %-14s %-10s %-8s\n" "query" "reparse (ms)"
         "indexed (ms)" "speedup" "agree";
       List.iter
-        (fun (label, phi) ->
+        (fun (cls, label, phi) ->
           let base, base_ms = wall_ms (fun () -> baseline phi) in
+          let hits0 = Obs.Metrics.counter_value "index.query.value_hits" in
+          let rep0 = Obs.Metrics.counter_value "index.query.reparsed" in
           let verdicts, idx_ms =
             wall_ms (fun () ->
                 match Jindex.Query.run ~jobs:4 r phi with
                 | Ok v -> Array.map Jindex.Query.verdict_string v
                 | Error m -> failwith ("index query failed: " ^ m))
           in
+          if cls = "eq" then begin
+            eq_value_hits :=
+              !eq_value_hits
+              + Obs.Metrics.counter_value "index.query.value_hits"
+              - hits0;
+            eq_reparsed :=
+              !eq_reparsed
+              + Obs.Metrics.counter_value "index.query.reparsed"
+              - rep0
+          end;
           let agree = verdicts = base in
           if not agree then all_agree := false;
           base_total := !base_total +. base_ms;
           idx_total := !idx_total +. idx_ms;
+          class_add cls base_ms idx_ms;
+          Obs.Metrics.add
+            (Printf.sprintf "bench.corpus.query.%s.speedup_x10" (slug label))
+            (int_of_float (base_ms /. idx_ms *. 10.));
           row "%-24s %-14.0f %-14.1f %-10.1f %-8b\n" label base_ms idx_ms
             (base_ms /. idx_ms) agree)
         queries;
       let speedup = !base_total /. !idx_total in
       let qps = float_of_int (List.length queries) /. (!idx_total /. 1000.) in
+      let class_speedup cls =
+        match Hashtbl.find_opt class_ms cls with
+        | Some (b, i) when i > 0. -> b /. i
+        | _ -> 0.
+      in
+      row "\nper class:\n";
+      List.iter
+        (fun cls ->
+          let s = class_speedup cls in
+          Obs.Metrics.add
+            (Printf.sprintf "bench.corpus.class.%s.speedup_x10" cls)
+            (int_of_float (s *. 10.));
+          row "  %-10s %.1fx\n" cls s)
+        [ "core"; "eq"; "filtered" ];
       row
         "\naggregate: %.1fx over reparse (%.1f vs %.1f queries/sec on %d \
          docs)\n"
@@ -1508,9 +1565,18 @@ let corpus_exp () =
       Obs.Metrics.add "bench.corpus.speedup_x10"
         (int_of_float (speedup *. 10.));
       Obs.Metrics.add "bench.corpus.queries_per_sec" (int_of_float qps);
+      (* eq pushdown proof: value postings seeded the class, and not a
+         single document was reparsed (the corpus has no error lines) *)
+      let eq_pure = !eq_value_hits > 0 && !eq_reparsed = 0 in
+      row "eq pushdown: %d value hits, %d reparses (%s)\n" !eq_value_hits
+        !eq_reparsed
+        (if eq_pure then "postings-only" else "BROKEN");
       row "corpus agreement: %s\n"
         (if !all_agree then "COMPLETE" else "BROKEN");
-      if (not !all_agree) || speedup < 10.0 then exit 1)
+      if
+        (not !all_agree) || (not eq_pure) || speedup < 10.0
+        || class_speedup "eq" < 50.0
+      then exit 1)
 
 (* ---- driver ----------------------------------------------------------------- *)
 

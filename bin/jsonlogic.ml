@@ -718,26 +718,42 @@ let index_build_cmd =
                    0..N-1; higher positions still confirm via the label \
                    column but cannot seed a postings-only query.")
   in
-  let run obs corpus output pos_cap =
+  let value_cap_arg =
+    Arg.(value & opt int Jindex.Layout.default_value_cap
+         & info [ "value-cap" ] ~docv:"N"
+             ~doc:"Keep a (label, value) postings list only when it has at \
+                   most N entries; longer lists are dropped (equality \
+                   queries on those values fall back to filtered reparse).")
+  in
+  let no_values_arg =
+    Arg.(value & flag
+         & info [ "no-values" ]
+             ~doc:"Skip the scalar-value table and value postings: smaller \
+                   index, but $(b,eq) queries always fall back to filtered \
+                   reparse.")
+  in
+  let run obs corpus output pos_cap value_cap no_values =
     wrap (fun () ->
         match
-          Jindex.Writer.build ~jobs:obs.jobs ~pos_cap
+          Jindex.Writer.build ~jobs:obs.jobs ~pos_cap ~value_cap ~no_values
             ~fresh_budget:obs.fresh_budget ~corpus ~output ()
         with
         | Error m -> failwith m
         | Ok s ->
           Printf.printf
             "indexed %d docs (%d parse errors), %d nodes, %d keys, %d \
-             postings\nwrote %s (%d bytes)\n"
+             postings, %d values, %d value postings (%d dropped)\n\
+             wrote %s (%d bytes)\n"
             s.Jindex.Writer.docs s.errors s.nodes s.keys
             (s.key_postings + s.pos_postings)
-            output s.bytes)
+            s.values s.value_postings s.value_dropped output s.bytes)
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:"Ingest an NDJSON corpus once and write the persistent \
              label-postings index")
-    Term.(const run $ obs_term $ corpus_pos $ output_arg $ pos_cap_arg)
+    Term.(const run $ obs_term $ corpus_pos $ output_arg $ pos_cap_arg
+          $ value_cap_arg $ no_values_arg)
 
 let index_query_cmd =
   let formula_arg =
@@ -815,7 +831,20 @@ let index_info_cmd =
         Printf.printf "keys: %d\n" (Jindex.Reader.nkeys r);
         Printf.printf "key postings: %d\n" (Jindex.Reader.key_entries r);
         Printf.printf "position postings: %d (lists: %d)\n"
-          (Jindex.Reader.pos_entries r) (Jindex.Reader.npos r))
+          (Jindex.Reader.pos_entries r) (Jindex.Reader.npos r);
+        if Jindex.Reader.has_values r then begin
+          Printf.printf "values: %d (%d bytes)\n"
+            (Jindex.Reader.nvals r) (Jindex.Reader.val_blob_len r);
+          Printf.printf
+            "value postings: %d (lists: %d, capped: %d, dropped entries: \
+             %d, cap: %d)\n"
+            (Jindex.Reader.val_entries r)
+            (Jindex.Reader.npairs r)
+            (Jindex.Reader.capped_pairs r)
+            (Jindex.Reader.val_dropped r)
+            (Jindex.Reader.value_cap r)
+        end
+        else Printf.printf "values: disabled (--no-values build)\n")
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print an index file's header summary")
@@ -931,6 +960,18 @@ let client_cmd =
                    'path:line<TAB>result' per document, byte-identical to \
                    $(b,jsonlogic validate --stream).")
   in
+  let index_arg =
+    Arg.(value & opt (some string) None
+         & info [ "index" ] ~docv:"FILE"
+             ~doc:"Query the corpus index at server path $(docv) (requires \
+                   --query); prints one 'line<TAB>verdict' per document, \
+                   byte-identical to $(b,jsonlogic index query).")
+  in
+  let query_arg =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~docv:"FORMULA"
+             ~doc:"The JNL formula an --index query answers.")
+  in
   let ping_f =
     Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe; prints 'pong'.")
   in
@@ -949,8 +990,8 @@ let client_cmd =
              ~doc:"Ask the daemon to stop (drains in-flight requests) after \
                    any other work this invocation does.")
   in
-  let run _obs socket tcp schema_file inline stream ping_f metrics_f flush_f
-      shutdown_f files =
+  let run _obs socket tcp schema_file inline stream index query ping_f
+      metrics_f flush_f shutdown_f files =
     wrap (fun () ->
         let endpoint = endpoint_of ~socket ~tcp in
         let c = Jserve.Client.connect endpoint in
@@ -962,6 +1003,12 @@ let client_cmd =
             if flush_f then ignore (unwrap (Jserve.Client.flush c));
             if metrics_f then
               print_endline (unwrap (Jserve.Client.metrics c));
+            (match (index, query) with
+            | Some idx, Some formula ->
+              print_string (unwrap (Jserve.Client.index_query c ~index:idx formula))
+            | Some _, None -> failwith "--index requires --query"
+            | None, Some _ -> failwith "--query requires --index"
+            | None, None -> ());
             (match schema_file with
             | None -> ()
             | Some sf ->
@@ -1012,7 +1059,8 @@ let client_cmd =
        ~doc:"Talk to a running validation daemon: register schemas, validate \
              documents, read counters, or shut it down")
     Term.(const run $ obs_term $ socket_arg $ tcp_arg $ schema_arg $ inline
-          $ stream $ ping_f $ metrics_f $ flush_f $ shutdown_f $ input_arg)
+          $ stream $ index_arg $ query_arg $ ping_f $ metrics_f $ flush_f
+          $ shutdown_f $ input_arg)
 
 let () =
   let doc = "JSON data model, query logics and schema tools (Bourhis et al., PODS'17)" in

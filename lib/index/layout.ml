@@ -4,10 +4,15 @@
    module, and the fault-injection tests use the field offsets to
    corrupt files surgically. *)
 
-let magic = "JLIXIDX1"
-let version = 1
+let magic = "JLIXIDX2"
+let magic_prefix = "JLIXIDX"
+let version = 2
 let default_pos_cap = 1024
+let default_value_cap = 65536
 let doc_entry_bytes = 32
+
+(* header flag bits *)
+let flag_no_values = 1
 
 module Field = struct
   let version = 8
@@ -30,11 +35,32 @@ module Field = struct
   let pos_pidx = 136
   let pos_post = 144
   let corpus_path = 152
-  let body_checksum = 160
-  let header_checksum = 168
+  (* v2: the scalar-value table and (label, value) postings *)
+  let flags = 160
+  let value_cap = 164
+  let nvals = 168
+  let npairs = 176
+  let val_entries = 184
+  let val_dropped = 192
+  let valtab_idx = 200
+  let valtab_blob = 208
+  let valtab_blob_len = 216
+  let pair_table = 224
+  let pair_pidx = 232
+  let val_post = 240
+  let body_checksum = 248
+  let header_checksum = 256
 end
 
-let header_bytes = 176
+let header_bytes = 264
+
+(* Scalar values are keyed in the sorted value table by a canonical
+   encoding: one kind byte ('s' string, 'n' natural) followed by the
+   payload.  Numbers use the canonical decimal rendering of the model
+   natural, so every source notation that parses to the same natural
+   ([1], [1.0], [1e0] under lenient narrowing) shares one value id. *)
+let encode_str s = "s" ^ s
+let encode_num n = "n" ^ string_of_int n
 
 (* Edge labels: one i32 per node.  Key edges carry the global key id,
    position edges the position, the root a sentinel.  The low bit

@@ -1,12 +1,14 @@
-(** On-disk layout of the persistent corpus index (format [JLIXIDX1]).
+(** On-disk layout of the persistent corpus index (format [JLIXIDX2]).
 
     One index file describes one NDJSON corpus: a string table of the
     distinct object keys, label → postings lists over (document,
-    node) pairs for key edges and for small array positions, and a
-    per-document table (byte offset/length in the corpus, node count,
-    node base) — everything the query planner needs to answer
-    navigational queries without reparsing, plus the byte offsets to
-    reparse exactly the surviving documents for general predicates.
+    node) pairs for key edges and for small array positions, a sorted
+    scalar-value table with per-(leaf-label, value-id) postings (the
+    [eq]-pushdown seeds), and a per-document table (byte offset/length
+    in the corpus, node count, node base) — everything the query
+    planner needs to answer navigational queries and rooted scalar
+    equalities without reparsing, plus the byte offsets to reparse
+    exactly the surviving documents for general predicates.
 
     Every integer is little-endian and every section is padded to an
     8-byte boundary, so the file can be memory-mapped and walked with
@@ -15,7 +17,12 @@
     rejected at open instead of surfacing as garbage answers. *)
 
 val magic : string
-(** ["JLIXIDX1"], the first 8 bytes of every index file. *)
+(** ["JLIXIDX2"], the first 8 bytes of every index file. *)
+
+val magic_prefix : string
+(** ["JLIXIDX"] — shared by every format version; a file carrying the
+    prefix but another version digit is refused with a versioned
+    error, not "bad magic". *)
 
 val version : int
 (** Current format version, stored at offset 8. *)
@@ -29,8 +36,28 @@ val default_pos_cap : int
     in the per-node label column but cannot seed a postings-only
     query. *)
 
+val default_value_cap : int
+(** Ceiling on one (label, value) postings list: lists longer than
+    this are dropped at build time (the pair keeps an empty range, so
+    queries on it fall back to the filtered plan instead of reading a
+    barely-selective seed set). *)
+
+val flag_no_values : int
+(** Header flag bit: the value table and value postings were skipped
+    ([--no-values]); absence of a value proves nothing. *)
+
 val doc_entry_bytes : int
 (** Size of one document-table entry. *)
+
+(** {1 Scalar-value encoding}
+
+    The value table stores each distinct scalar once, keyed by a kind
+    byte plus a canonical payload; numbers render as canonical decimal
+    of the model natural, so [1], [1.0] and [1e0] (wherever a notation
+    parses at all) map to one value id. *)
+
+val encode_str : string -> string
+val encode_num : int -> string
 
 (** Field offsets inside the header, for the writer and reader (and
     the fault-injection tests, which corrupt them surgically). *)
@@ -55,6 +82,18 @@ module Field : sig
   val pos_pidx : int
   val pos_post : int
   val corpus_path : int
+  val flags : int
+  val value_cap : int
+  val nvals : int
+  val npairs : int
+  val val_entries : int
+  val val_dropped : int
+  val valtab_idx : int
+  val valtab_blob : int
+  val valtab_blob_len : int
+  val pair_table : int
+  val pair_pidx : int
+  val val_post : int
   val body_checksum : int
   val header_checksum : int
 end

@@ -2,11 +2,14 @@
 
    The split mirrors the paper's fragment structure: the
    deterministic navigational core (Self/Key/Idx compositions under
-   Exists and boolean connectives) is decided entirely from postings —
-   seed at the last step's label bucket, confirm by walking the stored
-   parent chain — while anything richer (filters, equalities, stars,
-   regex keys, negative indices) falls back to reparsing only the
-   documents a sound required-label prefilter cannot rule out.  Both
+   Exists and boolean connectives, plus Eq_doc against a scalar
+   constant — seeded from the (leaf-label, value) postings) is decided
+   entirely from postings — seed at the last step's bucket, confirm by
+   walking the stored parent chain — while anything richer (filters,
+   structured equalities, stars, regex keys, negative indices) falls
+   back to reparsing only the documents a sound prefilter cannot rule
+   out.  Intersections are ordered by postings length (most selective
+   first) so an empty intermediate set short-circuits the rest.  Both
    plans produce verdicts identical to running the in-memory evaluator
    on every line. *)
 
@@ -26,11 +29,15 @@ type step = SK of int  (* global key id *) | SP of int  (* array position *)
 
 type cform =
   | CTrue
-  | CFalse  (* a path names a key the whole corpus lacks *)
+  | CFalse  (* a path names a key (or scalar value) the corpus lacks *)
   | CNot of cform
   | CAnd of cform * cform
   | COr of cform * cform
   | CExists of step list
+  | CEq of step list * int * int
+      (* a rooted core chain ending in a scalar comparison: seeds are
+         the [start, stop) slice of the value postings for (last-step
+         label, value id); the same upward walk confirms the chain *)
 
 exception Not_core
 
@@ -54,6 +61,40 @@ let rec chain_of r = function
   | Jnl.Alt _ ->
     raise Not_core
 
+let step_label = function
+  | SK k -> Layout.label_key k
+  | SP p -> Layout.label_pos p
+
+(* The canonical value-table key of a scalar constant; non-scalar
+   constants (objects, arrays) have no value postings. *)
+let scalar_key = function
+  | Jsont.Value.Str s -> Some (Layout.encode_str s)
+  | Jsont.Value.Num n -> Some (Layout.encode_num n)
+  | Jsont.Value.Obj _ | Jsont.Value.Arr _ -> None
+
+(* The postings slice seeding [Eq_doc (chain, v)]: the pair bucket of
+   the chain's last edge label (the root label for the empty chain —
+   bare scalar documents) and [v]'s value id.  [None] = no such leaf
+   anywhere (the equality is false at every root); raises [Not_core]
+   when the pushdown cannot run (values disabled, or the pair's list
+   was capped at build time). *)
+let eq_slice r steps enc =
+  if not (Reader.has_values r) then raise Not_core;
+  let label =
+    match List.rev steps with
+    | [] -> Layout.label_root
+    | s :: _ -> step_label s
+  in
+  match Reader.value_id r enc with
+  | None -> None
+  | Some vid -> (
+    match Reader.pair_lookup r ~label ~vid with
+    | None -> None
+    | Some pid ->
+      let start, stop = Reader.pair_range r pid in
+      if start = stop then raise Not_core (* capped: seeds were dropped *)
+      else Some (start, stop))
+
 let rec compile r = function
   | Jnl.True -> CTrue
   | Jnl.Not f -> CNot (compile r f)
@@ -70,11 +111,17 @@ let rec compile r = function
       (match List.rev steps with
       | SP p :: _ when p >= Reader.npos r -> raise Not_core
       | _ -> CExists steps))
-  | Jnl.Eq_doc _ | Jnl.Eq_paths _ -> raise Not_core
-
-let step_label = function
-  | SK k -> Layout.label_key k
-  | SP p -> Layout.label_pos p
+  | Jnl.Eq_doc (alpha, v) -> (
+    match scalar_key v with
+    | None -> raise Not_core
+    | Some enc -> (
+      match chain_of r alpha with
+      | Dead -> CFalse
+      | Steps steps -> (
+        match eq_slice r steps enc with
+        | None -> CFalse
+        | Some (start, stop) -> CEq (steps, start, stop))))
+  | Jnl.Eq_paths _ -> raise Not_core
 
 (* Confirm one posting: the node's upward parent chain must spell the
    step labels in reverse and land exactly on the root. *)
@@ -88,15 +135,16 @@ let confirm r ~doc ~node rev_steps =
   in
   go node rev_steps
 
+let chain_slice r steps =
+  match List.rev steps with
+  | SK k :: _ -> Reader.key_range r k
+  | SP p :: _ -> Reader.pos_range r p
+  | [] -> (0, 0)
+
 let exists_docs r budget steps =
   let set = Bitset.create (Reader.ndocs r) in
   let rev_steps = List.rev steps in
-  let start, stop =
-    match rev_steps with
-    | SK k :: _ -> Reader.key_range r k
-    | SP p :: _ -> Reader.pos_range r p
-    | [] -> (0, 0)
-  in
+  let start, stop = chain_slice r steps in
   let entry =
     match rev_steps with
     | SP _ :: _ -> Reader.pos_entry r
@@ -113,19 +161,76 @@ let exists_docs r budget steps =
   done;
   set
 
+(* [Eq_doc] pushdown: every seed is already a scalar leaf holding the
+   compared value under the chain's last label; the same upward walk
+   that decides [Exists] confirms the rest of the chain.  No document
+   is touched. *)
+let eq_docs r budget steps (start, stop) =
+  let set = Bitset.create (Reader.ndocs r) in
+  let rev_steps = List.rev steps in
+  Obs.Metrics.add "index.query.value_hits" (stop - start);
+  for i = start to stop - 1 do
+    Obs.Budget.burn budget 1;
+    let doc, node = Reader.val_entry r i in
+    if not (Bitset.mem set doc) && confirm r ~doc ~node rev_steps then
+      Bitset.add set doc
+  done;
+  set
+
+(* ---- the selectivity planner ------------------------------------------------ *)
+
+(* Upper bound on the postings work (and the result cardinality) of
+   one compiled subformula — the cost model the planner orders
+   intersections by.  Negations and [True] cost nothing to evaluate
+   but constrain nothing either, so they rank as the full corpus. *)
+let rec estimate r = function
+  | CTrue | CNot _ -> Reader.ndocs r
+  | CFalse -> 0
+  | CAnd (a, b) -> min (estimate r a) (estimate r b)
+  | COr (a, b) -> min (Reader.ndocs r) (estimate r a + estimate r b)
+  | CExists steps ->
+    let start, stop = chain_slice r steps in
+    stop - start
+  | CEq (_, start, stop) -> stop - start
+
+(* Flattened conjunction, original (syntactic) order preserved. *)
+let rec conjuncts acc = function
+  | CAnd (a, b) -> conjuncts (conjuncts acc b) a
+  | f -> f :: acc
+
+(* Order a list by an integer estimate, cheapest first; count a
+   reorder when the planner actually changed the evaluation order. *)
+let rank ~est parts =
+  let ranked =
+    List.stable_sort (fun a b -> Int.compare (est a) (est b)) parts
+  in
+  if not (List.for_all2 (fun a b -> a == b) parts ranked) then
+    Obs.Metrics.incr "index.plan.reorders";
+  ranked
+
 let rec eval_cform r budget = function
   | CTrue -> Bitset.full (Reader.ndocs r)
   | CFalse -> Bitset.create (Reader.ndocs r)
   | CNot f -> Bitset.complement (eval_cform r budget f)
-  | CAnd (a, b) ->
-    let sa = eval_cform r budget a in
-    ignore (Bitset.inter_into (eval_cform r budget b) ~into:sa);
-    sa
+  | CAnd _ as f ->
+    (* most selective conjunct first; an empty running intersection
+       short-circuits the remaining (more expensive) seed scans *)
+    (match rank ~est:(estimate r) (conjuncts [] f) with
+    | [] -> assert false (* conjuncts of a CAnd is never empty *)
+    | first :: rest ->
+      let acc = eval_cform r budget first in
+      List.iter
+        (fun g ->
+          if not (Bitset.is_empty acc) then
+            ignore (Bitset.inter_into (eval_cform r budget g) ~into:acc))
+        rest;
+      acc)
   | COr (a, b) ->
     let sa = eval_cform r budget a in
     ignore (Bitset.union_into (eval_cform r budget b) ~into:sa);
     sa
   | CExists steps -> exists_docs r budget steps
+  | CEq (steps, start, stop) -> eq_docs r budget steps (start, stop)
 
 (* ---- the required-label prefilter ----------------------------------------- *)
 
@@ -187,12 +292,16 @@ and req_value v =
    against the postings (the same parent-walk the postings-only plan
    uses) is a far sharper prefilter than key presence: a document
    mentioning "first" somewhere is not a document whose root has
-   [.name.first]. *)
-type rooted = RDead | RChain of step list
+   [.name.first].  An [Eq_doc] whose path is entirely core sharpens
+   further: its candidates come straight off the value postings. *)
+type rooted = RDead | RChain of step list | REq of step list * int * int
 
+(* maximal leading core prefix; [complete] when the whole path was
+   consumed (nothing non-core follows, so an equality at its end can
+   seed from value postings) *)
 let rooted_prefix r alpha =
   let rec go acc = function
-    | [] -> RChain (List.rev acc)
+    | [] -> Some (List.rev acc, true)
     | p :: rest -> (
       match p with
       | Jnl.Self | Jnl.Test _ -> go acc rest
@@ -200,19 +309,40 @@ let rooted_prefix r alpha =
       | Jnl.Key w -> (
         match Reader.key_id r w with
         | Some k -> go (SK k :: acc) rest
-        | None -> RDead)
+        | None -> None)
       | Jnl.Idx i when i >= 0 -> go (SP i :: acc) rest
       | Jnl.Idx _ | Jnl.Keys _ | Jnl.Range _ | Jnl.Star _ | Jnl.Alt _ ->
-        RChain (List.rev acc))
+        Some (List.rev acc, false))
   in
   go [] [ alpha ]
+
+let rooted_chain r alpha =
+  match rooted_prefix r alpha with
+  | None -> RDead
+  | Some (steps, _) -> RChain steps
+
+(* [Test] inside a path can hide equalities, but only the outermost
+   path's own completeness matters here, so Eq_doc handles its value
+   seeding locally. *)
+let rooted_eq r alpha v =
+  match rooted_prefix r alpha with
+  | None -> RDead
+  | Some (steps, complete) -> (
+    match if complete then scalar_key v else None with
+    | None -> RChain steps
+    | Some enc -> (
+      match eq_slice r steps enc with
+      | None -> RDead (* no leaf anywhere equals the constant *)
+      | Some (start, stop) -> REq (steps, start, stop)
+      | exception Not_core -> RChain steps))
 
 let rec root_chains r = function
   | Jnl.True | Jnl.Not _ | Jnl.Or _ -> []
   | Jnl.And (a, b) -> root_chains r a @ root_chains r b
-  | Jnl.Exists alpha | Jnl.Eq_doc (alpha, _) -> [ rooted_prefix r alpha ]
+  | Jnl.Exists alpha -> [ rooted_chain r alpha ]
+  | Jnl.Eq_doc (alpha, v) -> [ rooted_eq r alpha v ]
   | Jnl.Eq_paths (alpha, beta) ->
-    [ rooted_prefix r alpha; rooted_prefix r beta ]
+    [ rooted_chain r alpha; rooted_chain r beta ]
 
 (* a chain seeds from its last step's postings list; positions past
    the materialized lists just shorten the confirmed prefix *)
@@ -222,7 +352,8 @@ let rec seedable r steps =
     seedable r (List.rev rev_rest)
   | _ -> steps
 
-(* Documents containing one label, straight off the postings list. *)
+(* Documents containing one label, as (estimate, build) — the planner
+   intersects the cheapest lists first. *)
 let docs_with_label r budget lab =
   let range =
     match lab with
@@ -233,49 +364,71 @@ let docs_with_label r budget lab =
   match range with
   | None -> (
     match lab with
-    | Lab.LK _ -> Some (Bitset.create (Reader.ndocs r)) (* key nowhere: no candidates *)
+    | Lab.LK _ ->
+      (* key nowhere: no candidates *)
+      Some (0, fun () -> Bitset.create (Reader.ndocs r))
     | Lab.LP _ -> None (* no materialized list: requirement unusable *))
   | Some ((start, stop), which) ->
     let entry =
       match which with `K -> Reader.key_entry r | `P -> Reader.pos_entry r
     in
-    let set = Bitset.create (Reader.ndocs r) in
-    for i = start to stop - 1 do
-      Obs.Budget.burn budget 1;
-      let doc, _ = entry i in
-      Bitset.add set doc
-    done;
-    Some set
+    let build () =
+      let set = Bitset.create (Reader.ndocs r) in
+      for i = start to stop - 1 do
+        Obs.Budget.burn budget 1;
+        let doc, _ = entry i in
+        Bitset.add set doc
+      done;
+      set
+    in
+    Some (stop - start, build)
+
+(* One pruning set the candidate plan may intersect: its postings
+   length (the cost AND a cardinality bound) plus its builder. *)
+type pruner = { est : int; build : unit -> Bitset.t }
 
 let candidates r budget phi =
   let chains = root_chains r phi in
   if List.mem RDead chains then
-    (* a mandatory rooted path names a key the whole corpus lacks *)
+    (* a mandatory rooted path names a key (or compares a scalar) the
+       whole corpus lacks *)
     Bitset.create (Reader.ndocs r)
   else begin
-    let set = Bitset.full (Reader.ndocs r) in
-    let narrowed = ref false in
-    List.iter
-      (function
-        | RDead -> ()
-        | RChain steps -> (
-          match seedable r steps with
-          | [] -> ()
-          | steps ->
-            narrowed := true;
-            ignore (Bitset.inter_into (exists_docs r budget steps) ~into:set)))
-      chains;
-    let req = req_form phi in
-    LabSet.iter
-      (fun lab ->
-        match docs_with_label r budget lab with
-        | Some docs ->
-          narrowed := true;
-          ignore (Bitset.inter_into docs ~into:set)
-        | None -> ())
-      req;
-    if not !narrowed then Obs.Metrics.incr "index.query.full_scan";
-    set
+    let of_chain = function
+      | RDead -> None
+      | RChain steps -> (
+        match seedable r steps with
+        | [] -> None
+        | steps ->
+          let start, stop = chain_slice r steps in
+          Some { est = stop - start;
+                 build = (fun () -> exists_docs r budget steps) })
+      | REq (steps, start, stop) ->
+        Some { est = stop - start;
+               build = (fun () -> eq_docs r budget steps (start, stop)) }
+    in
+    let pruners =
+      List.filter_map of_chain chains
+      @ List.filter_map
+          (fun lab ->
+            match docs_with_label r budget lab with
+            | Some (est, build) -> Some { est; build }
+            | None -> None)
+          (LabSet.elements (req_form phi))
+    in
+    match rank ~est:(fun p -> p.est) pruners with
+    | [] ->
+      Obs.Metrics.incr "index.query.full_scan";
+      Bitset.full (Reader.ndocs r)
+    | first :: rest ->
+      (* cheapest pruner first; an empty intersection skips the rest *)
+      let set = first.build () in
+      List.iter
+        (fun p ->
+          if not (Bitset.is_empty set) then
+            ignore (Bitset.inter_into (p.build ()) ~into:set))
+        rest;
+      set
   end
 
 (* ---- document reparse (the baseline computation, per doc) ----------------- *)

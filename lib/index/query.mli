@@ -10,20 +10,37 @@
 
     - {b postings-only} — boolean combinations of [Exists] over
       navigational-core paths (chains of [Self]/[.key]/[\[i\]] with
-      [i >= 0]): each chain seeds from its last step's postings list
-      and is confirmed by walking the stored parent/label columns
-      upward to the root; per-chain document sets combine with
-      {!Jlogic.Bitset} operations.  No document is reparsed (parse
-      errors excepted, to reproduce their messages).
+      [i >= 0]) and of [eq(alpha, scalar)] with a core [alpha]: an
+      existence chain seeds from its last step's postings list, an
+      equality seeds from the (leaf-label, value-id) value postings of
+      its chain's last label and the scalar's canonical encoding
+      ({!Layout.encode_str} / {!Layout.encode_num}); either way the
+      stored parent/label columns confirm the chain upward to the
+      root, and per-chain document sets combine with {!Jlogic.Bitset}
+      operations.  No document is reparsed (parse errors excepted, to
+      reproduce their messages).  A scalar absent from the value table
+      — or a (label, value) pair absent from the pair table — decides
+      the equality [false] everywhere; a {e capped} pair (its postings
+      were dropped at build time) falls back to the filtered plan, as
+      does any index built with [--no-values].
     - {b prefilter + reparse} — everything else: a sound
       required-label analysis intersects key/position postings into a
-      candidate set ({!Jlogic.Bitset.inter_into}); only candidates are
+      candidate set ({!Jlogic.Bitset.inter_into}), sharpened by rooted
+      core prefixes of mandatory paths and by value postings when a
+      mandatory equality's path is entirely core; only candidates are
       reparsed (via their stored byte offsets) and evaluated exactly
       like the baseline; non-candidates are [false] by soundness.
 
+    Both plans order their intersections with a small cost model —
+    each conjunct (or pruning set) is ranked by its postings-slice
+    length, cheapest first, and an empty running intersection
+    short-circuits the remaining scans.  [index.plan.reorders] counts
+    the plans where ranking actually changed the syntactic order.
+
     Counters: [index.query.postings_only], [index.query.filtered],
     [index.query.full_scan], [index.query.seeds],
-    [index.query.candidates], [index.query.reparsed]; span
+    [index.query.value_hits], [index.query.candidates],
+    [index.query.reparsed], [index.plan.reorders]; span
     [index.query]. *)
 
 type verdict = True | False | Error of string

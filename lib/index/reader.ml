@@ -20,6 +20,12 @@ type t = {
   pos_entries : int;
   corpus_len : int;
   corpus_path : string;
+  has_values : bool;
+  value_cap : int;
+  nvals : int;
+  npairs : int;
+  val_entries : int;
+  val_dropped : int;
   o_doc : int;
   o_par : int;
   o_lab : int;
@@ -30,6 +36,12 @@ type t = {
   o_kpost : int;
   o_ppidx : int;
   o_ppost : int;
+  o_vidx : int;
+  o_vblob : int;
+  vblob_len : int;
+  o_pair : int;
+  o_prpidx : int;
+  o_vpost : int;
 }
 
 let path t = t.path
@@ -42,6 +54,13 @@ let key_entries t = t.key_entries
 let pos_entries t = t.pos_entries
 let corpus_path t = t.corpus_path
 let corpus_len t = t.corpus_len
+let has_values t = t.has_values
+let value_cap t = t.value_cap
+let nvals t = t.nvals
+let npairs t = t.npairs
+let val_entries t = t.val_entries
+let val_dropped t = t.val_dropped
+let val_blob_len t = t.vblob_len
 let close _ = ()
 
 (* a generous ceiling on any count or offset: large enough for any
@@ -65,10 +84,19 @@ let open_ ?(verify_body = true) path =
           in
           let u64 = Layout.get_u64_ba buf in
           let module F = Layout.Field in
-          if Layout.string_ba buf 0 8 <> Layout.magic then
+          let m8 = Layout.string_ba buf 0 8 in
+          if String.sub m8 0 7 <> Layout.magic_prefix then
             err "bad magic (not a corpus index file)"
+          else if m8 <> Layout.magic then
+            (* the version check runs before the header checksum: older
+               headers place their fields elsewhere, so nothing beyond
+               the magic/version words can be trusted *)
+            err "unsupported index version %c (this build reads version %d; \
+                 rebuild with 'index build')"
+              m8.[7] Layout.version
           else if Layout.get_u32_ba buf F.version <> Layout.version then
-            err "unsupported index version %d (this build reads version %d)"
+            err "unsupported index version %d (this build reads version %d; \
+                 rebuild with 'index build')"
               (Layout.get_u32_ba buf F.version) Layout.version
           else if
             Layout.checksum_ba Layout.checksum_init buf 0 F.header_checksum
@@ -87,11 +115,20 @@ let open_ ?(verify_body = true) path =
             let corpus_len = u64 F.corpus_len in
             let npos = Layout.get_u32_ba buf F.pos_cap in
             let blob_len = u64 F.strtab_blob_len in
+            let flags = Layout.get_u32_ba buf F.flags in
+            let value_cap = Layout.get_u32_ba buf F.value_cap in
+            let nvals = u64 F.nvals and npairs = u64 F.npairs in
+            let val_entries = u64 F.val_entries in
+            let val_dropped = u64 F.val_dropped in
+            let vblob_len = u64 F.valtab_blob_len in
             let counts =
               [ ("documents", ndocs); ("nodes", nnodes); ("keys", nkeys);
                 ("key postings", key_entries); ("position postings", pos_entries);
                 ("corpus bytes", corpus_len); ("position lists", npos);
-                ("string bytes", blob_len) ]
+                ("string bytes", blob_len); ("values", nvals);
+                ("value pairs", npairs); ("value postings", val_entries);
+                ("dropped value postings", val_dropped);
+                ("value bytes", vblob_len) ]
             in
             match
               List.find_opt (fun (_, v) -> v < 0 || v > sane) counts
@@ -99,11 +136,17 @@ let open_ ?(verify_body = true) path =
             | Some (what, v) ->
               err "header at %d: oversized %s count %d" F.ndocs what v
             | None ->
+            if flags land lnot Layout.flag_no_values <> 0 then
+              err "header at %d: unknown flag bits %#x" F.flags flags
+            else
               let o_doc = u64 F.doc_table and o_par = u64 F.parents in
               let o_lab = u64 F.labels and o_sidx = u64 F.strtab_idx in
               let o_blob = u64 F.strtab_blob and o_kpidx = u64 F.key_pidx in
               let o_kpost = u64 F.key_post and o_ppidx = u64 F.pos_pidx in
               let o_ppost = u64 F.pos_post and o_cpath = u64 F.corpus_path in
+              let o_vidx = u64 F.valtab_idx and o_vblob = u64 F.valtab_blob in
+              let o_pair = u64 F.pair_table and o_prpidx = u64 F.pair_pidx in
+              let o_vpost = u64 F.val_post in
               let sections =
                 [ ("document table", o_doc, ndocs * Layout.doc_entry_bytes);
                   ("parent column", o_par, Layout.pad8 (nnodes * 4));
@@ -114,6 +157,11 @@ let open_ ?(verify_body = true) path =
                   ("key postings", o_kpost, key_entries * 8);
                   ("position postings index", o_ppidx, (npos + 1) * 8);
                   ("position postings", o_ppost, pos_entries * 8);
+                  ("value index", o_vidx, (nvals + 1) * 8);
+                  ("value blob", o_vblob, Layout.pad8 vblob_len);
+                  ("pair table", o_pair, npairs * 8);
+                  ("pair postings index", o_prpidx, (npairs + 1) * 8);
+                  ("value postings", o_vpost, val_entries * 8);
                   ("corpus path", o_cpath, 4) ]
               in
               let bad_section =
@@ -152,14 +200,44 @@ let open_ ?(verify_body = true) path =
                       table "key postings index" o_kpidx nkeys key_entries
                     with
                     | Some _ as s -> s
-                    | None ->
-                      table "position postings index" o_ppidx npos pos_entries)
+                    | None -> (
+                      match
+                        table "position postings index" o_ppidx npos
+                          pos_entries
+                      with
+                      | Some _ as s -> s
+                      | None -> (
+                        match table "value index" o_vidx nvals vblob_len with
+                        | Some _ as s -> s
+                        | None ->
+                          table "pair postings index" o_prpidx npairs
+                            val_entries)))
                 in
                 match bad_table with
                 | Some (what, i, v) ->
                   err "%s entry %d holds %d: not monotonic or out of range"
                     what i v
                 | None ->
+                  (* pair table: strictly sorted by (label, value id) —
+                     the binary search depends on it — and every value
+                     id inside the value table *)
+                  let bad_pair = ref None in
+                  let plab = ref min_int and pvid = ref (-1) in
+                  for i = 0 to npairs - 1 do
+                    let lab = Layout.get_i32_ba buf (o_pair + (i * 8)) in
+                    let vid = Layout.get_u32_ba buf (o_pair + (i * 8) + 4) in
+                    if
+                      !bad_pair = None
+                      && (vid >= nvals
+                         || lab < !plab
+                         || (lab = !plab && vid <= !pvid))
+                    then bad_pair := Some i;
+                    plab := lab;
+                    pvid := vid
+                  done;
+                  match !bad_pair with
+                  | Some i -> err "pair table entry %d is not sorted or names a value out of range" i
+                  | None ->
                   (* document table: node ranges tile [0, nnodes),
                      byte ranges stay inside the corpus *)
                   let bad_doc = ref None in
@@ -197,8 +275,12 @@ let open_ ?(verify_body = true) path =
                         Ok
                           { path; buf; size; ndocs; nnodes; nkeys; npos;
                             key_entries; pos_entries; corpus_len; corpus_path;
+                            has_values = flags land Layout.flag_no_values = 0;
+                            value_cap; nvals; npairs; val_entries; val_dropped;
                             o_doc; o_par; o_lab; o_sidx; o_blob; blob_len;
-                            o_kpidx; o_kpost; o_ppidx; o_ppost }
+                            o_kpidx; o_kpost; o_ppidx; o_ppost;
+                            o_vidx; o_vblob; vblob_len; o_pair; o_prpidx;
+                            o_vpost }
                     end))
           end)
   with
@@ -274,6 +356,56 @@ let key_entry t i =
 
 let pos_entry t i =
   entry t ~what:"position" ~post:t.o_ppost ~entries:t.pos_entries i
+
+(* ---- value table and (label, value) postings ------------------------------- *)
+
+let val_name t v =
+  if v < 0 || v >= t.nvals then
+    corrupt "value id %d out of range (table holds %d)" v t.nvals;
+  let off = Layout.get_u64_ba t.buf (t.o_vidx + (v * 8)) in
+  let stop = Layout.get_u64_ba t.buf (t.o_vidx + ((v + 1) * 8)) in
+  Layout.string_ba t.buf (t.o_vblob + off) (stop - off)
+
+let value_id t enc =
+  let lo = ref 0 and hi = ref (t.nvals - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare enc (val_name t mid) in
+    if c = 0 then found := Some mid
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+let pair_key t i =
+  let lab = Layout.get_i32_ba t.buf (t.o_pair + (i * 8)) in
+  let vid = Layout.get_u32_ba t.buf (t.o_pair + (i * 8) + 4) in
+  (lab, vid)
+
+let pair_lookup t ~label ~vid =
+  let lo = ref 0 and hi = ref (t.npairs - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = compare (label, vid) (pair_key t mid) in
+    if c = 0 then found := Some mid
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+let pair_range t p =
+  range t ~what:"pair" ~idx:t.o_prpidx ~n:t.npairs ~entries:t.val_entries p
+
+let val_entry t i =
+  entry t ~what:"value" ~post:t.o_vpost ~entries:t.val_entries i
+
+let capped_pairs t =
+  let n = ref 0 in
+  for p = 0 to t.npairs - 1 do
+    let start, stop = pair_range t p in
+    if start = stop then incr n
+  done;
+  !n
 
 (* ---- structure columns ----------------------------------------------------- *)
 

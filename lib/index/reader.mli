@@ -22,7 +22,11 @@ type t
 val open_ : ?verify_body:bool -> string -> (t, string) result
 (** [open_ path] maps and validates [path].  [verify_body] (default
     [true]) additionally checksums the whole body — one sequential
-    pass; disable it to pay only O(header + tables) at open. *)
+    pass; disable it to pay only O(header + tables) at open.  A file
+    carrying an earlier format version (e.g. the v1 magic
+    ["JLIXIDX1"]) is refused with a positioned "unsupported index
+    version" error naming the version found and the one this build
+    reads. *)
 
 val close : t -> unit
 (** Drop the mapping eagerly (also dropped by the GC). *)
@@ -41,6 +45,31 @@ val key_entries : t -> int
 val pos_entries : t -> int
 val corpus_path : t -> string
 val corpus_len : t -> int
+
+val has_values : t -> bool
+(** Were the scalar-value table and value postings built?  [false]
+    for a [--no-values] index: value absence then proves nothing and
+    the [eq] pushdown is unavailable. *)
+
+val value_cap : t -> int
+(** The per-(label, value) postings ceiling the build used. *)
+
+val nvals : t -> int
+(** Distinct scalar values in the value table. *)
+
+val npairs : t -> int
+(** Distinct (leaf-label, value-id) postings lists (capped ones
+    included, with an empty range). *)
+
+val val_entries : t -> int
+(** Entries across all value postings lists. *)
+
+val val_dropped : t -> int
+(** Postings entries the build dropped because their pair exceeded
+    {!value_cap}. *)
+
+val val_blob_len : t -> int
+(** Bytes of the encoded value blob. *)
 
 (** {1 Document table} *)
 
@@ -76,6 +105,37 @@ val key_entry : t -> int -> int * int
     id is validated against the document table. *)
 
 val pos_entry : t -> int -> int * int
+
+(** {1 Value table and (label, value) postings}
+
+    Scalars are keyed by their canonical {!Layout.encode_str} /
+    {!Layout.encode_num} encoding.  A pair present in the table with
+    an {e empty} range was capped at build time ([value_cap]); a pair
+    {e absent} from the table occurs nowhere in the corpus — the
+    distinction is what lets the query planner conclude [false] from
+    absence while falling back on capped lists. *)
+
+val value_id : t -> string -> int option
+(** Binary search of the sorted value table by encoded scalar. *)
+
+val val_name : t -> int -> string
+(** The encoded scalar of one value id. *)
+
+val pair_lookup : t -> label:int -> vid:int -> int option
+(** Binary search of the pair table by ({!Layout} edge-label word,
+    value id); [Some pid] indexes {!pair_range}. *)
+
+val pair_range : t -> int -> int * int
+(** Entry-index interval of one pair's value postings ([start = stop]
+    for a capped pair). *)
+
+val val_entry : t -> int -> int * int
+(** [(doc, node)] of one value postings entry; the node is a scalar
+    leaf reached by the pair's label and holding the pair's value. *)
+
+val capped_pairs : t -> int
+(** How many pairs were capped (one O(npairs) sweep — [index info]
+    material, not a query-path accessor). *)
 
 (** {1 Structure columns} *)
 

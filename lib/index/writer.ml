@@ -15,12 +15,17 @@ type stats = {
   keys : int;
   key_postings : int;
   pos_postings : int;
+  values : int;
+  value_pairs : int;
+  value_postings : int;
+  value_dropped : int;
   bytes : int;
 }
 
 (* One parsed document, reduced to what the index stores.  [labels]
    uses a doc-local key numbering ([lkeys]) remapped to the global
-   sorted table during assembly. *)
+   sorted table during assembly; [vals] likewise uses a doc-local
+   scalar-value numbering ([lvals], canonically encoded). *)
 type draw = {
   lineno : int;
   off : int;
@@ -28,23 +33,46 @@ type draw = {
   parents : int array;  (* local parent id, -1 for the root *)
   labels : int array;  (* local encoding: key k -> k lsl 1, pos p -> p lsl 1 or 1 *)
   lkeys : string array;
+  vals : int array;  (* local value id of each scalar leaf, -1 elsewhere *)
+  lvals : string array;
   err : bool;
 }
 
-let parse_doc ~fresh_budget ~lineno ~off text =
+let parse_doc ~fresh_budget ~values ~lineno ~off text =
   let len = String.length text in
-  let failed = { lineno; off; len; parents = [||]; labels = [||]; lkeys = [||]; err = true } in
+  let failed =
+    { lineno; off; len; parents = [||]; labels = [||]; lkeys = [||];
+      vals = [||]; lvals = [||]; err = true }
+  in
   match Jsont.Tree.of_string ~budget:(fresh_budget ()) text with
   | Error _ -> failed
   | Ok t ->
     let n = Jsont.Tree.node_count t in
     let parents = Array.make n (-1) in
     let labels = Array.make n (-1) in
+    let vals = Array.make (if values then n else 0) (-1) in
     let ktab = Hashtbl.create 16 in
     let klist = ref [] in
     let nkeys = ref 0 in
+    let vtab = Hashtbl.create 16 in
+    let vlist = ref [] in
+    let nvals = ref 0 in
+    let scalar i enc =
+      match Hashtbl.find_opt vtab enc with
+      | Some v -> vals.(i) <- v
+      | None ->
+        Hashtbl.add vtab enc !nvals;
+        vlist := enc :: !vlist;
+        vals.(i) <- !nvals;
+        incr nvals
+    in
     for i = 0 to n - 1 do
       parents.(i) <- Jsont.Tree.parent_id t i;
+      (if values then
+         match Jsont.Tree.kind t i with
+         | Jsont.Tree.Kstr s -> scalar i (Layout.encode_str s)
+         | Jsont.Tree.Kint v -> scalar i (Layout.encode_num v)
+         | Jsont.Tree.Kobj | Jsont.Tree.Karr -> ());
       match Jsont.Tree.edge_from_parent t i with
       | Jsont.Tree.Root -> ()
       | Jsont.Tree.Key w ->
@@ -67,7 +95,8 @@ let parse_doc ~fresh_budget ~lineno ~off text =
         labels.(i) <- (p lsl 1) lor 1
     done;
     let lkeys = Array.of_list (List.rev !klist) in
-    { lineno; off; len; parents; labels; lkeys; err = false }
+    let lvals = Array.of_list (List.rev !vlist) in
+    { lineno; off; len; parents; labels; lkeys; vals; lvals; err = false }
 
 (* Split the corpus into (lineno, offset, length) line slices, the
    same way [validate --stream] counts them: every '\n'-delimited
@@ -98,6 +127,7 @@ let line_slices text =
    names every section offset plus both checksums) is written last by
    seeking back to the start. *)
 let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
+    ?(value_cap = Layout.default_value_cap) ?(no_values = false)
     ?(fresh_budget = fun () -> Obs.Budget.create ()) ~corpus ~output () =
   try
     Obs.Metrics.span "index.build" @@ fun () ->
@@ -106,7 +136,8 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
     let docs =
       Par.Batch.map ~jobs
         (fun (lineno, off, len) ->
-          parse_doc ~fresh_budget ~lineno ~off (String.sub text off len))
+          parse_doc ~fresh_budget ~values:(not no_values) ~lineno ~off
+            (String.sub text off len))
         slices
     in
     let ndocs = Array.length docs in
@@ -170,6 +201,61 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
     let pos_pidx = prefix pos_counts npos in
     let key_entries = key_pidx.(nkeys) in
     let pos_entries = pos_pidx.(npos) in
+    (* value table: every distinct scalar, sorted by canonical encoding
+       — like the key table, independent of discovery order *)
+    let valset = Hashtbl.create 256 in
+    Array.iter
+      (fun d -> Array.iter (fun v -> Hashtbl.replace valset v ()) d.lvals)
+      docs;
+    let vals = Hashtbl.fold (fun v () acc -> v :: acc) valset [] in
+    let vals = Array.of_list (List.sort String.compare vals) in
+    let nvals = Array.length vals in
+    let vgid = Hashtbl.create 256 in
+    Array.iteri (fun i v -> Hashtbl.add vgid v i) vals;
+    Array.iter
+      (fun d ->
+        let map = Array.map (fun v -> Hashtbl.find vgid v) d.lvals in
+        Array.iteri (fun i v -> if v >= 0 then d.vals.(i) <- map.(v)) d.vals)
+      docs;
+    (* (leaf-label, value-id) pairs: count, sort, cap, prefix-sum.  A
+       pair whose list exceeds [value_cap] stays in the table with an
+       empty range — queries can tell "capped" from "absent". *)
+    let paircnt = Hashtbl.create 256 in
+    Array.iter
+      (fun d ->
+        Array.iteri
+          (fun i v ->
+            if v >= 0 then begin
+              let key = (d.labels.(i), v) in
+              let n =
+                match Hashtbl.find_opt paircnt key with
+                | Some n -> n
+                | None -> 0
+              in
+              Hashtbl.replace paircnt key (n + 1)
+            end)
+          d.vals)
+      docs;
+    let pairs = Hashtbl.fold (fun k _ acc -> k :: acc) paircnt [] in
+    let pairs = Array.of_list (List.sort compare pairs) in
+    let npairs = Array.length pairs in
+    let pair_id = Hashtbl.create 256 in
+    Array.iteri (fun i p -> Hashtbl.add pair_id p i) pairs;
+    let pair_kept = Array.make npairs false in
+    let val_dropped = ref 0 in
+    let pair_counts = Array.make (npairs + 1) 0 in
+    Array.iteri
+      (fun i p ->
+        let n = Hashtbl.find paircnt p in
+        if n <= value_cap then begin
+          pair_kept.(i) <- true;
+          pair_counts.(i) <- n
+        end
+        else val_dropped := !val_dropped + n)
+      pairs;
+    let pair_pidx = prefix pair_counts npairs in
+    let val_entries = pair_pidx.(npairs) in
+    let val_dropped = !val_dropped in
     (* section sizes and offsets *)
     let blob_len = Array.fold_left (fun a w -> a + String.length w) 0 keys in
     let sz_doc = ndocs * Layout.doc_entry_bytes in
@@ -181,6 +267,12 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
     let sz_kpost = key_entries * 8 in
     let sz_ppidx = (npos + 1) * 8 in
     let sz_ppost = pos_entries * 8 in
+    let vblob_len = Array.fold_left (fun a v -> a + String.length v) 0 vals in
+    let sz_vidx = (nvals + 1) * 8 in
+    let sz_vblob = Layout.pad8 vblob_len in
+    let sz_pair = npairs * 8 in
+    let sz_prpidx = (npairs + 1) * 8 in
+    let sz_vpost = val_entries * 8 in
     let sz_cpath = Layout.pad8 (4 + String.length corpus) in
     let o_doc = Layout.header_bytes in
     let o_par = o_doc + sz_doc in
@@ -191,7 +283,12 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
     let o_kpost = o_kpidx + sz_kpidx in
     let o_ppidx = o_kpost + sz_kpost in
     let o_ppost = o_ppidx + sz_ppidx in
-    let o_cpath = o_ppost + sz_ppost in
+    let o_vidx = o_ppost + sz_ppost in
+    let o_vblob = o_vidx + sz_vidx in
+    let o_pair = o_vblob + sz_vblob in
+    let o_prpidx = o_pair + sz_pair in
+    let o_vpost = o_prpidx + sz_prpidx in
+    let o_cpath = o_vpost + sz_vpost in
     let file_size = o_cpath + sz_cpath in
     let tmp = output ^ ".tmp" in
     let oc = open_out_bin tmp in
@@ -257,12 +354,23 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
         emit b;
         let kpost = Bytes.make sz_kpost '\000' in
         let ppost = Bytes.make sz_ppost '\000' in
+        let vpost = Bytes.make sz_vpost '\000' in
         let kcur = Array.copy key_pidx in
         let pcur = Array.copy pos_pidx in
+        let vcur = Array.copy pair_pidx in
         Array.iteri
           (fun doc d ->
             Array.iteri
               (fun node lab ->
+                (if Array.length d.vals > 0 && d.vals.(node) >= 0 then begin
+                   let pid = Hashtbl.find pair_id (lab, d.vals.(node)) in
+                   if pair_kept.(pid) then begin
+                     let o = vcur.(pid) * 8 in
+                     Layout.set_u32 vpost o doc;
+                     Layout.set_u32 vpost (o + 4) node;
+                     vcur.(pid) <- vcur.(pid) + 1
+                   end
+                 end);
                 if lab >= 0 then
                   if lab land 1 = 0 then begin
                     let k = lab lsr 1 in
@@ -287,6 +395,36 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
         Array.iteri (fun i v -> Layout.set_u64 b2 (i * 8) v) pos_pidx;
         emit b2;
         emit ppost;
+        (* value table *)
+        let b = Bytes.make sz_vidx '\000' in
+        let off = ref 0 in
+        Array.iteri
+          (fun i v ->
+            Layout.set_u64 b (i * 8) !off;
+            off := !off + String.length v)
+          vals;
+        Layout.set_u64 b (nvals * 8) !off;
+        emit b;
+        let b = Bytes.make sz_vblob '\000' in
+        let off = ref 0 in
+        Array.iter
+          (fun v ->
+            Bytes.blit_string v 0 b !off (String.length v);
+            off := !off + String.length v)
+          vals;
+        emit b;
+        (* pair table, pair postings index, value postings *)
+        let b = Bytes.make sz_pair '\000' in
+        Array.iteri
+          (fun i (lab, vid) ->
+            Layout.set_i32 b (i * 8) lab;
+            Layout.set_u32 b ((i * 8) + 4) vid)
+          pairs;
+        emit b;
+        let b = Bytes.make sz_prpidx '\000' in
+        Array.iteri (fun i v -> Layout.set_u64 b (i * 8) v) pair_pidx;
+        emit b;
+        emit vpost;
         (* corpus path *)
         let b = Bytes.make sz_cpath '\000' in
         Layout.set_u32 b 0 (String.length corpus);
@@ -315,6 +453,19 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
         Layout.set_u64 h Layout.Field.pos_pidx o_ppidx;
         Layout.set_u64 h Layout.Field.pos_post o_ppost;
         Layout.set_u64 h Layout.Field.corpus_path o_cpath;
+        Layout.set_u32 h Layout.Field.flags
+          (if no_values then Layout.flag_no_values else 0);
+        Layout.set_u32 h Layout.Field.value_cap (min value_cap 0xFFFFFFFF);
+        Layout.set_u64 h Layout.Field.nvals nvals;
+        Layout.set_u64 h Layout.Field.npairs npairs;
+        Layout.set_u64 h Layout.Field.val_entries val_entries;
+        Layout.set_u64 h Layout.Field.val_dropped val_dropped;
+        Layout.set_u64 h Layout.Field.valtab_idx o_vidx;
+        Layout.set_u64 h Layout.Field.valtab_blob o_vblob;
+        Layout.set_u64 h Layout.Field.valtab_blob_len vblob_len;
+        Layout.set_u64 h Layout.Field.pair_table o_pair;
+        Layout.set_u64 h Layout.Field.pair_pidx o_prpidx;
+        Layout.set_u64 h Layout.Field.val_post o_vpost;
         Layout.set_u64 h Layout.Field.body_checksum !body_sum;
         let hsum =
           Layout.checksum_bytes Layout.checksum_init h 0
@@ -329,11 +480,15 @@ let build ?(jobs = 1) ?(pos_cap = Layout.default_pos_cap)
     Obs.Metrics.add "index.build.nodes" nnodes;
     Obs.Metrics.add "index.build.keys" nkeys;
     Obs.Metrics.add "index.build.postings" (key_entries + pos_entries);
+    Obs.Metrics.add "index.build.values" nvals;
+    Obs.Metrics.add "index.build.value_postings" val_entries;
+    Obs.Metrics.add "index.build.value_dropped" val_dropped;
     Obs.Metrics.add "index.build.bytes" file_size;
     Ok
       { docs = ndocs; errors; nodes = nnodes; keys = nkeys;
         key_postings = key_entries; pos_postings = pos_entries;
-        bytes = file_size }
+        values = nvals; value_pairs = npairs; value_postings = val_entries;
+        value_dropped = val_dropped; bytes = file_size }
   with
   | Failure m -> Error m
   | Sys_error m -> Error m

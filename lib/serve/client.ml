@@ -73,6 +73,39 @@ let read_line c =
 
 let recv c = Protocol.parse_response (read_line c)
 
+(* [len] payload bytes following a DATA header *)
+let read_exact c len =
+  let out = Buffer.create len in
+  let rec go remaining =
+    if remaining = 0 then Buffer.contents out
+    else begin
+      if c.pos >= c.len then begin
+        c.pos <- 0;
+        let rec read_once () =
+          match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+          | n -> n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+            0
+        in
+        c.len <- read_once ();
+        if c.len = 0 then raise Server_gone
+      end;
+      let n = min (c.len - c.pos) remaining in
+      Buffer.add_subbytes out c.buf c.pos n;
+      c.pos <- c.pos + n;
+      go (remaining - n)
+    end
+  in
+  go len
+
+let recv_data c =
+  let line = read_line c in
+  match Protocol.parse_data_header line with
+  | Some len -> Ok (read_exact c len)
+  | None -> Protocol.parse_response line
+
 let roundtrip c request ~body =
   send c request ~body;
   recv c
@@ -95,3 +128,11 @@ let validate_inline c ~schema doc =
     (Protocol.Validate_inline
        { schema_len = String.length schema; doc_len = String.length doc })
     ~body:[ schema; doc ]
+
+let index_query c ~index formula =
+  send c
+    (Protocol.Index_query
+       { path_len = String.length index;
+         formula_len = String.length formula })
+    ~body:[ index; formula ];
+  recv_data c

@@ -29,6 +29,13 @@ val validate : t -> schema_id:string -> string -> (string, string) result
 (** [Ok verdict] with the CLI-identical verdict cell. *)
 
 val validate_inline : t -> schema:string -> string -> (string, string) result
+
+val index_query : t -> index:string -> string -> (string, string) result
+(** [index_query c ~index formula] queries the corpus index at server
+    path [index] with a JNL [formula]; [Ok payload] carries the full
+    [DATA] payload — one [lineno<TAB>verdict] line per indexed
+    document, byte-identical to the [index query] CLI output. *)
+
 val metrics : t -> (string, string) result
 val flush : t -> (string, string) result
 val shutdown : t -> (string, string) result

@@ -2,6 +2,7 @@ type request =
   | Schema of int
   | Validate of { schema_id : string; len : int }
   | Validate_inline of { schema_len : int; doc_len : int }
+  | Index_query of { path_len : int; formula_len : int }
   | Ping
   | Metrics
   | Flush
@@ -32,6 +33,10 @@ let parse_request line =
     match (parse_len slen, parse_len dlen) with
     | Some s, Some d -> Ok (Validate_inline { schema_len = s; doc_len = d })
     | _ -> Error (Printf.sprintf "bad lengths %s %s" slen dlen))
+  | [ "INDEXQ"; plen; flen ] -> (
+    match (parse_len plen, parse_len flen) with
+    | Some p, Some f -> Ok (Index_query { path_len = p; formula_len = f })
+    | _ -> Error (Printf.sprintf "bad lengths %s %s" plen flen))
   | [ "PING" ] -> Ok Ping
   | [ "METRICS" ] -> Ok Metrics
   | [ "FLUSH" ] -> Ok Flush
@@ -45,6 +50,8 @@ let render_request = function
     Printf.sprintf "VALIDATE %s %d\n" schema_id len
   | Validate_inline { schema_len; doc_len } ->
     Printf.sprintf "VALIDATEI %d %d\n" schema_len doc_len
+  | Index_query { path_len; formula_len } ->
+    Printf.sprintf "INDEXQ %d %d\n" path_len formula_len
   | Ping -> "PING\n"
   | Metrics -> "METRICS\n"
   | Flush -> "FLUSH\n"
@@ -57,6 +64,15 @@ let one_line s =
 let ok payload = "OK " ^ one_line payload ^ "\n"
 let result verdict = "RESULT " ^ one_line verdict ^ "\n"
 let err message = "ERR " ^ one_line message ^ "\n"
+
+(* the one multi-line response: a length-framed payload, so verdict
+   rows keep their own newlines *)
+let data payload = Printf.sprintf "DATA %d\n%s" (String.length payload) payload
+
+let parse_data_header line =
+  match String.split_on_char ' ' line with
+  | [ "DATA"; len ] -> parse_len len
+  | _ -> None
 
 let parse_response line =
   let tagged tag =

@@ -9,6 +9,8 @@
     VALIDATE <schema-id> <len>\n<len bytes>   validate one document
     VALIDATEI <schema-len> <doc-len>\n<schema bytes><doc bytes>
                                               validate with an inline schema
+    INDEXQ <path-len> <formula-len>\n<path bytes><formula bytes>
+                                              query a corpus index
     PING\n                                    liveness probe
     METRICS\n                                 serve counters as one JSON line
     FLUSH\n                                   empty the plan cache
@@ -24,7 +26,11 @@
     RESULT <verdict>\n    VALIDATE/VALIDATEI; the verdict text is
                           byte-identical to the cell `validate --stream`
                           prints: `valid`, `INVALID`, or `error: …`
-    ERR <message>\n       protocol or schema faults
+    DATA <len>\n<len bytes>
+                          INDEXQ; the payload is one
+                          `<lineno>\t<verdict>\n` row per indexed
+                          document, byte-identical to `index query`
+    ERR <message>\n       protocol, schema, formula or index faults
     v}
 
     Lengths are decimal digit runs; anything else — including an
@@ -36,6 +42,8 @@ type request =
   | Validate of { schema_id : string; len : int }  (** [VALIDATE id len] *)
   | Validate_inline of { schema_len : int; doc_len : int }
       (** [VALIDATEI schema-len doc-len] *)
+  | Index_query of { path_len : int; formula_len : int }
+      (** [INDEXQ path-len formula-len] *)
   | Ping
   | Metrics
   | Flush
@@ -59,6 +67,14 @@ val result : string -> string
 
 val err : string -> string
 (** ["ERR <message>\n"], same folding. *)
+
+val data : string -> string
+(** ["DATA <len>\n<payload>"] — the only length-framed response; the
+    payload keeps its embedded newlines (one verdict row per line). *)
+
+val parse_data_header : string -> int option
+(** [Some len] when a response line (without its [\n]) is a [DATA]
+    header; the caller then reads exactly [len] payload bytes. *)
 
 val parse_response : string -> (string, string) result
 (** Split a response line (without its [\n]) back into [Ok payload]

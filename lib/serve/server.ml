@@ -17,11 +17,26 @@ let default_config listen =
     max_body_bytes = 64 * 1024 * 1024;
     fresh_budget = (fun () -> Obs.Budget.create ()) }
 
+(* Open index readers, keyed by path and pinned to the file identity
+   seen at open ([mtime], [size]): a rebuilt index is re-opened, a
+   cached mapping is reused.  Readers are immutable once validated, so
+   sharing one across connections is safe; the mutex only guards the
+   table. *)
+type index_cache = {
+  mutable readers : (string * (float * int * Jindex.Reader.t)) list;
+  lock : Mutex.t;
+}
+
+(* a daemon serves a handful of corpora; past this the table is
+   dropped wholesale rather than managed *)
+let index_cache_capacity = 16
+
 type t = {
   cfg : config;
   lsock : Unix.file_descr;
   bound : endpoint;
   cache : Plan_cache.t;
+  indexes : index_cache;
   pool : Par.Pool.t option;
   stop : bool Atomic.t;
   active : int Atomic.t;
@@ -29,6 +44,10 @@ type t = {
   connections : int Atomic.t;
   bytes_in : int Atomic.t;
   errors : int Atomic.t;
+  indexq_requests : int Atomic.t;
+  indexq_docs : int Atomic.t;
+  indexq_opens : int Atomic.t;
+  indexq_open_hits : int Atomic.t;
   folded : bool Atomic.t;
   mutable runner : unit Domain.t option;
 }
@@ -209,11 +228,79 @@ let validate_body srv c plan len =
   drain c !remaining;
   verdict
 
+(* The cached reader for [path], re-validated against the file's
+   current (mtime, size) so a rebuilt index is never answered from the
+   old mapping.  Body verification runs once, at (re-)open. *)
+let index_reader srv path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (path ^ ": " ^ Unix.error_message e)
+  | st ->
+    let ident = (st.Unix.st_mtime, st.Unix.st_size) in
+    let ic = srv.indexes in
+    Mutex.lock ic.lock;
+    let cached =
+      match List.assoc_opt path ic.readers with
+      | Some (m, s, r) when (m, s) = ident -> Some r
+      | _ -> None
+    in
+    Mutex.unlock ic.lock;
+    match cached with
+    | Some r ->
+      Atomic.incr srv.indexq_open_hits;
+      Ok r
+    | None -> (
+      Atomic.incr srv.indexq_opens;
+      (* open outside the lock: two connections racing on a new path
+         both open, both readers are valid, one stays *)
+      match Jindex.Reader.open_ path with
+      | Error m -> Error m
+      | Ok r ->
+        let m, s = ident in
+        Mutex.lock ic.lock;
+        if List.length ic.readers >= index_cache_capacity then
+          ic.readers <- [];
+        ic.readers <- (path, (m, s, r)) :: List.remove_assoc path ic.readers;
+        Mutex.unlock ic.lock;
+        Ok r)
+
+(* Answer one INDEXQ: the payload rows are byte-identical to what
+   `index query` prints — `<lineno>\t<verdict>\n` per document, in
+   line order.  Queries run single-lane: connections are already the
+   parallelism, and the pool is busy carrying them. *)
+let index_query_payload srv path formula =
+  match Jlogic.Jnl.parse formula with
+  | Error m -> Error ("bad formula: " ^ m)
+  | Ok phi -> (
+    match index_reader srv path with
+    | Error m -> Error m
+    | Ok r -> (
+      match
+        Jindex.Query.run ~jobs:1 ~fresh_budget:srv.cfg.fresh_budget r phi
+      with
+      | Error m -> Error m
+      | Ok verdicts ->
+        Atomic.fetch_and_add srv.indexq_docs (Array.length verdicts)
+        |> ignore;
+        let b = Buffer.create (Array.length verdicts * 16) in
+        Array.iteri
+          (fun d v ->
+            Buffer.add_string b
+              (Printf.sprintf "%d\t%s\n"
+                 (Jindex.Reader.doc_lineno r d)
+                 (Jindex.Query.verdict_string v)))
+          verdicts;
+        Ok (Buffer.contents b)))
+
 let counters srv =
   let hits, misses, evictions = Plan_cache.stats srv.cache in
   [ ("serve.bytes_in", Atomic.get srv.bytes_in);
     ("serve.connections", Atomic.get srv.connections);
     ("serve.errors", Atomic.get srv.errors);
+    ("serve.indexq.docs", Atomic.get srv.indexq_docs);
+    ("serve.indexq.open_hits", Atomic.get srv.indexq_open_hits);
+    ("serve.indexq.opens", Atomic.get srv.indexq_opens);
+    ("serve.indexq.requests", Atomic.get srv.indexq_requests);
     ("serve.plan_cache.evict", evictions);
     ("serve.plan_cache.hit", hits);
     ("serve.plan_cache.miss", misses);
@@ -292,6 +379,21 @@ let handle_request srv c request =
         respond_err c m);
       `Continue
     end
+  | Protocol.Index_query { path_len; formula_len } ->
+    if
+      not
+        (check_len srv c "index path" path_len
+        && check_len srv c "formula" formula_len)
+    then `Close
+    else begin
+      Atomic.incr srv.indexq_requests;
+      let path = read_exact c path_len in
+      let formula = read_exact c formula_len in
+      (match index_query_payload srv path formula with
+      | Ok payload -> write_all c.fd (Protocol.data payload)
+      | Error m -> respond_err c m);
+      `Continue
+    end
 
 let handle_connection srv fd =
   let c =
@@ -359,6 +461,7 @@ let create cfg =
     lsock;
     bound;
     cache = Plan_cache.create ~capacity:cfg.cache_capacity;
+    indexes = { readers = []; lock = Mutex.create () };
     pool = (if cfg.jobs >= 2 then Some (Par.Pool.create cfg.jobs) else None);
     stop = Atomic.make false;
     active = Atomic.make 0;
@@ -366,6 +469,10 @@ let create cfg =
     connections = Atomic.make 0;
     bytes_in = Atomic.make 0;
     errors = Atomic.make 0;
+    indexq_requests = Atomic.make 0;
+    indexq_docs = Atomic.make 0;
+    indexq_opens = Atomic.make 0;
+    indexq_open_hits = Atomic.make 0;
     folded = Atomic.make false;
     runner = None }
 

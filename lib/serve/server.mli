@@ -10,6 +10,14 @@
     not document size — a request body larger than RAM validates in a
     bounded window.
 
+    The [INDEXQ] verb additionally serves corpus-index queries: the
+    daemon opens the named index read-only (validated exactly like
+    [index query], body checksum included), keeps up to 16 open
+    readers keyed by path and pinned to the file's (mtime, size) — a
+    rebuilt index is transparently re-opened — and answers with a
+    [DATA]-framed payload whose rows are byte-identical to the
+    [index query] CLI output.  Each query draws a fresh budget.
+
     {b Concurrency.}  The accept loop runs on the calling domain and
     dispatches each connection to the [lib/par] domain pool ([jobs]
     lanes: the accept loop plus [jobs - 1] connection workers;
@@ -36,7 +44,9 @@
     [METRICS] verb, and folded into an {!Obs.Metrics} registry by
     {!fold_counters} / {!stop}): [serve.requests],
     [serve.connections], [serve.bytes_in],
-    [serve.plan_cache.{hit,miss,evict}], [serve.errors]. *)
+    [serve.plan_cache.{hit,miss,evict}],
+    [serve.indexq.{requests,docs,opens,open_hits}],
+    [serve.errors]. *)
 
 type endpoint = [ `Unix of string | `Tcp of string * int ]
 (** Where to listen: a Unix-domain socket path, or a TCP host/port. *)

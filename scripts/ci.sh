@@ -535,6 +535,105 @@ if [ "$jp" != "$jnl" ]; then
   exit 1
 fi
 
+# eq pushdown gate: value-postings-seeded equalities (strings, numbers,
+# the root path over bare-scalar lines, absent values, ranked
+# conjunctions) answer byte-identically to eval --files-from — over
+# this corpus's malformed lines and unterminated tail too
+check_index_query 'eq(eps, "scalar-3")'
+check_index_query 'eq(.orders[0].lines[0].qty, 4)'
+check_index_query 'eq(.name.first, "NoSuchNameAnywhere")'
+check_index_query '<.id> & eq(.tags[0], "a")'
+check_index_query 'eq(.name.first, "John") | eq(.tail.name.first, "Sue")'
+# the value table is reported by index info
+case $info_out in
+  *"value postings:"*) ;;
+  *) echo "FAIL: index info does not report value postings" >&2
+     echo "$info_out" >&2
+     exit 1 ;;
+esac
+
+# --no-values escape hatch: the index builds without value sections,
+# reports them disabled, and still answers every eq byte-identically
+# (through the filtered plan); building twice is byte-identical
+run 120 "$JSONLOGIC" index build --no-values "$ndx" \
+  -o "$ixdir/novals.idx" > /dev/null
+run 120 "$JSONLOGIC" index build --no-values "$ndx" \
+  -o "$ixdir/novals2.idx" > /dev/null
+if ! cmp -s "$ixdir/novals.idx" "$ixdir/novals2.idx"; then
+  echo "FAIL: --no-values builds are not byte-identical" >&2
+  exit 1
+fi
+nv_info=$(run 60 "$JSONLOGIC" index info "$ixdir/novals.idx")
+case $nv_info in
+  *"values: disabled"*) ;;
+  *) echo "FAIL: index info does not report values disabled" >&2
+     echo "$nv_info" >&2
+     exit 1 ;;
+esac
+for nvq in 'eq(.name.first, "John")' 'eq(eps, "scalar-3")' \
+  'eq(.name.first, "NoSuchNameAnywhere")'; do
+  withv=$(timeout 120 "$JSONLOGIC" index query "$ixdir/corpus.idx" "$nvq")
+  without=$(timeout 120 "$JSONLOGIC" index query "$ixdir/novals.idx" "$nvq")
+  if [ "$withv" != "$without" ] || [ -z "$withv" ]; then
+    echo "FAIL: --no-values index disagrees on: $nvq" >&2
+    printf '%s\n---\n%s\n' "$withv" "$without" | head -10 >&2
+    exit 1
+  fi
+done
+rm -f "$ixdir/novals.idx" "$ixdir/novals2.idx"
+
+# INDEXQ smoke replay: the daemon's DATA payload must be byte-identical
+# to the `index query` CLI rows, and its counters must move
+ixsock="$ixdir/indexq.sock"
+timeout 300 "$JSONLOGIC" serve --socket "$ixsock" \
+  > "$ixdir/serve.log" 2>&1 &
+ixsrv=$!
+for _ in $(seq 1 100); do
+  [ -S "$ixsock" ] && break
+  sleep 0.1
+done
+if ! [ -S "$ixsock" ]; then
+  echo "FAIL: indexq serve daemon never bound its socket" >&2
+  cat "$ixdir/serve.log" >&2
+  exit 1
+fi
+for sq in 'eq(.name.first, "John")' '<.name.first>' '<.tags[-1]>'; do
+  cli=$(timeout 120 "$JSONLOGIC" index query "$ixdir/corpus.idx" "$sq")
+  daemon=$(timeout 60 "$JSONLOGIC" client --socket "$ixsock" \
+    --index "$ixdir/corpus.idx" --query "$sq")
+  if [ "$daemon" != "$cli" ] || [ -z "$daemon" ]; then
+    echo "FAIL: INDEXQ payload differs from index query on: $sq" >&2
+    printf '%s\n---\n%s\n' "$daemon" "$cli" | head -20 >&2
+    exit 1
+  fi
+done
+# a bad formula is an ERR (exit 1), not a dead daemon
+iqstatus=0
+timeout 60 "$JSONLOGIC" client --socket "$ixsock" \
+  --index "$ixdir/corpus.idx" --query 'eq(.name,' > /dev/null 2>&1 \
+  || iqstatus=$?
+if [ "$iqstatus" != 1 ]; then
+  echo "FAIL: bad INDEXQ formula: expected exit 1, got $iqstatus" >&2
+  exit 1
+fi
+iq_metrics=$(timeout 60 "$JSONLOGIC" client --socket "$ixsock" --server-metrics)
+case $iq_metrics in
+  *'"serve.indexq.requests":0'* | *'"serve.indexq.open_hits":0'*)
+    echo "FAIL: INDEXQ counters never moved: $iq_metrics" >&2
+    exit 1 ;;
+  *"serve.indexq.requests"*) ;;
+  *) echo "FAIL: serve metrics line lacks indexq counters: $iq_metrics" >&2
+     exit 1 ;;
+esac
+timeout 60 "$JSONLOGIC" client --socket "$ixsock" --shutdown > /dev/null
+ixsrv_status=0
+wait "$ixsrv" || ixsrv_status=$?
+if [ "$ixsrv_status" != 0 ]; then
+  echo "FAIL: indexq serve daemon exited $ixsrv_status after SHUTDOWN" >&2
+  cat "$ixdir/serve.log" >&2
+  exit 1
+fi
+
 # Corpus index gate, part 2: the index stays queryable read-only —
 # mmap needs no write access.
 chmod 444 "$ixdir/corpus.idx"
@@ -607,10 +706,26 @@ case $corp_out in
      echo "$corp_out" >&2
      exit 1 ;;
 esac
+# the eq query class must have run postings-only (value seeds, zero
+# reparses) — the >=50x class gate is in the bench exit status
+case $corp_out in
+  *"eq pushdown:"*"postings-only"*) ;;
+  *) echo "FAIL: corpus bench eq class was not postings-only" >&2
+     echo "$corp_out" >&2
+     exit 1 ;;
+esac
 if [ ! -s "$corpus_json/BENCH_corpus.json" ]; then
   echo "FAIL: corpus bench did not write BENCH_corpus.json" >&2
   exit 1
 fi
+# the JSON dump carries the per-class speedup breakdown
+for cls in core eq filtered; do
+  if ! grep -q "bench.corpus.class.$cls.speedup_x10" \
+    "$corpus_json/BENCH_corpus.json"; then
+    echo "FAIL: BENCH_corpus.json lacks the $cls class speedup" >&2
+    exit 1
+  fi
+done
 rm -rf "$corpus_json"
 
 # --metrics must produce the per-phase dump (on stderr)

@@ -58,7 +58,17 @@ let handcrafted_queries =
     "<.hobbies[-1]>";
     "<(.~/.*/)*.sku>";
     "eq(.name.first, .name.last)";
-    "<.tail[0].sku>" ]
+    "<.tail[0].sku>";
+    (* eq pushdown: numbers, the root path, absent values, negation and
+       conjunction around a value-postings seed *)
+    "eq(.orders[0].order_id, 1000)";
+    "eq(.age, 42)";
+    "eq(eps, 7)";
+    "eq(eps, \"just a string\")";
+    "eq(.name.first, \"NoSuchNameXYZ\")";
+    "!eq(.name.first, \"John\")";
+    "eq(.name.first, \"John\") & <.orders[0]>";
+    "<.id> & eq(.name.first, \"Sue\")" ]
 
 let query_set () =
   let rng = Jworkload.Prng.create 7 in
@@ -140,6 +150,148 @@ let test_linenos () =
         lineno
         (Jindex.Reader.doc_lineno r d))
     lines
+
+(* ---- eq pushdown ------------------------------------------------------------- *)
+
+let with_metrics f =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled was)
+    (fun () ->
+      Obs.Metrics.reset ();
+      f ())
+
+(* an eq over a rooted core path is answered postings-only: value
+   postings seed it, nothing but the error-flagged lines reparses *)
+let test_eq_zero_reparse () =
+  let _corpus, idx = build_corpus_index () in
+  let r = open_exn idx in
+  let errs = ref 0 in
+  for d = 0 to Jindex.Reader.ndocs r - 1 do
+    if Jindex.Reader.doc_err r d then incr errs
+  done;
+  with_metrics (fun () ->
+      (match Jindex.Query.run r (Jlogic.Jnl.parse_exn "eq(.name.first, \"John\")") with
+      | Error m -> Alcotest.fail m
+      | Ok verdicts ->
+        Alcotest.(check bool) "some matches" true
+          (Array.exists (fun v -> v = Jindex.Query.True) verdicts));
+      Alcotest.(check int) "postings-only plan" 1
+        (Obs.Metrics.counter_value "index.query.postings_only");
+      Alcotest.(check bool) "value postings seeded the query" true
+        (Obs.Metrics.counter_value "index.query.value_hits" > 0);
+      Alcotest.(check int) "only parse-error lines reparsed" !errs
+        (Obs.Metrics.counter_value "index.query.reparsed"))
+
+(* a --no-values index still answers every eq query correctly (via the
+   filtered plan) and reports values as disabled *)
+let test_no_values () =
+  let corpus = temp_path ".ndjson" in
+  let idx = temp_path ".idx" in
+  write_file corpus (Lazy.force corpus_text);
+  (match Jindex.Writer.build ~jobs:2 ~no_values:true ~corpus ~output:idx () with
+  | Ok s ->
+    Alcotest.(check int) "no value table" 0 s.Jindex.Writer.values;
+    Alcotest.(check int) "no value postings" 0 s.Jindex.Writer.value_postings
+  | Error m -> Alcotest.fail ("build failed: " ^ m));
+  let r = open_exn idx in
+  Alcotest.(check bool) "values disabled" false (Jindex.Reader.has_values r);
+  let lines = corpus_lines (Lazy.force corpus_text) in
+  List.iter
+    (fun q ->
+      let phi = Jlogic.Jnl.parse_exn q in
+      let expect = List.map (fun (_, line) -> baseline_verdict phi line) lines in
+      match Jindex.Query.run r phi with
+      | Error m -> Alcotest.fail (q ^ ": " ^ m)
+      | Ok verdicts ->
+        Alcotest.(check (list string)) ("agreement on " ^ q) expect
+          (Array.to_list (Array.map Jindex.Query.verdict_string verdicts)))
+    [ "eq(.name.first, \"John\")"; "eq(eps, 7)";
+      "eq(.name.first, \"NoSuchNameXYZ\")"; "!eq(.age, 42)" ]
+
+(* a tiny value cap drops the hot postings lists; the capped pairs fall
+   back to filtered reparse and still agree with the baseline *)
+let test_value_cap_fallback () =
+  let corpus = temp_path ".ndjson" in
+  let idx = temp_path ".idx" in
+  write_file corpus (Lazy.force corpus_text);
+  (match Jindex.Writer.build ~jobs:2 ~value_cap:1 ~corpus ~output:idx () with
+  | Ok s ->
+    Alcotest.(check bool) "cap dropped entries" true
+      (s.Jindex.Writer.value_dropped > 0)
+  | Error m -> Alcotest.fail ("build failed: " ^ m));
+  let r = open_exn idx in
+  Alcotest.(check bool) "capped pairs visible" true
+    (Jindex.Reader.capped_pairs r > 0);
+  let lines = corpus_lines (Lazy.force corpus_text) in
+  List.iter
+    (fun q ->
+      let phi = Jlogic.Jnl.parse_exn q in
+      let expect = List.map (fun (_, line) -> baseline_verdict phi line) lines in
+      match Jindex.Query.run r phi with
+      | Error m -> Alcotest.fail (q ^ ": " ^ m)
+      | Ok verdicts ->
+        Alcotest.(check (list string)) ("agreement on " ^ q) expect
+          (Array.to_list (Array.map Jindex.Query.verdict_string verdicts)))
+    (* SKU-0-0 recurs across records: capped at 1; a first name recurs
+       too — both must take the fallback and stay correct *)
+    [ "eq(.orders[0].lines[0].sku, \"SKU-0-0\")"; "eq(.name.first, \"John\")" ]
+
+(* number canonicalization at the index boundary: every notation that
+   parses to the same natural shares one value id, and mixed-notation
+   corpora agree with the baseline (under the default strict mode,
+   non-canonical notations are parse-error lines in BOTH paths) *)
+let test_number_canonicalization () =
+  (* the narrowing contract the value table relies on *)
+  List.iter
+    (fun text ->
+      Alcotest.(check bool)
+        (text ^ " narrows to 1")
+        true
+        (Jsont.Parser.parse_exn ~mode:`Lenient text = Jsont.Value.Num 1))
+    [ "1"; "1.0"; "1e0"; "10e-1"; "0.1e1" ];
+  let corpus = temp_path ".ndjson" in
+  let idx = temp_path ".idx" in
+  let text = "1\n1.0\n1e0\n7\n1\n" in
+  write_file corpus text;
+  (match Jindex.Writer.build ~corpus ~output:idx () with
+  | Ok s ->
+    (* strict mode: 1.0 and 1e0 are parse-error lines; the two plain 1s
+       dedupe to one id, so the table holds exactly {1, 7} *)
+    Alcotest.(check int) "two distinct values" 2 s.Jindex.Writer.values;
+    Alcotest.(check int) "parse errors flagged" 2 s.Jindex.Writer.errors
+  | Error m -> Alcotest.fail ("build failed: " ^ m));
+  let r = open_exn idx in
+  let lines = corpus_lines text in
+  List.iter
+    (fun q ->
+      let phi = Jlogic.Jnl.parse_exn q in
+      let expect = List.map (fun (_, line) -> baseline_verdict phi line) lines in
+      match Jindex.Query.run r phi with
+      | Error m -> Alcotest.fail (q ^ ": " ^ m)
+      | Ok verdicts ->
+        Alcotest.(check (list string)) ("agreement on " ^ q) expect
+          (Array.to_list (Array.map Jindex.Query.verdict_string verdicts)))
+    [ "eq(eps, 1)"; "eq(eps, 7)"; "eq(eps, 2)"; "true" ]
+
+(* the planner reorders a conjunction whose cheap side is written last,
+   without changing any verdict *)
+let test_planner_reorders () =
+  let _corpus, idx = build_corpus_index () in
+  let r = open_exn idx in
+  let q = "<.id> & eq(.name.first, \"Sue\")" in
+  let phi = Jlogic.Jnl.parse_exn q in
+  let lines = corpus_lines (Lazy.force corpus_text) in
+  let expect = List.map (fun (_, line) -> baseline_verdict phi line) lines in
+  with_metrics (fun () ->
+      (match Jindex.Query.run r phi with
+      | Error m -> Alcotest.fail m
+      | Ok verdicts ->
+        Alcotest.(check (list string)) ("agreement on " ^ q) expect
+          (Array.to_list (Array.map Jindex.Query.verdict_string verdicts)));
+      Alcotest.(check bool) "planner changed the evaluation order" true
+        (Obs.Metrics.counter_value "index.plan.reorders" > 0))
 
 (* ---- determinism across lane counts ---------------------------------------- *)
 
@@ -226,7 +378,97 @@ let test_forged_counts () =
   forge Jindex.Layout.Field.ndocs 1_000_000;
   (* misaligned / out-of-file section offsets *)
   forge Jindex.Layout.Field.key_post 3;
-  forge Jindex.Layout.Field.parents (1 lsl 40)
+  forge Jindex.Layout.Field.parents (1 lsl 40);
+  (* v2 value sections: oversized counts and bad offsets *)
+  forge Jindex.Layout.Field.nvals (1 lsl 50);
+  forge Jindex.Layout.Field.npairs (1 lsl 50);
+  forge Jindex.Layout.Field.val_entries (1 lsl 50);
+  forge Jindex.Layout.Field.valtab_blob 3;
+  forge Jindex.Layout.Field.val_post (1 lsl 40)
+
+(* unknown header flag bits (a u32, so not [forge]-able with set_u64
+   without clobbering value_cap) must be refused even re-signed *)
+let test_forged_flags () =
+  let _corpus, idx = build_corpus_index () in
+  let b = Bytes.of_string (read_file idx) in
+  Jindex.Layout.set_u32 b Jindex.Layout.Field.flags 0xFE;
+  let sum =
+    Jindex.Layout.checksum_bytes Jindex.Layout.checksum_init b 0
+      Jindex.Layout.Field.header_checksum
+  in
+  Jindex.Layout.set_u64 b Jindex.Layout.Field.header_checksum sum;
+  let mutant = temp_path ".idx" in
+  write_file mutant (Bytes.to_string b);
+  match Jindex.Reader.open_ ~verify_body:false mutant with
+  | Error m ->
+    Alcotest.(check bool) ("names the flag bits: " ^ m) true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "unknown flag bits accepted"
+
+(* a pair-table entry naming a value id beyond the table is structural
+   corruption the open-time sweep catches even without the body
+   checksum *)
+let test_forged_pair_table () =
+  let _corpus, idx = build_corpus_index () in
+  let b = Bytes.of_string (read_file idx) in
+  let npairs = Jindex.Layout.get_u64 b Jindex.Layout.Field.npairs in
+  Alcotest.(check bool) "corpus has value pairs" true (npairs > 0);
+  let o_pair = Jindex.Layout.get_u64 b Jindex.Layout.Field.pair_table in
+  Jindex.Layout.set_u32 b (o_pair + 4) 0x0FFFFFFF;
+  let mutant = temp_path ".idx" in
+  write_file mutant (Bytes.to_string b);
+  match Jindex.Reader.open_ ~verify_body:false mutant with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range pair value id accepted"
+
+(* a v1-magic file gets the versioned refusal, not a checksum complaint
+   or a crash — the version check runs before the header checksum
+   because older headers place every field elsewhere *)
+let test_v1_version_refusal () =
+  let _corpus, idx = build_corpus_index () in
+  let b = Bytes.of_string (read_file idx) in
+  Bytes.set b 7 '1';
+  Jindex.Layout.set_u32 b Jindex.Layout.Field.version 1;
+  let mutant = temp_path ".idx" in
+  write_file mutant (Bytes.to_string b);
+  (match Jindex.Reader.open_ mutant with
+  | Error m ->
+    Alcotest.(check bool)
+      ("names the version: " ^ m)
+      true
+      (let has_sub sub =
+         let n = String.length sub and h = String.length m in
+         let rec go i = i + n <= h && (String.sub m i n = sub || go (i + 1)) in
+         go 0
+       in
+       has_sub "unsupported index version")
+  | Ok _ -> Alcotest.fail "v1 magic accepted");
+  (* a non-index file is still the plain bad-magic refusal *)
+  let junk = temp_path ".idx" in
+  write_file junk (String.make 512 'x');
+  match Jindex.Reader.open_ junk with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk file accepted"
+
+(* corrupt value postings under --no-verify: an out-of-range doc id in
+   a value list must surface as a query error, never an exception *)
+let test_corrupt_value_postings_no_verify () =
+  let _corpus, idx = build_corpus_index () in
+  let b = Bytes.of_string (read_file idx) in
+  let o_vpost = Jindex.Layout.get_u64 b Jindex.Layout.Field.val_post in
+  let entries = Jindex.Layout.get_u64 b Jindex.Layout.Field.val_entries in
+  Alcotest.(check bool) "corpus has value postings" true (entries > 0);
+  for i = 0 to entries - 1 do
+    Jindex.Layout.set_u32 b (o_vpost + (i * 8)) 0x7FFFFFF
+  done;
+  let mutant = temp_path ".idx" in
+  write_file mutant (Bytes.to_string b);
+  let r = open_exn ~verify_body:false mutant in
+  match Jindex.Query.run r (Jlogic.Jnl.parse_exn "eq(.name.first, \"John\")") with
+  | Error m ->
+    Alcotest.(check bool) ("error is positioned: " ^ m) true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "corrupt value postings produced verdicts"
 
 (* corrupt postings under --no-verify: a doc id pointing past the
    document table must surface as a query error, never an exception *)
@@ -305,6 +547,17 @@ let () =
        [ Alcotest.test_case "index vs reparse baseline" `Quick
            test_differential;
          Alcotest.test_case "line numbering" `Quick test_linenos ]);
+      ("eq-pushdown",
+       [ Alcotest.test_case "postings-only, zero reparses" `Quick
+           test_eq_zero_reparse;
+         Alcotest.test_case "--no-values falls back and agrees" `Quick
+           test_no_values;
+         Alcotest.test_case "capped pairs fall back and agree" `Quick
+           test_value_cap_fallback;
+         Alcotest.test_case "number canonicalization" `Quick
+           test_number_canonicalization;
+         Alcotest.test_case "planner reorders conjunctions" `Quick
+           test_planner_reorders ]);
       ("determinism",
        [ Alcotest.test_case "jobs 1 vs 4 byte-identical" `Quick
            test_jobs_determinism ]);
@@ -313,8 +566,16 @@ let () =
          Alcotest.test_case "truncations rejected" `Quick test_truncations;
          Alcotest.test_case "forged counts rejected" `Quick
            test_forged_counts;
+         Alcotest.test_case "forged flag bits rejected" `Quick
+           test_forged_flags;
+         Alcotest.test_case "forged pair table rejected" `Quick
+           test_forged_pair_table;
+         Alcotest.test_case "v1 magic gets versioned refusal" `Quick
+           test_v1_version_refusal;
          Alcotest.test_case "corrupt postings error under no-verify" `Quick
-           test_corrupt_postings_no_verify ]);
+           test_corrupt_postings_no_verify;
+         Alcotest.test_case "corrupt value postings error under no-verify"
+           `Quick test_corrupt_value_postings_no_verify ]);
       ("staleness",
        [ Alcotest.test_case "changed or missing corpus refused" `Quick
            test_stale_corpus ]);

@@ -67,6 +67,7 @@ let test_protocol_roundtrip () =
     [ Jserve.Protocol.Schema 12;
       Jserve.Protocol.Validate { schema_id = "abc123"; len = 0 };
       Jserve.Protocol.Validate_inline { schema_len = 3; doc_len = 4 };
+      Jserve.Protocol.Index_query { path_len = 12; formula_len = 30 };
       Jserve.Protocol.Ping; Jserve.Protocol.Metrics; Jserve.Protocol.Flush;
       Jserve.Protocol.Shutdown ]
   in
@@ -96,6 +97,18 @@ let test_protocol_roundtrip () =
   bad "VALIDATE  5";
   bad "NONSENSE 4";
   bad "";
+  bad "INDEXQ 5";
+  bad "INDEXQ 5 -3";
+  bad "INDEXQ 0x5 7";
+  (* DATA framing: header carries the exact payload byte count *)
+  Alcotest.(check string) "data frame" "DATA 4\nabcd"
+    (Jserve.Protocol.data "abcd");
+  Alcotest.(check (option int)) "data header" (Some 4)
+    (Jserve.Protocol.parse_data_header "DATA 4");
+  Alcotest.(check (option int)) "not a data header" None
+    (Jserve.Protocol.parse_data_header "OK pong");
+  Alcotest.(check (option int)) "bad data length" None
+    (Jserve.Protocol.parse_data_header "DATA -1");
   (* responses: one line, embedded breaks folded *)
   Alcotest.(check string) "folded" "OK a b\n" (Jserve.Protocol.ok "a\nb");
   Alcotest.(check (result string string)) "ok" (Ok "pong")
@@ -222,6 +235,117 @@ let test_serve_cli_agreement () =
                 (Printf.sprintf "agreement on %S" doc)
                 (cli_cell doc) daemon)
             docs))
+
+(* ---- INDEXQ: corpus-index queries through the daemon ------------------------ *)
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let indexq_corpus () =
+  let rng = Jworkload.Prng.create 11 in
+  let buf = Buffer.create 4096 in
+  for i = 1 to 20 do
+    Buffer.add_string buf
+      (Jsont.Printer.compact (Jworkload.Gen_json.api_record rng (1 + (i mod 3))));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "{\"broken\": \n";
+  Buffer.add_string buf "7\n";
+  let corpus = Filename.temp_file "jserve_indexq" ".ndjson" in
+  let idx = Filename.temp_file "jserve_indexq" ".idx" in
+  write_file corpus (Buffer.contents buf);
+  (match Jindex.Writer.build ~corpus ~output:idx () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("index build failed: " ^ m));
+  (corpus, idx)
+
+(* the payload one INDEXQ must answer: exactly the `index query` CLI
+   rows over the same reader *)
+let indexq_expect idx formula =
+  let r =
+    match Jindex.Reader.open_ idx with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  match Jindex.Query.run r (Jlogic.Jnl.parse_exn formula) with
+  | Error m -> Alcotest.fail m
+  | Ok verdicts ->
+    let b = Buffer.create 256 in
+    Array.iteri
+      (fun d v ->
+        Buffer.add_string b
+          (Printf.sprintf "%d\t%s\n"
+             (Jindex.Reader.doc_lineno r d)
+             (Jindex.Query.verdict_string v)))
+      verdicts;
+    Buffer.contents b
+
+let test_indexq_end_to_end () =
+  let corpus, idx = indexq_corpus () in
+  with_server (fun srv ->
+      with_client srv (fun c ->
+          List.iter
+            (fun formula ->
+              Alcotest.(check string)
+                ("payload agreement on " ^ formula)
+                (indexq_expect idx formula)
+                (unwrap (Jserve.Client.index_query c ~index:idx formula)))
+            [ "eq(.name.first, \"John\")"; "<.orders[0].lines[0].sku>";
+              "eq(eps, 7)"; "true"; "<.hobbies[-1]>" ];
+          (* the reader cache: one open, the rest hits *)
+          Alcotest.(check int) "one open" 1 (counter srv "serve.indexq.opens");
+          Alcotest.(check int) "four cache hits" 4
+            (counter srv "serve.indexq.open_hits");
+          Alcotest.(check int) "requests counted" 5
+            (counter srv "serve.indexq.requests");
+          Alcotest.(check bool) "docs counted" true
+            (counter srv "serve.indexq.docs" > 0);
+          (* a rebuilt index (same path, new bytes) is re-opened, not
+             answered from the stale mapping *)
+          Unix.sleepf 0.02;
+          write_file corpus "{\"a\":1}\n{\"a\":2}\n";
+          (match Jindex.Writer.build ~corpus ~output:idx () with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail ("rebuild failed: " ^ m));
+          Alcotest.(check string) "rebuilt index answers fresh"
+            (indexq_expect idx "<.a>")
+            (unwrap (Jserve.Client.index_query c ~index:idx "<.a>"));
+          Alcotest.(check int) "re-open counted" 2
+            (counter srv "serve.indexq.opens")));
+  Sys.remove corpus;
+  Sys.remove idx
+
+(* INDEXQ faults: each answers ERR and the connection keeps serving *)
+let test_indexq_faults () =
+  let corpus, idx = indexq_corpus () in
+  with_server (fun srv ->
+      with_client srv (fun c ->
+          let expect_err what r =
+            match r with
+            | Error m ->
+              Alcotest.(check bool) (what ^ " message: " ^ m) true
+                (String.length m > 0)
+            | Ok v -> Alcotest.failf "%s answered %S" what v
+          in
+          expect_err "missing index"
+            (Jserve.Client.index_query c ~index:"/no/such/index.idx" "true");
+          expect_err "bad formula"
+            (Jserve.Client.index_query c ~index:idx "eq(.name,");
+          expect_err "not an index"
+            (Jserve.Client.index_query c ~index:corpus "true");
+          (* the connection survived all three *)
+          Alcotest.(check string) "still serving" "pong"
+            (unwrap (Jserve.Client.ping c));
+          (* a stale corpus (changed after build) is refused per query *)
+          Out_channel.with_open_gen
+            [ Open_append; Open_binary ] 0o644 corpus
+            (fun oc -> Out_channel.output_string oc "{\"x\":1}\n");
+          expect_err "stale corpus"
+            (Jserve.Client.index_query c ~index:idx "true");
+          Alcotest.(check string) "alive after stale refusal" "pong"
+            (unwrap (Jserve.Client.ping c))));
+  Sys.remove corpus;
+  Sys.remove idx
 
 let test_serve_parallel_connections () =
   with_server ~jobs:4 (fun srv ->
@@ -460,6 +584,8 @@ let () =
           Alcotest.test_case "cli agreement" `Quick test_serve_cli_agreement;
           Alcotest.test_case "parallel connections" `Quick
             test_serve_parallel_connections;
+          Alcotest.test_case "indexq end-to-end" `Quick test_indexq_end_to_end;
+          Alcotest.test_case "indexq faults" `Quick test_indexq_faults;
           Alcotest.test_case "counters folded" `Quick test_counters_folded ] );
       ( "faults",
         [ Alcotest.test_case "truncated body" `Quick test_fault_truncated_body;
