@@ -1578,6 +1578,111 @@ let corpus_exp () =
         || class_speedup "eq" < 50.0
       then exit 1)
 
+(* ---- E-MONGO: aggregation pipelines sharded across domains ----------------- *)
+
+let mongo_exp () =
+  header "E-MONGO: aggregation pipeline throughput and the JNL differential";
+  let n_docs =
+    match Sys.getenv_opt "BENCH_MONGO_DOCS" with
+    | Some s -> ( try max 100 (int_of_string s) with _ -> 4_000)
+    | None -> 4_000
+  in
+  let rng = Jworkload.Prng.create 23 in
+  let texts =
+    Array.init n_docs (fun i ->
+        Value.to_string
+          (if i mod 4 = 3 then
+             match Jworkload.Gen_json.sized rng 60 with
+             | Value.Obj _ as v -> v
+             | v -> Value.Obj [ ("k1", v) ]
+           else Jworkload.Gen_json.api_record rng 3))
+  in
+  let full =
+    Jquery.Mongo_agg.parse_string_exn
+      {|[{"$match": {"age": {"$gte": 30}}},
+         {"$unwind": "$orders"},
+         {"$project": {"st": "$orders.status", "total": "$orders.total"}},
+         {"$group": {"_id": "$st", "orders": {"$count": {}},
+                     "sum": {"$sum": "$total"}, "hi": {"$max": "$total"}}},
+         {"$sort": {"sum": 0}}]|}
+  in
+  let streaming, blocking = Jquery.Mongo_agg.split_streaming full in
+  (* the sharded unit of work: parse one document straight to a tree
+     and run the streaming prefix over it *)
+  let work text =
+    Jquery.Mongo_agg.apply_doc streaming
+      (Jquery.Mongo_agg.doc_of_tree (Tree.of_string_exn text))
+  in
+  let run jobs =
+    let p0 = Obs.Metrics.counter_value "mongo.agg.match.pass" in
+    let u0 = Obs.Metrics.counter_value "mongo.agg.unwind.out" in
+    let results, ms =
+      wall_ms ~name:(Printf.sprintf "bench.mongo.jobs%d" jobs) (fun () ->
+          let per_doc = Par.Batch.map ~jobs work texts in
+          let flat = List.concat (Array.to_list per_doc) in
+          List.map
+            (fun d -> Value.to_string (Jquery.Mongo_agg.doc_value d))
+            (Jquery.Mongo_agg.run_docs blocking flat))
+    in
+    ( results,
+      ms,
+      Obs.Metrics.counter_value "mongo.agg.match.pass" - p0,
+      Obs.Metrics.counter_value "mongo.agg.unwind.out" - u0 )
+  in
+  let base, base_ms, base_pass, base_unwound = run 1 in
+  row "%d documents through match/unwind/project/group/sort (%d groups out)\n"
+    n_docs (List.length base);
+  let dps ms = float_of_int n_docs /. (ms /. 1000.) in
+  row "%-8s %-12s %-12s %-14s %-8s\n" "jobs" "wall (ms)" "speedup" "docs/sec"
+    "agree";
+  row "%-8d %-12.1f %-12s %-14.0f %-8s\n" 1 base_ms "1.00" (dps base_ms) "-";
+  let all_agree = ref true in
+  let best_speedup = ref 1.0 in
+  List.iter
+    (fun jobs ->
+      let results, ms, pass, unwound = run jobs in
+      (* byte-identical output and lane-merged counter totals *)
+      let agree =
+        results = base && pass = base_pass && unwound = base_unwound
+      in
+      if not agree then all_agree := false;
+      if base_ms /. ms > !best_speedup then best_speedup := base_ms /. ms;
+      row "%-8d %-12.1f %-12.2f %-14.0f %-8b\n" jobs ms (base_ms /. ms) (dps ms)
+        agree)
+    [ 2; 4 ];
+  Obs.Metrics.add "bench.mongo.docs" n_docs;
+  Obs.Metrics.add "bench.mongo.docs_per_sec" (int_of_float (dps base_ms));
+  Obs.Metrics.add "bench.mongo.speedup_x100"
+    (int_of_float (!best_speedup *. 100.));
+  row
+    "(speedup tracks the machine's core count; determinism — identical\n\
+    \ outputs and counter totals for every job count — is the gated property)\n";
+  (* the navigational core against its pure-JNL translation *)
+  let nav =
+    Jquery.Mongo_agg.parse_string_exn
+      {|[{"$match": {"orders.status": {"$exists": true}}},
+         {"$unwind": "$orders"},
+         {"$project": {"orders.status": 1, "orders.total": 1, "name.first": 1}}]|}
+  in
+  let sample =
+    List.init (min 400 n_docs) (fun i -> Jsont.Parser.parse_exn texts.(i))
+  in
+  let direct = List.map Value.to_string (Jquery.Mongo_agg.run nav sample) in
+  let jnl_agrees =
+    match Jquery.Mongo_agg.run_via_jnl nav sample with
+    | Ok vs -> List.map Value.to_string vs = direct
+    | Error m ->
+      row "JNL route failed: %s\n" m;
+      false
+  in
+  if not jnl_agrees then all_agree := false;
+  row "navigational differential: %d docs in, %d out, JNL route %s\n"
+    (List.length sample) (List.length direct)
+    (if jnl_agrees then "agrees" else "DISAGREES");
+  Obs.Metrics.add "bench.mongo.agreement" (if !all_agree then 1 else 0);
+  row "mongo agreement: %s\n" (if !all_agree then "COMPLETE" else "BROKEN");
+  if not !all_agree then exit 1
+
 (* ---- driver ----------------------------------------------------------------- *)
 
 let experiments =
@@ -1586,7 +1691,7 @@ let experiments =
     ("t2", t2); ("stream", strm); ("dlog", dlog); ("xml", xml); ("simp", simp);
     ("index", index_exp); ("ingest", ingest); ("batch", batch);
     ("validate", validate_exp); ("serve", serve_exp);
-    ("corpus", corpus_exp) ]
+    ("corpus", corpus_exp); ("mongo", mongo_exp) ]
 
 let () =
   Obs.Metrics.set_enabled true;

@@ -5,6 +5,7 @@
      eval       evaluate a JNL formula at the root of a document
      select     select subdocuments with a JSONPath expression
      find       filter a collection with a MongoDB-style filter
+     aggregate  run a MongoDB-style aggregation pipeline over a collection
      validate   validate documents against a JSON Schema
      sat        decide satisfiability of a JNL formula (with witness)
      compat     detect breaking changes between two schemas *)
@@ -276,6 +277,116 @@ let find_cmd =
   Cmd.v
     (Cmd.info "find" ~doc:"Filter a collection with a MongoDB-style filter")
     Term.(const run $ obs_term $ filter_pos $ project $ input_arg)
+
+(* ---- aggregate ------------------------------------------------------------- *)
+
+let aggregate_cmd =
+  let pipeline_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PIPELINE"
+           ~doc:"A MongoDB-style aggregation pipeline, e.g. \
+                 '[{\"\\$match\": {\"age\": {\"\\$gte\": 18}}}, \
+                 {\"\\$group\": {\"_id\": \"\\$city\", \"n\": {\"\\$count\": {}}}}]'.")
+  in
+  let from_arg =
+    Arg.(value & opt_all string []
+         & info [ "from" ] ~docv:"NAME=FILE"
+             ~doc:"Register a $(b,\\$lookup) collection: documents read from \
+                   $(i,FILE) (JSON lines or a top-level array) joinable under \
+                   $(i,NAME).  Repeatable.")
+  in
+  let via_jnl =
+    Arg.(value & flag
+         & info [ "via-jnl" ]
+             ~doc:"Evaluate through the pure-JNL route (Theorem 2 matches, \
+                   post-image projections, substitution unwinds) instead of \
+                   the direct engine; fails unless every stage is in the \
+                   navigational core.  The two routes agree byte for byte \
+                   (the pipeline differential).")
+  in
+  let run obs pipeline froms via_jnl files_from files =
+    wrap (fun () ->
+        let collections =
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun spec ->
+              match String.index_opt spec '=' with
+              | None ->
+                failwith (Printf.sprintf "--from expects NAME=FILE, got %s" spec)
+              | Some i ->
+                let name = String.sub spec 0 i in
+                let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+                let docs =
+                  parse_docs_exn ~budget:(obs.fresh_budget ()) (read_input file)
+                in
+                let docs =
+                  match docs with [ Jsont.Value.Arr vs ] -> vs | other -> other
+                in
+                Hashtbl.replace tbl name docs)
+            froms;
+          fun name -> Hashtbl.find_opt tbl name
+        in
+        let pl =
+          match Jquery.Mongo_agg.parse_string ~collections pipeline with
+          | Ok pl -> pl
+          | Error m -> failwith ("bad pipeline: " ^ m)
+        in
+        let docs =
+          Obs.Metrics.span "phase.parse" @@ fun () ->
+          match files_from with
+          | Some list_path ->
+            (* one document per listed file, ingested as trees: a
+               leading $match can drop a file without ever building
+               its Value *)
+            Array.map
+              (fun p ->
+                match
+                  Jsont.Tree.of_string ~budget:(obs.fresh_budget ())
+                    (read_input p)
+                with
+                | Ok t -> Jquery.Mongo_agg.doc_of_tree t
+                | Error e ->
+                  failwith (Format.asprintf "%s: %a" p Jsont.Parser.pp_error e))
+              (read_path_list list_path)
+          | None ->
+            let vs =
+              parse_docs_exn ~budget:obs.budget (read_input (last_input files))
+            in
+            (* accept either a top-level array or a stream of documents *)
+            let vs =
+              match vs with [ Jsont.Value.Arr vs ] -> vs | other -> other
+            in
+            Array.of_list (List.map Jquery.Mongo_agg.doc_of_value vs)
+        in
+        let out =
+          if via_jnl then
+            let vs =
+              Array.to_list (Array.map Jquery.Mongo_agg.doc_value docs)
+            in
+            match
+              Obs.Metrics.span "phase.eval" (fun () ->
+                  Jquery.Mongo_agg.run_via_jnl pl vs)
+            with
+            | Ok vs -> vs
+            | Error m -> failwith ("--via-jnl: " ^ m)
+          else
+            Obs.Metrics.span "phase.eval" @@ fun () ->
+            let streaming, blocking = Jquery.Mongo_agg.split_streaming pl in
+            let per_doc =
+              Par.Batch.map ~jobs:obs.jobs
+                (Jquery.Mongo_agg.apply_doc streaming)
+                docs
+            in
+            let flat = List.concat (Array.to_list per_doc) in
+            List.map Jquery.Mongo_agg.doc_value
+              (Jquery.Mongo_agg.run_docs blocking flat)
+        in
+        List.iter (fun v -> print_endline (Jsont.Printer.compact v)) out)
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Run a MongoDB-style aggregation pipeline over a collection")
+    Term.(const run $ obs_term $ pipeline_pos $ from_arg $ via_jnl
+          $ files_from_arg $ input_arg)
 
 (* ---- validate ----------------------------------------------------------------- *)
 
@@ -1068,6 +1179,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; eval_cmd; select_cmd; find_cmd; validate_cmd; sat_cmd;
-            compat_cmd; examples_cmd; infer_cmd; index_cmd; serve_cmd;
-            client_cmd ]))
+          [ parse_cmd; eval_cmd; select_cmd; find_cmd; aggregate_cmd;
+            validate_cmd; sat_cmd; compat_cmd; examples_cmd; infer_cmd;
+            index_cmd; serve_cmd; client_cmd ]))

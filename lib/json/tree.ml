@@ -545,6 +545,31 @@ let rec value_at t n =
 
 let to_value t = value_at t root
 
+(* Rebuild the whole document with json(n) replaced by [v]: only the
+   root-to-n spine is reconstructed, siblings are converted with
+   [value_at] — O(|D|) total, no intermediate tree. *)
+let substitute t n v =
+  let rec up n v =
+    if n = root then v
+    else
+      let p = t.parents.(n) in
+      let rebuilt =
+        match t.kinds.(p) with
+        | Kobj ->
+          Value.Obj
+            (List.map
+               (fun (k, c) -> (k, if c = n then v else value_at t c))
+               (obj_children t p))
+        | Karr ->
+          Value.Arr
+            (List.map (fun c -> if c = n then v else value_at t c) (children t p))
+        | Kstr _ | Kint _ -> assert false (* atoms have no children *)
+      in
+      up p rebuilt
+  in
+  if n < 0 || n >= node_count t then invalid_arg "Tree.substitute: bad node"
+  else up n v
+
 (* Structural walk deciding json(n1) = json(n2) across trees t1/t2. *)
 let rec structural_equal t1 n1 t2 n2 =
   match (t1.kinds.(n1), t2.kinds.(n2)) with

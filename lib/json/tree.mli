@@ -204,6 +204,12 @@ val equal_to_value : t -> node -> Value.t -> bool
 (** [equal_to_value t n a] decides [json(n) = A] for a constant
     document [A] (the [EQ(α, A)] and [~(A)] atomic tests). *)
 
+val substitute : t -> node -> Value.t -> Value.t
+(** [substitute t n v] is the document of [t] with [json(n)] replaced
+    by [v]: only the root-to-[n] spine is rebuilt, siblings convert
+    via {!value_at}.  [substitute t root v = v].
+    @raise Invalid_argument on an out-of-range node. *)
+
 val nodes : t -> node Seq.t
 (** All nodes in preorder. *)
 

@@ -22,11 +22,15 @@ and constr =
   | Q_type of string
   | Q_size of int
   | Q_regex of Rexp.Syntax.t
-  | Q_in of Value.t list
-  | Q_nin of Value.t list
+  | Q_in of in_elt list
+  | Q_nin of in_elt list
   | Q_elem_match of filter
   | Q_all of Value.t list
   | Q_not of constr list
+
+and in_elt =
+  | I_val of Value.t
+  | I_re of Rexp.Syntax.t
 
 (* ---- parsing -------------------------------------------------------------- *)
 
@@ -50,6 +54,31 @@ let as_bool what = function
   | Value.Num 1 -> true
   | Value.Num 0 -> false
   | v -> bad "%s expects a boolean, got %s" what (Value.to_string v)
+
+(* Mongo names types redundantly: BSON aliases and numeric codes both
+   land on the model's four kinds.  Every numeric BSON type collapses
+   onto "number" (the model has one atomic ordered type). *)
+let type_name = function
+  | Value.Str (("object" | "array" | "string" | "number") as ty) -> ty
+  | Value.Str ("int" | "long" | "double" | "decimal") -> "number"
+  | Value.Num 1 (* double *) | Value.Num 16 (* int *)
+  | Value.Num 18 (* long *) | Value.Num 19 (* decimal128 *) -> "number"
+  | Value.Num 2 -> "string"
+  | Value.Num 3 -> "object"
+  | Value.Num 4 -> "array"
+  | v -> bad "$type expects a type name or code, got %s" (Value.to_string v)
+
+let parse_regex what re =
+  match Rexp.Parse.parse re with
+  | Ok e -> e
+  | Error m -> bad "%s: %s" what m
+
+(* an $in / $nin element: a literal, or {"$regex": "..."} *)
+let parse_in_elt what = function
+  | Value.Obj [ ("$regex", Value.Str re) ] -> I_re (parse_regex what re)
+  | Value.Obj kvs when List.mem_assoc "$regex" kvs ->
+    bad "%s: a regex element must be exactly {\"$regex\": \"re\"}" what
+  | literal -> I_val literal
 
 let rec parse_filter (v : Value.t) : filter =
   match v with
@@ -81,21 +110,15 @@ and parse_constr (op, v) : constr =
   | "$lt" -> Q_lt (as_int "$lt" v)
   | "$lte" -> Q_lte (as_int "$lte" v)
   | "$exists" -> Q_exists (as_bool "$exists" v)
-  | "$type" -> (
-    match v with
-    | Value.Str (("object" | "array" | "string" | "number") as ty) -> Q_type ty
-    | v -> bad "$type expects a type name, got %s" (Value.to_string v))
+  | "$type" -> Q_type (type_name v)
   | "$size" -> Q_size (as_int "$size" v)
   | "$regex" -> (
     match v with
-    | Value.Str re -> (
-      match Rexp.Parse.parse re with
-      | Ok e -> Q_regex e
-      | Error m -> bad "$regex: %s" m)
+    | Value.Str re -> Q_regex (parse_regex "$regex" re)
     | v -> bad "$regex expects a string, got %s" (Value.kind_name v))
   | "$all" -> Q_all (as_array "$all" v)
-  | "$in" -> Q_in (as_array "$in" v)
-  | "$nin" -> Q_nin (as_array "$nin" v)
+  | "$in" -> Q_in (List.map (parse_in_elt "$in") (as_array "$in" v))
+  | "$nin" -> Q_nin (List.map (parse_in_elt "$nin") (as_array "$nin" v))
   | "$elemMatch" -> (
     (* two Mongo forms: operators applied to the element itself, or a
        filter over the element's fields *)
@@ -126,19 +149,27 @@ let parse_string_exn s =
 
 let all_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
-(* ◇ along a dotted path; digit segments address keys or positions *)
+(* ◇ along a dotted path; digit segments address keys or positions.
+   Each segment also traverses one array level implicitly, as in
+   MongoDB: ["a.b"] reaches [b] inside every element of an array at
+   [a].  The traversal is one level deep per segment (an array of
+   arrays of objects is not searched two levels down), matching
+   Mongo's path resolution. *)
 let rec dia_path (p : path) (inner : Jsl.t) : Jsl.t =
   match p with
   | [] -> inner
   | seg :: rest ->
     let deeper = dia_path rest inner in
-    if all_digits seg then
-      (* a digit run too large for [int] cannot be an array position,
-         but it is still a perfectly good object key *)
-      match int_of_string_opt seg with
-      | Some i -> Jsl.Or (Jsl.dia_key seg deeper, Jsl.dia_idx i deeper)
-      | None -> Jsl.dia_key seg deeper
-    else Jsl.dia_key seg deeper
+    let keyed =
+      if all_digits seg then
+        (* a digit run too large for [int] cannot be an array position,
+           but it is still a perfectly good object key *)
+        match int_of_string_opt seg with
+        | Some i -> Jsl.Or (Jsl.dia_key seg deeper, Jsl.dia_idx i deeper)
+        | None -> Jsl.dia_key seg deeper
+      else Jsl.dia_key seg deeper
+    in
+    Jsl.Or (keyed, Jsl.Dia_range (0, None, Jsl.dia_key seg deeper))
 
 let rec filter_to_jsl (f : filter) : Jsl.t = Jsl.conj (List.map cond_to_jsl f)
 
@@ -147,6 +178,10 @@ and cond_to_jsl = function
   | F_or fs -> Jsl.disj (List.map filter_to_jsl fs)
   | F_nor fs -> Jsl.Not (Jsl.disj (List.map filter_to_jsl fs))
   | F_field (p, cs) -> Jsl.conj (List.map (constr_to_jsl p) cs)
+
+and in_elt_to_jsl = function
+  | I_val v -> Jsl.Test (Jsl.Eq_doc v)
+  | I_re e -> Jsl.Test (Jsl.Pattern (Rexp.Parse.search e))
 
 and constr_to_jsl p (c : constr) : Jsl.t =
   let positive test = dia_path p test in
@@ -174,9 +209,8 @@ and constr_to_jsl p (c : constr) : Jsl.t =
       (Jsl.conj [ Jsl.Test Jsl.Is_arr; Jsl.Test (Jsl.Min_ch n); Jsl.Test (Jsl.Max_ch n) ])
   | Q_regex e ->
     positive (Jsl.Test (Jsl.Pattern (Rexp.Parse.search e)))
-  | Q_in vs -> positive (Jsl.disj (List.map (fun v -> Jsl.Test (Jsl.Eq_doc v)) vs))
-  | Q_nin vs ->
-    Jsl.Not (positive (Jsl.disj (List.map (fun v -> Jsl.Test (Jsl.Eq_doc v)) vs)))
+  | Q_in es -> positive (Jsl.disj (List.map in_elt_to_jsl es))
+  | Q_nin es -> Jsl.Not (positive (Jsl.disj (List.map in_elt_to_jsl es)))
   | Q_elem_match f ->
     positive (Jsl.And (Jsl.Test Jsl.Is_arr, Jsl.Dia_range (0, None, filter_to_jsl f)))
   | Q_all [] ->

@@ -7,7 +7,9 @@
     $regex $in $nin $all $elemMatch $not $and $or $nor].  Dotted field paths
     ([address.city], [hobbies.0]) navigate nested documents; an
     all-digits segment addresses both an object key and an array
-    position.
+    position, and every segment also traverses one array level
+    implicitly ([{"a.b": 5}] matches [{"a":[{"b":5}]}]), as MongoDB's
+    path resolution does.
 
     Filters are given semantics {e by translation to JSL} ({!to_jsl}):
     navigation conditions of the form [P ~ J] become modal formulas, so
@@ -45,15 +47,24 @@ and constr =
   | Q_lt of int
   | Q_lte of int
   | Q_exists of bool
-  | Q_type of string  (** "object" | "array" | "string" | "number" *)
+  | Q_type of string
+      (** canonical: "object" | "array" | "string" | "number".  The
+          parser also accepts Mongo's numeric BSON codes (1, 2, 3, 4,
+          16, 18, 19) and aliases ("int", "long", "double",
+          "decimal"), all numeric ones collapsing onto "number". *)
   | Q_size of int  (** array length *)
   | Q_regex of Rexp.Syntax.t  (** substring-search semantics, as Mongo *)
-  | Q_in of Jsont.Value.t list
-  | Q_nin of Jsont.Value.t list
+  | Q_in of in_elt list
+  | Q_nin of in_elt list
   | Q_elem_match of filter  (** some array element matches the filter *)
   | Q_all of Jsont.Value.t list
       (** the array contains every listed value *)
   | Q_not of constr list
+
+and in_elt =
+  | I_val of Jsont.Value.t  (** literal membership *)
+  | I_re of Rexp.Syntax.t
+      (** a [{"$regex": "..."}] element — matches like [$regex] *)
 
 val parse : Jsont.Value.t -> (filter, string) result
 (** Parse a filter document. *)

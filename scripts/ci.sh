@@ -728,6 +728,96 @@ for cls in core eq filtered; do
 done
 rm -rf "$corpus_json"
 
+# Aggregation pipeline differential gate: the randomized + fixed
+# direct-vs-JNL pipeline suite, run standalone so an agreement break
+# is named in the CI log.
+run 300 _build/default/test/test_agg.exe test differential
+
+# Aggregation CLI wiring, part 1: `aggregate` and `aggregate
+# --via-jnl` (two engines sharing no evaluation code) must print
+# byte-identical lines on a navigational pipeline over a generated
+# NDJSON collection.
+agdir=$(mktemp -d)
+agnd="$agdir/docs.ndjson"
+: > "$agnd"
+for i in $(seq 1 60); do
+  if [ $((i % 3)) = 0 ]; then
+    printf '{"orders":[{"status":"shipped","total":%d},{"total":%d}],"age":%d}\n' \
+      "$i" $((i * 2)) $((i % 50)) >> "$agnd"
+  elif [ $((i % 3)) = 1 ]; then
+    printf '{"orders":[],"age":%d}\n' $((i % 50)) >> "$agnd"
+  else
+    printf '{"name":"n%d","age":%d}\n' "$i" $((i % 50)) >> "$agnd"
+  fi
+done
+nav_pl='[{"$match": {"orders.status": {"$exists": true}}},
+         {"$unwind": "$orders"},
+         {"$project": {"orders.status": 1, "orders.total": 1}}]'
+ag_direct=$(timeout 120 "$JSONLOGIC" aggregate "$nav_pl" "$agnd")
+ag_jnl=$(timeout 120 "$JSONLOGIC" aggregate --via-jnl "$nav_pl" "$agnd")
+if [ "$ag_direct" != "$ag_jnl" ] || [ -z "$ag_direct" ]; then
+  echo "FAIL: aggregate and aggregate --via-jnl disagree" >&2
+  printf '%s\n---\n%s\n' "$ag_direct" "$ag_jnl" | head -20 >&2
+  exit 1
+fi
+# a non-navigational pipeline is refused by --via-jnl (exit 1), not crashed
+agstatus=0
+timeout 60 "$JSONLOGIC" aggregate --via-jnl \
+  '[{"$group": {"_id": "$age", "n": {"$count": {}}}}]' "$agnd" \
+  > /dev/null 2>&1 || agstatus=$?
+if [ "$agstatus" != 1 ]; then
+  echo "FAIL: --via-jnl on \$group: expected exit 1, got $agstatus" >&2
+  exit 1
+fi
+
+# Aggregation CLI wiring, part 2: --files-from across 2 domains must
+# be byte-identical to the sequential run on a grouping pipeline
+# (streaming prefix sharded, blocking suffix joined in input order).
+ag_list="$agdir/list"
+: > "$ag_list"
+n=0
+while IFS= read -r agline; do
+  n=$((n + 1))
+  printf '%s' "$agline" > "$agdir/doc$n.json"
+  echo "$agdir/doc$n.json" >> "$ag_list"
+done < "$agnd"
+grp_pl='[{"$match": {"orders": {"$exists": true}}}, {"$unwind": "$orders"},
+         {"$group": {"_id": "$orders.status", "n": {"$count": {}},
+                     "sum": {"$sum": "$orders.total"}}},
+         {"$sort": {"sum": 0}}]'
+ag1=$(timeout 120 "$JSONLOGIC" aggregate --files-from "$ag_list" --jobs 1 \
+  "$grp_pl")
+ag2=$(timeout 120 "$JSONLOGIC" aggregate --files-from "$ag_list" --jobs 2 \
+  "$grp_pl")
+rm -rf "$agdir"
+if [ "$ag1" != "$ag2" ] || [ -z "$ag1" ]; then
+  echo "FAIL: aggregate --jobs 1 and --jobs 2 disagree" >&2
+  printf '%s\n---\n%s\n' "$ag1" "$ag2" >&2
+  exit 1
+fi
+
+# Mongo bench agreement mode: cross-jobs byte identity + counter
+# totals and the direct-vs-JNL navigational differential are gated in
+# the bench exit status; the JSON dump must land.
+mongo_json=$(mktemp -d)
+mongo_out=$(run 300 env BENCH_MONGO_DOCS=800 \
+  _build/default/bench/main.exe --json "$mongo_json" mongo)
+case $mongo_out in
+  *"mongo agreement: COMPLETE"*) ;;
+  *) echo "FAIL: mongo bench did not report complete agreement" >&2
+     echo "$mongo_out" >&2
+     exit 1 ;;
+esac
+if [ ! -s "$mongo_json/BENCH_mongo.json" ]; then
+  echo "FAIL: mongo bench did not write BENCH_mongo.json" >&2
+  exit 1
+fi
+if ! grep -q '"bench.mongo.agreement":1' "$mongo_json/BENCH_mongo.json"; then
+  echo "FAIL: BENCH_mongo.json lacks bench.mongo.agreement=1" >&2
+  exit 1
+fi
+rm -rf "$mongo_json"
+
 # --metrics must produce the per-phase dump (on stderr)
 metrics=$(echo '{"a":[1,2,1]}' | timeout 60 "$JSONLOGIC" parse --metrics - 2>&1 >/dev/null)
 case $metrics in

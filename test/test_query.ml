@@ -137,6 +137,84 @@ let test_exists_on_indices () =
     {|{"a":1}|};
   check_match "nested path miss eq" false {|{"a.b": "x"}|} {|{"a":1}|}
 
+let test_ne_nin_missing () =
+  (* Mongo's $ne / $nin match documents where the field is absent *)
+  check_match "ne missing" true {|{"a": {"$ne": 5}}|} {|{"x":1}|};
+  check_match "ne present" false {|{"a": {"$ne": 5}}|} {|{"a":5}|};
+  check_match "nin missing" true {|{"a": {"$nin": [5]}}|} {|{"x":1}|};
+  check_match "nin present" false {|{"a": {"$nin": [5]}}|} {|{"a":5}|};
+  (* ... and through dotted paths, the negation must also cover values
+     reached by implicit array traversal (failed pre-fix: the
+     traversal was missing, so the $ne below wrongly matched) *)
+  check_match "ne through array" false {|{"a.b": {"$ne": 5}}|}
+    {|{"a":[{"b":5}]}|};
+  check_match "ne through array, other value" true {|{"a.b": {"$ne": 5}}|}
+    {|{"a":[{"b":6}]}|};
+  check_match "nin through array" false {|{"a.b": {"$nin": [5]}}|}
+    {|{"a":[{"c":1},{"b":5}]}|}
+
+let test_implicit_array_traversal () =
+  (* "a.b": v matches when a is an array of objects (failed pre-fix) *)
+  check_match "traversal eq" true {|{"a.b": 5}|} {|{"a":[{"b":5}]}|};
+  check_match "traversal eq later element" true {|{"a.b": 5}|}
+    {|{"a":[{"c":1},{"b":5}]}|};
+  check_match "traversal no hit" false {|{"a.b": 5}|} {|{"a":[{"b":6}]}|};
+  (* one array level per segment: arrays of arrays are not searched *)
+  check_match "no nested-array traversal" false {|{"a.b": 5}|}
+    {|{"a":[[{"b":5}]]}|};
+  check_match "two segments, two levels" true {|{"a.b.c": 7}|}
+    {|{"a":[{"b":[{"c":7}]}]}|};
+  check_match "traversal under operators" true {|{"a.b": {"$gte": 5}}|}
+    {|{"a":[{"b":9}]}|};
+  check_match "traversal exists" true {|{"a.b": {"$exists": true}}|}
+    {|{"a":[{"b":1}]}|};
+  (* digit segments keep addressing positions *)
+  check_match "index still works" true {|{"a.0": 10}|} {|{"a":[10,20]}|};
+  (* ... and traverse like any other segment: an element object with a
+     digit key is found (as in Mongo's path resolution) *)
+  check_match "digit key inside elements" true {|{"a.0": 5}|}
+    {|{"a":[{"0":5}]}|}
+
+let test_in_regex_and_type_codes () =
+  (* $in / $nin accept {"$regex": ...} elements (rejected pre-fix:
+     the object was treated as a literal and never matched) *)
+  check_match "in regex" true {|{"a": {"$in": [{"$regex": "^x"}]}}|}
+    {|{"a":"xyz"}|};
+  check_match "in regex no match" false {|{"a": {"$in": [{"$regex": "^x"}]}}|}
+    {|{"a":"yz"}|};
+  check_match "in mixes literals and regexes" true
+    {|{"a": {"$in": [5, {"$regex": "ylo"}]}}|} {|{"a":"xylophone"}|};
+  check_match "nin regex" false {|{"a": {"$nin": [{"$regex": "ylo"}]}}|}
+    {|{"a":"xylophone"}|};
+  check_match "nin regex missing field" true
+    {|{"a": {"$nin": [{"$regex": "ylo"}]}}|} {|{"x":1}|};
+  (* object literals without $regex are plain membership *)
+  check_match "object literal in $in" true {|{"a": {"$in": [{"y": 1}]}}|}
+    {|{"a":{"y":1}}|};
+  (* a $regex element admits no further keys, and no non-string body *)
+  List.iter
+    (fun s ->
+      match Jquery.Mongo.parse_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected filter error on %s" s)
+    [ {|{"a": {"$in": [{"$regex": 5}]}}|};
+      {|{"a": {"$in": [{"$regex": "x", "y": 1}]}}|} ];
+  (* $type numeric codes and aliases (rejected pre-fix) *)
+  check_match "type 16 int" true {|{"a": {"$type": 16}}|} {|{"a":5}|};
+  check_match "type 16 not string" false {|{"a": {"$type": 16}}|} {|{"a":"5"}|};
+  check_match "type 18 long" true {|{"a": {"$type": 18}}|} {|{"a":5}|};
+  check_match "type 1 double" true {|{"a": {"$type": 1}}|} {|{"a":5}|};
+  check_match "type 2 string" true {|{"a": {"$type": 2}}|} {|{"a":"s"}|};
+  check_match "type 3 object" true {|{"a": {"$type": 3}}|} {|{"a":{}}|};
+  check_match "type 4 array" true {|{"a": {"$type": 4}}|} {|{"a":[]}|};
+  check_match "type alias int" true {|{"a": {"$type": "int"}}|} {|{"a":5}|};
+  check_match "type alias long" true {|{"a": {"$type": "long"}}|} {|{"a":5}|};
+  check_match "type alias double" true {|{"a": {"$type": "double"}}|} {|{"a":5}|};
+  check_match "type alias decimal" true {|{"a": {"$type": "decimal"}}|} {|{"a":5}|};
+  match Jquery.Mongo.parse_string {|{"a": {"$type": 99}}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown $type code must be rejected"
+
 let test_translation_differential () =
   (* [matches] must agree with the JSL translation on every document,
      and — where the filter reaches the pure-JNL fragment of Theorem 2
@@ -150,14 +228,37 @@ let test_translation_differential () =
       {|{"name": "Sue"}|}; {|{"age": 28}|}; {|{"age": "28"}|};
       {|{"hobbies": {"$size": 2}}|}; {|{"age": {"$not": {"$gt": 5}}}|};
       {|{"name": {"$in": ["Sue", "Ana"]}}|};
-      {|{"$or": [{"age": {"$lt": 1}}, {"a.1": {"$exists": true}}]}|} ]
+      {|{"$or": [{"age": {"$lt": 1}}, {"a.1": {"$exists": true}}]}|};
+      (* the §4.3 bugfix sweep: implicit array traversal, $ne/$nin on
+         missing and traversed fields, regex $in elements, $type codes *)
+      {|{"a.b": 5}|}; {|{"a.b": {"$ne": 5}}|}; {|{"a.b": {"$exists": true}}|};
+      {|{"a.b": {"$exists": false}}|}; {|{"a.b.c": 7}|};
+      {|{"a.0": 5}|}; {|{"a.0": {"$exists": true}}|};
+      {|{"a": {"$ne": 5}}|}; {|{"a": {"$nin": [5, "x"]}}|};
+      {|{"a.b": {"$nin": [5]}}|};
+      {|{"name": {"$in": [{"$regex": "^S"}, "Li"]}}|};
+      {|{"name": {"$nin": [{"$regex": "o|u"}]}}|};
+      {|{"a": {"$type": 16}}|}; {|{"a": {"$type": 4}}|};
+      {|{"a": {"$type": "int"}}|}; {|{"a": {"$type": 2}}|};
+      {|{"a": {"$not": {"$type": 3}}}|};
+      {|{"hobbies": {"$all": ["yoga", "chess"]}}|};
+      {|{"orders": {"$elemMatch": {"total": {"$gte": 50}}}}|};
+      {|{"$and": [{"a.b": {"$gte": 5}}, {"a.b": {"$lte": 9}}]}|};
+      {|{"$nor": [{"a.b": 5}, {"age": {"$gte": 18}}]}|} ]
   in
   let docs =
     people
     @ List.map parse_doc
         [ {|{"age":0}|}; {|{"age":"28"}|}; {|{"a":[10,20]}|}; {|{"a":{"1":5}}|};
-          {|{"hobbies":[]}|}; {|{"a":1}|}; {|{}|}; {|{"a":{"b":{"c":3}}}|} ]
+          {|{"hobbies":[]}|}; {|{"a":1}|}; {|{}|}; {|{"a":{"b":{"c":3}}}|};
+          (* array-traversal shapes *)
+          {|{"a":[{"b":5}]}|}; {|{"a":[{"c":1},{"b":9}]}|};
+          {|{"a":[[{"b":5}]]}|}; {|{"a":[{"b":[{"c":7}]}]}|};
+          {|{"a":[{"0":5}]}|}; {|{"a":[]}|}; {|{"a":"xylophone"}|};
+          {|{"a":{"b":5}}|}; {|{"a":[5,"x"]}|} ]
   in
+  Alcotest.(check bool) "differential covers >= 30 filters" true
+    (List.length filters >= 30);
   List.iter
     (fun ftext ->
       let f = Jquery.Mongo.parse_string_exn ftext in
@@ -417,6 +518,12 @@ let () =
            test_mixed_type_comparisons;
          Alcotest.test_case "$exists on indices and missing paths" `Quick
            test_exists_on_indices;
+         Alcotest.test_case "$ne/$nin on missing and traversed fields" `Quick
+           test_ne_nin_missing;
+         Alcotest.test_case "implicit array traversal" `Quick
+           test_implicit_array_traversal;
+         Alcotest.test_case "$in regexes and $type codes" `Quick
+           test_in_regex_and_type_codes;
          Alcotest.test_case "numeric segment overflow" `Quick
            test_mongo_numeric_segment_overflow;
          Alcotest.test_case "matches = JSL = JNL translation" `Quick
